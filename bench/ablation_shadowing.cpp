@@ -1,0 +1,59 @@
+// Ablation A5: robustness of the power-ratio metric to fading. The paper's
+// channel is ideal free space (footnote 6); here log-normal shadowing with
+// per-reception sigma in {0, 2, 4, 6} dB corrupts exactly the quantity
+// MOBIC measures (received power), while Lowest-ID's weights (ids) are
+// untouched — a worst-case stress for the metric.
+//
+//   ablation_shadowing [--seeds N] [--time S] [--csv PATH] [--fast]
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+
+  util::Flags flags(argc, argv);
+  const auto cfg = bench::BenchConfig::from_flags(flags);
+  flags.finish();
+
+  const std::vector<double> sigmas = {0.0, 2.0, 4.0, 6.0};
+
+  std::cout << "=== Ablation A5: log-normal shadowing vs the power-ratio "
+            << "metric (670x670 m, MaxSpeed 20, PT 0, Tx 200 m, "
+            << cfg.sim_time << " s, " << cfg.seeds << " seeds) ===\n\n";
+
+  util::Table table({"sigma (dB)", "algorithm", "CS", "+-"});
+  std::optional<util::CsvWriter> csv;
+  if (!cfg.csv_path.empty()) {
+    csv.emplace(cfg.csv_path);
+    csv->row({"sigma", "algorithm", "cs", "ci"});
+  }
+
+  for (const double sigma : sigmas) {
+    scenario::Scenario s = bench::paper_scenario();
+    s.sim_time = cfg.sim_time;
+    s.tx_range = 200.0;
+    if (sigma > 0.0) {
+      s.propagation = "shadowing";
+      s.pathloss_exponent = 2.0;  // keep the free-space slope; add fading
+      s.shadowing_sigma_db = sigma;
+    }
+    for (const auto& alg : scenario::paper_algorithms()) {
+      const auto agg = scenario::aggregate(
+          scenario::run_replications(s, alg.factory, cfg.seeds),
+          scenario::field_ch_changes);
+      table.add(util::Table::fmt(sigma, 0), alg.name,
+                util::Table::fmt(agg.mean, 1),
+                util::Table::fmt(agg.half_width, 1));
+      if (csv) {
+        csv->row_values(sigma, alg.name, agg.mean, agg.half_width);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShadowing randomizes both delivery (both algorithms "
+               "suffer) and the M samples (only MOBIC's weights suffer); "
+               "the interesting quantity is how fast MOBIC's edge erodes "
+               "with sigma.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation A8: google-benchmark micro-benchmarks of the substrate hot paths
+// — event queue throughput, spatial grid queries, metric computation,
+// clustering decisions, and whole-simulation throughput per simulated
+// second.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "geom/grid_index.h"
+#include "metrics/aggregate_mobility.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace manet;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<double> times(n);
+  for (auto& t : times) {
+    t = rng.uniform(0.0, 1000.0);
+  }
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (const double t : times) {
+      q.push(t, [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const geom::Rect field(1000.0, 1000.0);
+  util::Rng rng(2);
+  std::vector<geom::Vec2> pts(n);
+  for (auto& p : pts) {
+    p = field.sample(rng);
+  }
+  geom::GridIndex grid(field, 50.0);
+  grid.rebuild(pts);
+  std::vector<std::size_t> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    grid.query_radius(pts[i++ % n], 150.0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GridIndexQuery)->Arg(50)->Arg(500)->Arg(5000);
+
+void BM_GridIndexRebuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const geom::Rect field(1000.0, 1000.0);
+  util::Rng rng(3);
+  std::vector<geom::Vec2> pts(n);
+  for (auto& p : pts) {
+    p = field.sample(rng);
+  }
+  geom::GridIndex grid(field, 50.0);
+  for (auto _ : state) {
+    grid.rebuild(pts);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GridIndexRebuild)->Arg(50)->Arg(5000);
+
+void BM_AggregateMobilityUpdate(benchmark::State& state) {
+  const auto neighbors = static_cast<net::NodeId>(state.range(0));
+  net::NeighborTable table;
+  util::Rng rng(4);
+  for (net::NodeId i = 0; i < neighbors; ++i) {
+    net::HelloPacket p;
+    p.sender = i;
+    p.seq = 1;
+    table.on_hello(0.0, p, rng.uniform(1e-10, 1e-8));
+    p.seq = 2;
+    table.on_hello(2.0, p, rng.uniform(1e-10, 1e-8));
+  }
+  metrics::AggregateMobilityEstimator est;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.update(table, 2.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          neighbors);
+}
+BENCHMARK(BM_AggregateMobilityUpdate)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_FullScenarioSecond(benchmark::State& state) {
+  // Cost of one simulated second of the paper's Figure-3 scenario
+  // (50 nodes, Tx = 250 m), MOBIC.
+  for (auto _ : state) {
+    state.PauseTiming();
+    scenario::Scenario s = bench::paper_scenario();
+    s.sim_time = static_cast<double>(state.range(0));
+    s.warmup = 1.0;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        scenario::run_scenario(s, scenario::factory_by_name("mobic")));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FullScenarioSecond)->Arg(30)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

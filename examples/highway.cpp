@@ -1,0 +1,59 @@
+// §5 scenario: cars on a highway. Four lanes (two per direction), vehicles
+// cruise with small speed jitter; same-direction convoys have low relative
+// mobility while opposite-direction traffic sweeps through at ~50 m/s
+// closing speed. MOBIC should keep clusterheads inside convoys; Lowest-ID
+// anoints whoever has the small id — even a car about to exit.
+//
+//   ./highway [--vehicles N] [--time S] [--range M] [--seed K]
+#include <iostream>
+
+#include "scenario/experiment.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+
+  util::Flags flags(argc, argv);
+  const int vehicles = flags.get_int("vehicles", 60);
+  const double time = flags.get_double("time", 600.0);
+  const double range = flags.get_double("range", 150.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  flags.finish();
+
+  scenario::Scenario s;
+  s.n_nodes = static_cast<std::size_t>(vehicles);
+  s.tx_range = range;
+  s.sim_time = time;
+  s.seed = seed;
+  s.fleet.kind = mobility::ModelKind::kHighway;
+  s.fleet.highway.length = 3000.0;
+  s.fleet.highway.lanes_per_direction = 2;
+  s.fleet.highway.mean_speed = 25.0;  // ~90 km/h
+  s.fleet.highway.speed_stddev = 3.0;
+
+  std::cout << "Highway scenario: " << vehicles << " vehicles, 3 km, "
+            << "4 lanes, ~25 m/s cruise, Tx = " << range << " m, " << time
+            << " s.\n\n";
+
+  util::Table table({"algorithm", "CH changes", "avg clusters",
+                     "reaffiliations", "mean CH reign (s)"});
+  double cs_lid = 0.0, cs_mobic = 0.0;
+  for (const auto& alg : scenario::paper_algorithms()) {
+    const auto r = scenario::run_scenario(s, alg.factory);
+    (alg.name == "mobic" ? cs_mobic : cs_lid) =
+        static_cast<double>(r.ch_changes);
+    table.add(alg.name, r.ch_changes,
+              util::Table::fmt(r.avg_clusters, 1), r.reaffiliations,
+              util::Table::fmt(r.mean_head_lifetime, 1));
+  }
+  table.print(std::cout);
+
+  if (cs_lid > 0.0) {
+    std::cout << "\nMOBIC reduces clusterhead churn by "
+              << util::Table::fmt((cs_lid - cs_mobic) / cs_lid * 100.0, 1)
+              << "% in convoy traffic (§5 predicted this structured-"
+                 "mobility case to suit the metric).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Figure-2 walkthrough: one receiver, three neighbors — one approaching,
+// one receding, one orbiting at constant distance — showing the relative
+// mobility metric (eq. 1) per neighbor and the aggregate metric M (eq. 2)
+// evolving beacon by beacon, exactly as a node computes them from received
+// powers (no positions, no GPS).
+//
+//   ./metric_demo [--duration S]
+#include <cmath>
+#include <iostream>
+
+#include "cluster/presets.h"
+#include "mobility/trace.h"
+#include "net/network.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace manet;
+
+mobility::PiecewiseLinearTrack line(geom::Vec2 from, geom::Vec2 to,
+                                    double duration) {
+  mobility::PiecewiseLinearTrack t;
+  t.append(0.0, from);
+  t.append(duration, to);
+  return t;
+}
+
+// Circle around `center` at `radius`, as a polyline.
+mobility::PiecewiseLinearTrack orbit(geom::Vec2 center, double radius,
+                                     double duration) {
+  mobility::PiecewiseLinearTrack t;
+  const int steps = 64;
+  for (int i = 0; i <= steps; ++i) {
+    const double phi = 2.0 * M_PI * i / steps;
+    t.append(duration * i / steps,
+             center + geom::Vec2{radius * std::cos(phi),
+                                 radius * std::sin(phi)});
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const double duration = flags.get_double("duration", 30.0);
+  flags.finish();
+
+  sim::Simulator sim;
+  util::Rng root(7);
+  net::NetworkParams params;
+  params.per_beacon_jitter = 0.0;  // clean cadence for the walkthrough
+  net::Network network(sim, radio::make_paper_medium(250.0),
+                       geom::Rect(1000.0, 1000.0), params,
+                       root.substream("net"));
+
+  // Node 0: the observer, static at the center.
+  // Node 1: approaches from 240 m to 40 m.  Node 2: recedes 40 -> 240 m.
+  // Node 3: orbits at a constant 120 m (mobile but constant-power!).
+  const geom::Vec2 c{500.0, 500.0};
+  std::vector<mobility::PiecewiseLinearTrack> tracks;
+  tracks.push_back(line(c, c, duration));
+  tracks.push_back(line(c + geom::Vec2{240.0, 0.0},
+                        c + geom::Vec2{40.0, 0.0}, duration));
+  tracks.push_back(line(c + geom::Vec2{0.0, 40.0},
+                        c + geom::Vec2{0.0, 240.0}, duration));
+  tracks.push_back(orbit(c, 120.0, duration));
+
+  std::vector<const cluster::WeightedClusterAgent*> agents;
+  for (net::NodeId i = 0; i < 4; ++i) {
+    auto node = std::make_unique<net::Node>(
+        i, std::make_unique<mobility::TraceModel>(tracks[i]),
+        root.substream("node", i));
+    auto agent = std::make_unique<cluster::WeightedClusterAgent>(
+        cluster::mobic_options());
+    agents.push_back(agent.get());
+    node->set_agent(std::move(agent));
+    network.add_node(std::move(node));
+  }
+  network.start();
+
+  std::cout << "Eq. (1) per neighbor and eq. (2) aggregate M at node 0.\n"
+            << "Neighbor 1 approaches (positive dB), 2 recedes (negative), "
+               "3 orbits at constant range (~0 dB).\n\n";
+
+  util::Table table({"t (s)", "M_rel(1) dB", "M_rel(2) dB", "M_rel(3) dB",
+                     "M (node 0)", "M (node 3, orbiter)"});
+  for (double t = 4.0; t <= duration; t += 4.0) {
+    sim.run_until(t);
+    const auto& table0 = network.node(0).table();
+    const auto cell = [&](net::NodeId id) -> std::string {
+      const auto* e = table0.find(id);
+      if (e == nullptr || !e->has_successive_pair(3.0)) {
+        return "-";
+      }
+      return util::Table::fmt(
+          10.0 * std::log10(e->last_rx_w / e->prev_rx_w), 2);
+    };
+    table.add(util::Table::fmt(t, 0), cell(1), cell(2), cell(3),
+              util::Table::fmt(agents[0]->metric(), 2),
+              util::Table::fmt(agents[3]->metric(), 2));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote the orbiter: it moves at "
+            << util::Table::fmt(2.0 * M_PI * 120.0 / duration, 1)
+            << " m/s yet scores M_rel ~ 0 towards node 0 — the metric "
+               "measures *relative* mobility, which is what matters for "
+               "cluster stability (§3.1).\n"
+            << "Clusterhead after convergence: node "
+            << (agents[0]->role() == cluster::Role::kHead ? 0 : 999)
+            << " (the quasi-static observer).\n";
+  return 0;
+}

@@ -1,0 +1,313 @@
+#include "cluster/agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/network.h"
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace manet::cluster {
+
+WeightedClusterAgent::WeightedClusterAgent(const ClusterOptions& options)
+    : options_(options), estimator_(options.mobility) {
+  MANET_CHECK(options_.cci >= 0.0, "cci=" << options_.cci);
+  if (options_.adaptive_bi) {
+    MANET_CHECK(options_.adaptive_bi_min > 0.0 &&
+                    options_.adaptive_bi_min <= options_.adaptive_bi_max,
+                "adaptive BI bounds");
+    MANET_CHECK(options_.adaptive_bi_ref > 0.0);
+  }
+}
+
+void WeightedClusterAgent::on_attach(net::Node& node) {
+  self_ = node.id();
+}
+
+void WeightedClusterAgent::on_reset(net::Node& node) {
+  // Back to the boot configuration (§3.2: nodes start Cluster_Undecided
+  // with M = 0); the sink records the deposition if we were a head.
+  become_undecided(node.simulator().now());
+  estimator_.reset();
+  metric_ = 0.0;
+  gateway_ = false;
+  decisions_ = 0;  // the boot-beacon guard applies again after recovery
+}
+
+Weight WeightedClusterAgent::neighbor_weight(
+    const net::NeighborEntry& e) const {
+  switch (options_.kind) {
+    case WeightKind::kLowestId:
+      return Weight{0.0, e.id};
+    case WeightKind::kMaxConnectivity:
+      return Weight{-static_cast<double>(e.degree), e.id};
+    case WeightKind::kMobility:
+    case WeightKind::kStaticWeight:
+    case WeightKind::kCombined:
+      // The sender computed and advertised its own metric.
+      return Weight{e.weight, e.id};
+  }
+  return Weight{0.0, e.id};
+}
+
+void WeightedClusterAgent::refresh_metric(net::Node& node) {
+  switch (options_.kind) {
+    case WeightKind::kLowestId:
+      metric_ = 0.0;
+      break;
+    case WeightKind::kMaxConnectivity:
+      metric_ = -static_cast<double>(node.table().size());
+      break;
+    case WeightKind::kMobility:
+      metric_ = estimator_.update(node.table(), node.simulator().now());
+      break;
+    case WeightKind::kStaticWeight:
+      metric_ = options_.static_weight;
+      break;
+    case WeightKind::kCombined: {
+      const double m =
+          estimator_.update(node.table(), node.simulator().now());
+      const double degree_penalty =
+          std::abs(static_cast<double>(node.table().size()) -
+                   options_.combined_ideal_degree);
+      metric_ = options_.combined_mobility_weight * m +
+                options_.combined_degree_weight * degree_penalty;
+      break;
+    }
+  }
+}
+
+const net::NeighborEntry* WeightedClusterAgent::best_head(
+    const std::vector<const net::NeighborEntry*>& entries) const {
+  const net::NeighborEntry* best = nullptr;
+  for (const auto* e : entries) {
+    if (e->role != net::AdvertRole::kHead) {
+      continue;
+    }
+    if (best == nullptr || neighbor_weight(*e) < neighbor_weight(*best)) {
+      best = e;
+    }
+  }
+  return best;
+}
+
+void WeightedClusterAgent::set_state(sim::Time t, Role role,
+                                     net::NodeId head) {
+  const Role old_role = role_;
+  const net::NodeId old_head = head_;
+  role_ = role;
+  head_ = head;
+  if (options_.sink != nullptr) {
+    if (old_role != role_) {
+      options_.sink->on_role_change(t, self_, old_role, role_);
+    }
+    if (old_head != head_) {
+      options_.sink->on_affiliation_change(t, self_, old_head, head_);
+    }
+  }
+}
+
+void WeightedClusterAgent::become_head(sim::Time t) {
+  undecided_rounds_ = 0;
+  set_state(t, Role::kHead, self_);
+}
+
+void WeightedClusterAgent::become_member(sim::Time t, net::NodeId head) {
+  MANET_ASSERT(head != net::kInvalidNode && head != self_);
+  undecided_rounds_ = 0;
+  contention_.clear();
+  set_state(t, Role::kMember, head);
+}
+
+void WeightedClusterAgent::become_undecided(sim::Time t) {
+  contention_.clear();
+  set_state(t, Role::kUndecided, net::kInvalidNode);
+}
+
+void WeightedClusterAgent::decide_plain(
+    net::Node& node, const std::vector<const net::NeighborEntry*>& entries) {
+  // Original Lowest-ID [4, 5]: every round, the lowest weight in the closed
+  // neighborhood is the clusterhead; everyone else attaches to the best
+  // advertised head. No damping — this is the churn LCC was invented to fix.
+  if (decisions_ <= 1) {
+    return;  // boot beacon: the table has not seen a full round yet
+  }
+  const sim::Time now = node.simulator().now();
+  const Weight mine = weight();
+  bool lowest = true;
+  for (const auto* e : entries) {
+    if (neighbor_weight(*e) < mine) {
+      lowest = false;
+      break;
+    }
+  }
+  if (lowest) {
+    become_head(now);
+    return;
+  }
+  const net::NeighborEntry* head = best_head(entries);
+  if (head != nullptr) {
+    become_member(now, head->id);
+  } else {
+    // A lower-weight neighbor exists but no head is audible: that neighbor
+    // declined the role (it defers to someone even lower, out of our
+    // range), so serve as head ourselves — the classical reading of
+    // "the lowest-ID node a node hears is its clusterhead, unless it
+    // gives up its role" [4, 5].
+    become_head(now);
+  }
+}
+
+void WeightedClusterAgent::decide(net::Node& node) {
+  ++decisions_;
+  const sim::Time now = node.simulator().now();
+  const auto entries = node.table().entries_by_id();
+
+  std::size_t heads_in_range = 0;
+  for (const auto* e : entries) {
+    if (e->role == net::AdvertRole::kHead) {
+      ++heads_in_range;
+    }
+  }
+
+  if (!options_.lcc) {
+    decide_plain(node, entries);
+  } else {
+    const Weight mine = weight();
+    switch (role_) {
+      case Role::kMember: {
+        const net::NeighborEntry* my_head = node.table().find(head_);
+        if (my_head != nullptr && my_head->role == net::AdvertRole::kHead) {
+          // LCC rule: stay put even if a "better" clusterhead is in range.
+          break;
+        }
+        // Lost the clusterhead: reaffiliate if possible, else fall through
+        // to election.
+        const net::NeighborEntry* head = best_head(entries);
+        if (head != nullptr) {
+          become_member(now, head->id);
+          break;
+        }
+        become_undecided(now);
+        [[fallthrough]];
+      }
+      case Role::kUndecided: {
+        if (role_ != Role::kUndecided) {  // reaffiliated above
+          break;
+        }
+        // The very first beacon goes out before a full listen interval, so
+        // the table may be empty merely because the node just booted;
+        // electing now would make the fastest clock, not the lowest weight,
+        // the clusterhead.
+        if (decisions_ <= 1) {
+          break;
+        }
+        // Joining an existing cluster always beats founding a new one
+        // (keeps clusterheads non-adjacent and changes minimal).
+        const net::NeighborEntry* head = best_head(entries);
+        if (head != nullptr) {
+          become_member(now, head->id);
+          break;
+        }
+        // DMAC/DCA-style staged election: the lowest weight among the
+        // still-undecided neighborhood claims the role; everyone else
+        // waits for it (paper §3.2: lowest M, ids breaking ties). The
+        // stall cap forces progress if dynamic weights keep reshuffling
+        // the local order (mutually-stale adverts can briefly make two
+        // nodes each believe the other is lower).
+        bool lower_undecided = false;
+        for (const auto* e : entries) {
+          if (e->role == net::AdvertRole::kUndecided &&
+              neighbor_weight(*e) < mine) {
+            lower_undecided = true;
+            break;
+          }
+        }
+        if (lower_undecided && undecided_rounds_ < kUndecidedStallRounds) {
+          ++undecided_rounds_;
+          break;
+        }
+        become_head(now);
+        break;
+      }
+      case Role::kHead: {
+        // Track continuous contact with rival clusterheads; resolve those
+        // whose contact has outlasted the CCI (paper §3.2: deferral allows
+        // "incidental contacts between passing nodes" to pass by).
+        for (const auto* e : entries) {
+          if (e->role == net::AdvertRole::kHead) {
+            contention_.try_emplace(e->id, now);
+          }
+        }
+        // Forget rivals that left range or stopped being heads.
+        for (auto it = contention_.begin(); it != contention_.end();) {
+          const net::NeighborEntry* e = node.table().find(it->first);
+          if (e == nullptr || e->role != net::AdvertRole::kHead) {
+            it = contention_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        // Among matured contenders, the lowest weight keeps the role. The
+        // paper triggers reclustering only "if the nodes are in
+        // transmission range of each other even after the CCI timer has
+        // expired" — so the rival must also be *fresh* (heard within the
+        // last beacon interval), not a table entry idling toward its
+        // timeout after the rival already left range.
+        const double fresh_horizon =
+            node.network().params().broadcast_interval * 1.25;
+        const net::NeighborEntry* winner = nullptr;
+        for (const auto& [id, since] : contention_) {
+          if (now - since + 1e-9 < options_.cci) {
+            continue;  // still within the contention interval
+          }
+          const net::NeighborEntry* e = node.table().find(id);
+          MANET_ASSERT(e != nullptr);
+          if (e->last_heard < now - fresh_horizon) {
+            continue;  // likely already out of range
+          }
+          if (neighbor_weight(*e) < mine &&
+              (winner == nullptr ||
+               neighbor_weight(*e) < neighbor_weight(*winner))) {
+            winner = e;
+          }
+        }
+        if (winner != nullptr) {
+          become_member(now, winner->id);
+        }
+        break;
+      }
+    }
+  }
+
+  gateway_ = role_ == Role::kMember && heads_in_range >= 2;
+}
+
+void WeightedClusterAgent::maybe_adapt_beacon(net::Node& node) {
+  if (!options_.adaptive_bi) {
+    return;
+  }
+  // Map M -> beacon interval: M = 0 gives the slowest beat, M = ref the
+  // geometric midpoint, large M approaches the fastest beat. The slow end
+  // is clamped safely below the neighbor timeout TP: beaconing slower than
+  // TP would make neighbors expire *between* beacons and churn the tables
+  // (and with them the clustering) catastrophically.
+  const double lo = options_.adaptive_bi_min;
+  const double hi =
+      std::min(options_.adaptive_bi_max,
+               0.8 * node.network().params().neighbor_timeout);
+  const double frac = options_.adaptive_bi_ref /
+                      (options_.adaptive_bi_ref + std::max(metric_, 0.0));
+  node.set_beacon_period(lo + std::max(hi - lo, 0.0) * frac);
+}
+
+void WeightedClusterAgent::on_beacon(net::Node& node, net::HelloPacket& out) {
+  refresh_metric(node);
+  decide(node);
+  out.weight = metric_;
+  out.role = to_advert(role_);
+  out.cluster_head = head_;
+  maybe_adapt_beacon(node);
+}
+
+}  // namespace manet::cluster

@@ -1,0 +1,114 @@
+#include "cluster/stats.h"
+
+#include "util/assert.h"
+
+namespace manet::cluster {
+
+ClusterStats::ClusterStats(double warmup) : warmup_(warmup) {
+  MANET_CHECK(warmup >= 0.0, "warmup=" << warmup);
+}
+
+void ClusterStats::on_role_change(sim::Time t, net::NodeId node,
+                                  Role old_role, Role new_role) {
+  MANET_ASSERT(old_role != new_role);
+  // Reign tracking runs from t=0 so lifetimes of heads elected during
+  // warm-up are still measured correctly.
+  if (new_role == Role::kHead) {
+    reign_since_[node] = t;
+  } else if (old_role == Role::kHead) {
+    const auto it = reign_since_.find(node);
+    if (it != reign_since_.end()) {
+      head_lifetimes_.add(t - it->second);
+      reign_since_.erase(it);
+    }
+  }
+  if (t < warmup_) {
+    return;
+  }
+  ++role_changes_;
+  if (new_role == Role::kHead) {
+    ++head_gains_;
+  } else if (old_role == Role::kHead) {
+    ++head_losses_;
+  }
+}
+
+void ClusterStats::on_affiliation_change(sim::Time t, net::NodeId node,
+                                         net::NodeId old_head,
+                                         net::NodeId new_head) {
+  if (t < warmup_) {
+    return;
+  }
+  if (old_head != net::kInvalidNode && new_head != net::kInvalidNode &&
+      old_head != node && new_head != node) {
+    ++reaffiliations_;
+  }
+}
+
+void ClusterStats::finish(sim::Time end) {
+  MANET_CHECK(!finished_, "finish() called twice");
+  finished_ = true;
+  for (const auto& [node, since] : reign_since_) {
+    head_lifetimes_.add(end - since);
+  }
+  reign_since_.clear();
+}
+
+ClusterSampler::ClusterSampler(sim::Simulator& sim,
+                               std::vector<const WeightedClusterAgent*> agents)
+    : sim_(sim), agents_(std::move(agents)) {
+  MANET_CHECK(!agents_.empty(), "sampler with no agents");
+  for (const auto* a : agents_) {
+    MANET_CHECK(a != nullptr, "null agent");
+  }
+}
+
+void ClusterSampler::start(sim::Time first_at, sim::Time period,
+                           sim::Time until) {
+  MANET_CHECK(period > 0.0, "period=" << period);
+  MANET_CHECK(until >= first_at, "until < first_at");
+  period_ = period;
+  until_ = until;
+  sim_.schedule_at(first_at, [this] { tick(); });
+}
+
+void ClusterSampler::tick() {
+  sample_now();
+  const sim::Time next = sim_.now() + period_;
+  if (next <= until_ + 1e-9) {
+    sim_.schedule_at(next, [this] { tick(); });
+  }
+}
+
+void ClusterSampler::sample_now() {
+  std::size_t heads = 0;
+  std::size_t gateways = 0;
+  std::size_t undecided = 0;
+  std::unordered_map<net::NodeId, std::size_t> sizes;
+  for (const auto* a : agents_) {
+    switch (a->role()) {
+      case Role::kHead:
+        ++heads;
+        break;
+      case Role::kMember:
+        if (a->is_gateway()) {
+          ++gateways;
+        }
+        break;
+      case Role::kUndecided:
+        ++undecided;
+        break;
+    }
+    if (a->cluster_head() != net::kInvalidNode) {
+      ++sizes[a->cluster_head()];
+    }
+  }
+  num_clusters_.add(static_cast<double>(heads));
+  num_gateways_.add(static_cast<double>(gateways));
+  num_undecided_.add(static_cast<double>(undecided));
+  for (const auto& [_, size] : sizes) {
+    cluster_sizes_.add(static_cast<double>(size));
+  }
+}
+
+}  // namespace manet::cluster

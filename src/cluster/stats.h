@@ -1,0 +1,101 @@
+// Cluster stability accounting.
+//
+// ClusterStats implements the paper's stability metric CS — "the number of
+// clusterhead changes in a given time period" (§4.1) — counted as every
+// transition of a node into or out of Cluster_Head state after an optional
+// warm-up window (the initial election is excluded by a warm-up of a few
+// broadcast intervals). It also tracks reaffiliations (a member switching
+// clusterheads) and clusterhead reign lifetimes.
+//
+// ClusterSampler periodically snapshots the role distribution (number of
+// clusters = number of clusterheads, gateways, undecided count, cluster
+// sizes) — the quantity behind the paper's Figure 4.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/agent.h"
+#include "cluster/events.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace manet::cluster {
+
+class ClusterStats final : public ClusterEventSink {
+ public:
+  /// Events before `warmup` seconds are ignored (initial election).
+  explicit ClusterStats(double warmup = 0.0);
+
+  void on_role_change(sim::Time t, net::NodeId node, Role old_role,
+                      Role new_role) override;
+  void on_affiliation_change(sim::Time t, net::NodeId node,
+                             net::NodeId old_head,
+                             net::NodeId new_head) override;
+
+  /// Closes open clusterhead reigns at simulation end (censored lifetimes).
+  void finish(sim::Time end);
+
+  /// CS: clusterhead changes (gains + losses) after warm-up.
+  std::uint64_t clusterhead_changes() const {
+    return head_gains_ + head_losses_;
+  }
+  std::uint64_t head_gains() const { return head_gains_; }
+  std::uint64_t head_losses() const { return head_losses_; }
+  /// Members that moved between clusters (both ends valid, neither self).
+  std::uint64_t reaffiliations() const { return reaffiliations_; }
+  std::uint64_t role_changes() const { return role_changes_; }
+
+  /// Reign duration of clusterheads (seconds), including censored reigns
+  /// closed by finish().
+  const util::RunningStats& head_lifetimes() const { return head_lifetimes_; }
+
+  double warmup() const { return warmup_; }
+
+ private:
+  double warmup_;
+  std::uint64_t head_gains_ = 0;
+  std::uint64_t head_losses_ = 0;
+  std::uint64_t reaffiliations_ = 0;
+  std::uint64_t role_changes_ = 0;
+  util::RunningStats head_lifetimes_;
+  std::unordered_map<net::NodeId, sim::Time> reign_since_;
+  bool finished_ = false;
+};
+
+/// Periodic role-distribution sampler driven by the simulator.
+class ClusterSampler {
+ public:
+  /// `agents[i]` must correspond to node i and outlive the sampler.
+  ClusterSampler(sim::Simulator& sim,
+                 std::vector<const WeightedClusterAgent*> agents);
+
+  /// Samples every `period` seconds in [first_at, until].
+  void start(sim::Time first_at, sim::Time period, sim::Time until);
+
+  /// Takes one sample immediately (also usable standalone in tests).
+  void sample_now();
+
+  std::size_t samples() const { return num_clusters_.count(); }
+  /// Number of clusters (= clusterheads) per sample.
+  const util::RunningStats& num_clusters() const { return num_clusters_; }
+  const util::RunningStats& num_gateways() const { return num_gateways_; }
+  const util::RunningStats& num_undecided() const { return num_undecided_; }
+  /// Members per cluster (head itself included), per (cluster, sample).
+  const util::RunningStats& cluster_sizes() const { return cluster_sizes_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  std::vector<const WeightedClusterAgent*> agents_;
+  sim::Time period_ = 0.0;
+  sim::Time until_ = 0.0;
+  util::RunningStats num_clusters_;
+  util::RunningStats num_gateways_;
+  util::RunningStats num_undecided_;
+  util::RunningStats cluster_sizes_;
+};
+
+}  // namespace manet::cluster

@@ -1,0 +1,55 @@
+// Cluster role state machine (paper §3.2): nodes start Cluster_Undecided,
+// then become Cluster_Head or Cluster_Member; "gateway" is a derived
+// property (a member that hears two or more clusterheads).
+#pragma once
+
+#include <string_view>
+
+#include "net/hello.h"
+#include "net/types.h"
+
+namespace manet::cluster {
+
+enum class Role : std::uint8_t {
+  kUndecided = 0,
+  kHead = 1,
+  kMember = 2,
+};
+
+inline std::string_view role_name(Role r) {
+  switch (r) {
+    case Role::kUndecided:
+      return "undecided";
+    case Role::kHead:
+      return "head";
+    case Role::kMember:
+      return "member";
+  }
+  return "?";
+}
+
+inline net::AdvertRole to_advert(Role r) {
+  switch (r) {
+    case Role::kUndecided:
+      return net::AdvertRole::kUndecided;
+    case Role::kHead:
+      return net::AdvertRole::kHead;
+    case Role::kMember:
+      return net::AdvertRole::kMember;
+  }
+  return net::AdvertRole::kUndecided;
+}
+
+inline Role from_advert(net::AdvertRole r) {
+  switch (r) {
+    case net::AdvertRole::kUndecided:
+      return Role::kUndecided;
+    case net::AdvertRole::kHead:
+      return Role::kHead;
+    case net::AdvertRole::kMember:
+      return Role::kMember;
+  }
+  return Role::kUndecided;
+}
+
+}  // namespace manet::cluster

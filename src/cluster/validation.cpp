@@ -1,0 +1,67 @@
+#include "cluster/validation.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace manet::cluster {
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream oss;
+  oss << "undecided=" << undecided
+      << " head_pairs_in_range=" << head_pairs_in_range
+      << " members_beyond_head_range=" << members_beyond_head_range
+      << " members_of_non_head=" << members_of_non_head
+      << " connected_nodes=" << connected_nodes;
+  return oss.str();
+}
+
+ValidationReport validate_clusters(
+    net::Network& network,
+    const std::vector<const WeightedClusterAgent*>& agents, sim::Time t) {
+  MANET_CHECK(agents.size() == network.size(),
+              "agents/nodes size mismatch: " << agents.size() << " vs "
+                                             << network.size());
+  ValidationReport report;
+  const auto adj = network.true_adjacency(t);
+
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    if (!adj[i].empty()) {
+      ++report.connected_nodes;
+    }
+    const auto* a = agents[i];
+    switch (a->role()) {
+      case Role::kUndecided:
+        ++report.undecided;
+        break;
+      case Role::kHead:
+        for (const net::NodeId j : adj[i]) {
+          if (j > i && agents[j]->role() == Role::kHead) {
+            ++report.head_pairs_in_range;
+          }
+        }
+        break;
+      case Role::kMember: {
+        const net::NodeId head = a->cluster_head();
+        MANET_ASSERT(head != net::kInvalidNode, "member without head");
+        if (agents[head]->role() != Role::kHead) {
+          ++report.members_of_non_head;
+        }
+        bool in_range = false;
+        for (const net::NodeId j : adj[i]) {
+          if (j == head) {
+            in_range = true;
+            break;
+          }
+        }
+        if (!in_range) {
+          ++report.members_beyond_head_range;
+        }
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace manet::cluster

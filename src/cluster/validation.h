@@ -1,0 +1,43 @@
+// Theorem-1 validators (paper §3.2): in a stable state the weight-based
+// clustering yields clusters of diameter <= 2 hops and no two clusterheads
+// within range of each other. These checks run against *ground truth*
+// geometry (exact positions and the nominal range), independent of the
+// protocol's own tables, so they catch protocol bugs rather than reflect
+// protocol beliefs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/agent.h"
+#include "net/network.h"
+
+namespace manet::cluster {
+
+struct ValidationReport {
+  /// Nodes still Cluster_Undecided.
+  std::size_t undecided = 0;
+  /// Pairs of clusterheads within range of each other.
+  std::size_t head_pairs_in_range = 0;
+  /// Members whose clusterhead is not within range (diameter > 2 witness).
+  std::size_t members_beyond_head_range = 0;
+  /// Members affiliated with a node that is not currently a head.
+  std::size_t members_of_non_head = 0;
+  /// Nodes with at least one in-range neighbor, total (context for the
+  /// counts above; isolated nodes legitimately self-elect).
+  std::size_t connected_nodes = 0;
+
+  bool clean() const {
+    return undecided == 0 && head_pairs_in_range == 0 &&
+           members_beyond_head_range == 0 && members_of_non_head == 0;
+  }
+  std::string to_string() const;
+};
+
+/// Evaluates the invariants at time `t`. `agents[i]` must correspond to
+/// node i of the network.
+ValidationReport validate_clusters(
+    net::Network& network,
+    const std::vector<const WeightedClusterAgent*>& agents, sim::Time t);
+
+}  // namespace manet::cluster

@@ -1,0 +1,47 @@
+// Totally ordered clustering weights (lower wins), following the DCA
+// generalization [2] the paper invokes in Theorem 1: the effective weight is
+// the lexicographic pair {metric, id}, so even when metrics tie (e.g. two
+// fresh nodes with M = 0) the order is total and the Lowest-ID rule is the
+// tie-break — exactly the paper's augmented weight {M, ID}.
+#pragma once
+
+#include <compare>
+#include <string_view>
+
+#include "net/types.h"
+
+namespace manet::cluster {
+
+struct Weight {
+  double metric = 0.0;
+  net::NodeId id = net::kInvalidNode;
+
+  friend constexpr auto operator<=>(const Weight&, const Weight&) = default;
+};
+
+/// Which quantity fills Weight::metric.
+enum class WeightKind {
+  kLowestId,         // metric = 0 for everyone: pure Lowest-ID [4, 5]
+  kMaxConnectivity,  // metric = -degree: highest-degree wins [5]
+  kMobility,         // metric = aggregate local mobility M: MOBIC (this paper)
+  kStaticWeight,     // metric = externally assigned constant: DCA [2]
+  kCombined,         // metric = wm*M + wd*|degree - ideal|: WCA-style blend
+};
+
+inline std::string_view weight_kind_name(WeightKind k) {
+  switch (k) {
+    case WeightKind::kLowestId:
+      return "lowest_id";
+    case WeightKind::kMaxConnectivity:
+      return "max_connectivity";
+    case WeightKind::kMobility:
+      return "mobic";
+    case WeightKind::kStaticWeight:
+      return "dca_static";
+    case WeightKind::kCombined:
+      return "combined";
+  }
+  return "?";
+}
+
+}  // namespace manet::cluster

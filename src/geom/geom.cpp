@@ -1,0 +1,36 @@
+#include <ostream>
+
+#include "geom/rect.h"
+#include "geom/vec2.h"
+
+namespace manet::geom {
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+Vec2 Rect::reflect(Vec2 p, Vec2& dir) const {
+  // Fold the coordinate back into [0, extent] mirroring at each wall; flip
+  // the direction component once per crossing (parity of the fold count).
+  const auto fold = [](double v, double extent, double& d) {
+    if (extent <= 0.0) {
+      return 0.0;
+    }
+    const double period = 2.0 * extent;
+    double m = std::fmod(v, period);
+    if (m < 0.0) {
+      m += period;
+    }
+    if (m > extent) {
+      m = period - m;
+      d = -d;
+    }
+    return m;
+  };
+  Vec2 out;
+  out.x = fold(p.x, width, dir.x);
+  out.y = fold(p.y, height, dir.y);
+  return out;
+}
+
+}  // namespace manet::geom

@@ -1,0 +1,55 @@
+// Uniform spatial hash over the simulation field for O(1)-expected
+// radius queries. The network layer rebuilds it from a position snapshot
+// whenever node positions may have moved (cheap: one pass over nodes), then
+// answers "who can hear this broadcast" queries against it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/rect.h"
+#include "geom/vec2.h"
+
+namespace manet::geom {
+
+class GridIndex {
+ public:
+  /// `cell_size` should be on the order of the typical query radius.
+  GridIndex(Rect field, double cell_size);
+
+  /// Replaces the indexed point set. Points outside the field are clamped
+  /// into it for binning purposes (their true coordinates are kept for the
+  /// distance test).
+  void rebuild(std::span<const Vec2> points);
+
+  std::size_t size() const { return points_.size(); }
+
+  /// Appends the indices of all points within `radius` of `center`
+  /// (inclusive) to `out`. The queried set may include the querying point
+  /// itself if it is in the index; callers filter by index.
+  void query_radius(Vec2 center, double radius,
+                    std::vector<std::size_t>& out) const;
+
+  /// Convenience wrapper returning a fresh vector.
+  std::vector<std::size_t> query_radius(Vec2 center, double radius) const;
+
+  /// Brute-force reference implementation, used by tests to validate the
+  /// grid and by callers with tiny point sets.
+  static std::vector<std::size_t> brute_force(std::span<const Vec2> points,
+                                              Vec2 center, double radius);
+
+ private:
+  std::size_t cell_of(Vec2 p) const;
+
+  Rect field_;
+  double cell_size_;
+  std::size_t cols_;
+  std::size_t rows_;
+  std::vector<Vec2> points_;
+  // CSR-style layout: cell_start_[c]..cell_start_[c+1] indexes into order_.
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace manet::geom

@@ -1,0 +1,42 @@
+// Axis-aligned rectangle; models the simulation field (origin at (0,0)).
+#pragma once
+
+#include "geom/vec2.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace manet::geom {
+
+struct Rect {
+  double width = 0.0;   // x extent, meters
+  double height = 0.0;  // y extent, meters
+
+  constexpr Rect() = default;
+  Rect(double w, double h) : width(w), height(h) {
+    MANET_CHECK(w > 0.0 && h > 0.0, "degenerate field " << w << "x" << h);
+  }
+
+  double area() const { return width * height; }
+  constexpr bool operator==(const Rect&) const = default;
+
+  bool contains(Vec2 p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+
+  /// Clamps a point to the rectangle boundary.
+  Vec2 clamp(Vec2 p) const {
+    return {std::min(std::max(p.x, 0.0), width),
+            std::min(std::max(p.y, 0.0), height)};
+  }
+
+  /// Uniformly random point in the rectangle.
+  Vec2 sample(util::Rng& rng) const {
+    return {rng.uniform(0.0, width), rng.uniform(0.0, height)};
+  }
+
+  /// Reflects a point (and its direction) back into the rectangle, billiard
+  /// style; used by bounce-mode mobility models. `dir` is updated in place.
+  Vec2 reflect(Vec2 p, Vec2& dir) const;
+};
+
+}  // namespace manet::geom

@@ -1,0 +1,52 @@
+#include "metrics/aggregate_mobility.h"
+
+#include "util/assert.h"
+#include "util/stats.h"
+
+namespace manet::metrics {
+
+double aggregate_mobility(std::span<const double> m_rel_samples) {
+  return util::var0(m_rel_samples);
+}
+
+AggregateMobilityEstimator::AggregateMobilityEstimator(
+    const AggregateMobilityConfig& config)
+    : config_(config) {
+  MANET_CHECK(config_.successive_max_gap > 0.0);
+  MANET_CHECK(config_.neighbor_timeout > 0.0);
+  MANET_CHECK(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+              "ewma_alpha=" << config_.ewma_alpha);
+}
+
+double AggregateMobilityEstimator::update(const net::NeighborTable& table,
+                                          sim::Time now) {
+  scratch_ = collect_relative_mobility(table, now, config_.successive_max_gap,
+                                       config_.neighbor_timeout);
+  last_sample_count_ = scratch_.size();
+
+  if (scratch_.empty()) {
+    if (!config_.hold_on_empty) {
+      value_ = 0.0;
+      has_value_ = false;
+    }
+    return value_;
+  }
+
+  const double m_now = aggregate_mobility(scratch_);
+  if (!has_value_) {
+    value_ = m_now;  // first measurement seeds the EWMA
+    has_value_ = true;
+  } else {
+    value_ = config_.ewma_alpha * m_now +
+             (1.0 - config_.ewma_alpha) * value_;
+  }
+  return value_;
+}
+
+void AggregateMobilityEstimator::reset() {
+  value_ = 0.0;
+  has_value_ = false;
+  last_sample_count_ = 0;
+}
+
+}  // namespace manet::metrics

@@ -1,0 +1,64 @@
+// The paper's aggregate local mobility metric (§3.1, eq. 2):
+//
+//   M_Y = var0( M_rel^Y(X_1) ... M_rel^Y(X_m) ) = E[(M_rel)^2]
+//
+// the variance-about-zero of the per-neighbor relative-mobility samples.
+// Low M_Y -> Y is quasi-static relative to its neighborhood -> good
+// clusterhead. The estimator below also implements the paper's §5
+// "history" extension (EWMA smoothing across beacon rounds) as an option.
+#pragma once
+
+#include <span>
+
+#include "metrics/relative_mobility.h"
+#include "net/neighbor_table.h"
+
+namespace manet::metrics {
+
+/// Eq. (2): var0 of the samples; 0 for an empty set.
+double aggregate_mobility(std::span<const double> m_rel_samples);
+
+struct AggregateMobilityConfig {
+  /// Maximum spacing between two receptions for them to count as
+  /// "successive" (defaults to the paper's TP: one missed beacon excludes).
+  double successive_max_gap = 3.0;
+  /// Neighbor liveness horizon (TP).
+  double neighbor_timeout = 3.0;
+  /// EWMA smoothing factor in (0, 1]: M <- alpha*M_now + (1-alpha)*M_prev.
+  /// 1.0 reproduces the paper's memoryless metric; smaller values implement
+  /// the §5 history extension.
+  double ewma_alpha = 1.0;
+  /// When a round yields no eligible samples (sparse neighborhood): if true
+  /// keep the previous estimate, else reset to 0 (the paper's initial
+  /// value).
+  bool hold_on_empty = true;
+};
+
+/// Per-node running estimator of M. One instance per node, updated once per
+/// beacon (just before the Hello is stamped with the value, §3.2/§4.1).
+class AggregateMobilityEstimator {
+ public:
+  explicit AggregateMobilityEstimator(
+      const AggregateMobilityConfig& config = {});
+
+  /// Computes this round's M from the node's neighbor table and folds it
+  /// into the (optionally smoothed) estimate. Returns the new estimate.
+  double update(const net::NeighborTable& table, sim::Time now);
+
+  /// Current estimate (0 until the first update — the paper's initial M).
+  double value() const { return value_; }
+
+  /// Number of eligible samples in the most recent round.
+  std::size_t last_sample_count() const { return last_sample_count_; }
+
+  void reset();
+
+ private:
+  AggregateMobilityConfig config_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+  std::size_t last_sample_count_ = 0;
+  std::vector<double> scratch_;
+};
+
+}  // namespace manet::metrics

@@ -1,0 +1,95 @@
+#include "metrics/geometric.h"
+
+#include "geom/vec2.h"
+#include "util/assert.h"
+#include "util/stats.h"
+
+namespace manet::metrics {
+
+double pairwise_relative_speed(const mobility::PiecewiseLinearTrack& a,
+                               const mobility::PiecewiseLinearTrack& b,
+                               sim::Time t) {
+  return (a.velocity(t) - b.velocity(t)).norm();
+}
+
+double geometric_mobility_metric(
+    std::span<const mobility::PiecewiseLinearTrack> tracks,
+    sim::Time duration, sim::Time dt) {
+  MANET_CHECK(tracks.size() >= 2, "need at least two tracks");
+  MANET_CHECK(duration >= 0.0 && dt > 0.0);
+  util::RunningStats stats;
+  for (sim::Time t = 0.0; t <= duration + 1e-9; t += dt) {
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+      for (std::size_t j = i + 1; j < tracks.size(); ++j) {
+        stats.add(pairwise_relative_speed(tracks[i], tracks[j], t));
+      }
+    }
+  }
+  return stats.mean();
+}
+
+LinkStats link_stats(std::span<const mobility::PiecewiseLinearTrack> tracks,
+                     double range_m, sim::Time duration, sim::Time dt) {
+  MANET_CHECK(range_m > 0.0 && duration >= 0.0 && dt > 0.0);
+  const std::size_t n = tracks.size();
+  LinkStats out;
+  if (n < 2) {
+    return out;
+  }
+
+  // Per-pair link state machine over the sampled timeline.
+  std::vector<char> up(n * (n - 1) / 2, 0);
+  std::vector<sim::Time> up_since(n * (n - 1) / 2, 0.0);
+  util::RunningStats lifetime;
+  util::RunningStats degree;
+  const auto pair_index = [n](std::size_t i, std::size_t j) {
+    // i < j; row-major upper triangle.
+    return i * n - i * (i + 1) / 2 + (j - i - 1);
+  };
+
+  std::vector<geom::Vec2> pos(n);
+  bool first = true;
+  for (sim::Time t = 0.0; t <= duration + 1e-9; t += dt) {
+    for (std::size_t i = 0; i < n; ++i) {
+      pos[i] = tracks[i].position(t);
+    }
+    std::vector<std::size_t> deg(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const bool now_up = geom::distance(pos[i], pos[j]) <= range_m;
+        const std::size_t k = pair_index(i, j);
+        if (now_up) {
+          ++deg[i];
+          ++deg[j];
+        }
+        if (!first && now_up != static_cast<bool>(up[k])) {
+          ++out.link_changes;
+          if (!now_up) {
+            lifetime.add(t - up_since[k]);
+            ++out.links_observed;
+          }
+        }
+        if (now_up && (first || !up[k])) {
+          up_since[k] = t;
+        }
+        up[k] = now_up ? 1 : 0;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      degree.add(static_cast<double>(deg[i]));
+    }
+    first = false;
+  }
+  // Links still up at the end contribute a (censored) lifetime too.
+  for (std::size_t k = 0; k < up.size(); ++k) {
+    if (up[k]) {
+      lifetime.add(duration - up_since[k]);
+      ++out.links_observed;
+    }
+  }
+  out.mean_degree = degree.mean();
+  out.mean_link_lifetime = lifetime.mean();
+  return out;
+}
+
+}  // namespace manet::metrics

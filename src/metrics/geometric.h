@@ -1,0 +1,45 @@
+// The geometric mobility metric of Johansson et al. [11] — the related-work
+// baseline the paper critiques (§2.2): pairwise absolute relative speed,
+// averaged over time and over all node pairs. It needs global position
+// knowledge (GPS-like), which is exactly why MOBIC does not use it; we
+// implement it as a *scenario characterization* tool (Table-1 bench) and as
+// a reference point in tests.
+//
+// Also provides link-level ground-truth statistics (mean link lifetime,
+// link change rate) used to sanity-check generated scenarios.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mobility/mobility_model.h"
+#include "mobility/track.h"
+
+namespace manet::metrics {
+
+/// |v_a - v_b| at time t (m/s), from recorded tracks.
+double pairwise_relative_speed(const mobility::PiecewiseLinearTrack& a,
+                               const mobility::PiecewiseLinearTrack& b,
+                               sim::Time t);
+
+/// The aggregate metric of [11]: mean over all unordered pairs and over
+/// sample times t = 0, dt, 2dt, ... <= duration of the pairwise relative
+/// speed. Requires >= 2 tracks.
+double geometric_mobility_metric(
+    std::span<const mobility::PiecewiseLinearTrack> tracks,
+    sim::Time duration, sim::Time dt);
+
+/// Ground-truth connectivity statistics for a scenario at a given radio
+/// range, from sampled positions.
+struct LinkStats {
+  double mean_degree = 0.0;       // average neighbors per node per sample
+  double mean_link_lifetime = 0.0;  // seconds a link stays up, on average
+  std::uint64_t link_changes = 0;   // total up->down + down->up transitions
+  std::uint64_t links_observed = 0; // distinct (pair, up-interval) episodes
+};
+
+LinkStats link_stats(std::span<const mobility::PiecewiseLinearTrack> tracks,
+                     double range_m, sim::Time duration, sim::Time dt);
+
+}  // namespace manet::metrics

@@ -1,0 +1,33 @@
+#include "metrics/relative_mobility.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace manet::metrics {
+
+double relative_mobility_db(double rx_new_w, double rx_old_w) {
+  MANET_CHECK(rx_new_w > 0.0 && rx_old_w > 0.0,
+              "received powers must be positive: new=" << rx_new_w
+                                                       << " old=" << rx_old_w);
+  return 10.0 * std::log10(rx_new_w / rx_old_w);
+}
+
+std::vector<double> collect_relative_mobility(const net::NeighborTable& table,
+                                              sim::Time now, double max_gap,
+                                              double timeout) {
+  std::vector<double> samples;
+  samples.reserve(table.size());
+  for (const net::NeighborEntry* e : table.entries_by_id()) {
+    if (e->last_heard < now - timeout) {
+      continue;  // effectively gone; purge will drop it
+    }
+    if (!e->has_successive_pair(max_gap)) {
+      continue;  // missed a beacon in the window: excluded (paper §3.1)
+    }
+    samples.push_back(relative_mobility_db(e->last_rx_w, e->prev_rx_w));
+  }
+  return samples;
+}
+
+}  // namespace manet::metrics

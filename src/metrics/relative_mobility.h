@@ -1,0 +1,32 @@
+// The paper's pairwise relative mobility metric (§3.1, eq. 1):
+//
+//   M_rel^Y(X) = 10 * log10( RxPr_new^{X->Y} / RxPr_old^{X->Y} )   [dB]
+//
+// computed at receiver Y from the received powers of two successive Hello
+// transmissions of neighbor X. Negative = moving apart, positive =
+// approaching. Under Friis free space this equals 20*log10(d_old/d_new) —
+// a pure function of the distance ratio, needing no GPS or velocity.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/neighbor_table.h"
+#include "sim/event_queue.h"
+
+namespace manet::metrics {
+
+/// Eq. (1). Both powers must be positive.
+double relative_mobility_db(double rx_new_w, double rx_old_w);
+
+/// Extracts one eq.-(1) sample per eligible neighbor from a neighbor table.
+/// Eligible = still alive at `now` (heard within `timeout`) and with two
+/// successive receptions no further than `max_gap` apart — the paper's
+/// heuristic that excludes nodes which did not participate in two
+/// successive transmissions during the window. Samples are ordered by
+/// neighbor id (deterministic).
+std::vector<double> collect_relative_mobility(const net::NeighborTable& table,
+                                              sim::Time now, double max_gap,
+                                              double timeout);
+
+}  // namespace manet::metrics

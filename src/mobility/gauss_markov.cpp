@@ -1,0 +1,50 @@
+#include "mobility/gauss_markov.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.h"
+
+namespace manet::mobility {
+
+GaussMarkov::GaussMarkov(const GaussMarkovParams& params, util::Rng rng)
+    : params_(params), rng_(std::move(rng)) {
+  MANET_CHECK(params_.alpha >= 0.0 && params_.alpha < 1.0,
+              "alpha=" << params_.alpha);
+  MANET_CHECK(params_.mean_speed >= 0.0);
+  MANET_CHECK(params_.sigma >= 0.0);
+  MANET_CHECK(params_.step > 0.0);
+  const double theta = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  v_mean_ = geom::Vec2{std::cos(theta), std::sin(theta)} * params_.mean_speed;
+  v_ = v_mean_;
+  set_initial_leg(step_leg(0.0, params_.field.sample(rng_)));
+}
+
+LegBasedModel::Leg GaussMarkov::step_leg(sim::Time t_begin, geom::Vec2 from) {
+  const double a = params_.alpha;
+  const double noise = params_.sigma * std::sqrt(1.0 - a * a);
+  v_.x = a * v_.x + (1.0 - a) * v_mean_.x + noise * rng_.normal(0.0, 1.0);
+  v_.y = a * v_.y + (1.0 - a) * v_mean_.y + noise * rng_.normal(0.0, 1.0);
+
+  geom::Vec2 to = from + v_ * params_.step;
+  if (!params_.field.contains(to)) {
+    // Bounce: reflect position and flip the corresponding velocity and
+    // mean-heading components so the process drifts back inside.
+    geom::Vec2 dir = v_;
+    to = params_.field.reflect(to, dir);
+    if ((dir.x > 0.0) != (v_.x > 0.0)) {
+      v_mean_.x = -v_mean_.x;
+    }
+    if ((dir.y > 0.0) != (v_.y > 0.0)) {
+      v_mean_.y = -v_mean_.y;
+    }
+    v_ = dir;
+  }
+  return Leg{t_begin, t_begin + params_.step, from, to};
+}
+
+LegBasedModel::Leg GaussMarkov::next_leg(const Leg& prev) {
+  return step_leg(prev.t_end, prev.to);
+}
+
+}  // namespace manet::mobility

@@ -1,0 +1,79 @@
+#include "mobility/highway.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace manet::mobility {
+
+HighwayVehicle::HighwayVehicle(const HighwayParams& params, int lane,
+                               util::Rng rng)
+    : params_(params), lane_(lane), rng_(std::move(rng)) {
+  MANET_CHECK(params_.length > 0.0);
+  MANET_CHECK(params_.lanes_per_direction > 0);
+  MANET_CHECK(lane >= 0 && lane < 2 * params_.lanes_per_direction,
+              "lane=" << lane);
+  MANET_CHECK(params_.mean_speed > 0.0);
+  MANET_CHECK(params_.update_step > 0.0);
+  MANET_CHECK(params_.jitter_alpha >= 0.0 && params_.jitter_alpha < 1.0);
+  dir_ = lane < params_.lanes_per_direction ? +1 : -1;
+  // Lane 0 is the innermost +x lane; opposite-direction lanes sit above.
+  lane_y_ = params_.lane_width * (0.5 + static_cast<double>(lane));
+  cruise_ = std::max(1.0, rng_.normal(params_.mean_speed,
+                                      params_.speed_stddev));
+  const double x0 = rng_.uniform(0.0, params_.length);
+  set_initial_leg(step_leg(0.0, x0));
+}
+
+LegBasedModel::Leg HighwayVehicle::step_leg(sim::Time t_begin, double x) {
+  const double a = params_.jitter_alpha;
+  jitter_ = a * jitter_ +
+            params_.jitter_sigma * std::sqrt(1.0 - a * a) *
+                rng_.normal(0.0, 1.0);
+  const double speed = std::max(1.0, cruise_ + jitter_);
+  double span = params_.update_step;
+  double x_end = x + dir_ * speed * span;
+  // Truncate at the segment end; the *next* leg re-enters from the other end.
+  if (x_end > params_.length) {
+    span = std::max((params_.length - x) / speed, 1e-6);
+    x_end = params_.length;
+  } else if (x_end < 0.0) {
+    span = std::max(x / speed, 1e-6);
+    x_end = 0.0;
+  }
+  return Leg{t_begin, t_begin + span, geom::Vec2{x, lane_y_},
+             geom::Vec2{x_end, lane_y_}};
+}
+
+LegBasedModel::Leg HighwayVehicle::next_leg(const Leg& prev) {
+  double x = prev.to.x;
+  // Re-entry: a vehicle that left one end appears at the other end (a fresh
+  // arrival); legs are continuous in time but may jump in space here.
+  if (dir_ > 0 && x >= params_.length) {
+    x = 0.0;
+  } else if (dir_ < 0 && x <= 0.0) {
+    x = params_.length;
+  }
+  return step_leg(prev.t_end, x);
+}
+
+std::vector<std::unique_ptr<MobilityModel>> make_highway(
+    const HighwayParams& params, std::size_t n, util::Rng rng) {
+  std::vector<std::unique_ptr<MobilityModel>> out;
+  out.reserve(n);
+  const int lanes = 2 * params.lanes_per_direction;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int lane = static_cast<int>(i % static_cast<std::size_t>(lanes));
+    out.push_back(std::make_unique<HighwayVehicle>(
+        params, lane, rng.substream("vehicle", i)));
+  }
+  return out;
+}
+
+geom::Rect highway_field(const HighwayParams& params) {
+  return geom::Rect(params.length,
+                    params.lane_width * 2.0 * params.lanes_per_direction);
+}
+
+}  // namespace manet::mobility

@@ -1,0 +1,106 @@
+#include "mobility/manhattan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace manet::mobility {
+
+Manhattan::Manhattan(const ManhattanParams& params, util::Rng rng)
+    : params_(params), rng_(std::move(rng)) {
+  MANET_CHECK(params_.block_size > 0.0);
+  MANET_CHECK(params_.block_size <= params_.field.width &&
+                  params_.block_size <= params_.field.height,
+              "block larger than the field");
+  MANET_CHECK(params_.min_speed > 0.0 &&
+              params_.min_speed <= params_.max_speed);
+  MANET_CHECK(params_.turn_probability >= 0.0 &&
+              params_.turn_probability <= 1.0);
+  MANET_CHECK(params_.speed_epoch > 0.0);
+  streets_x_ = static_cast<int>(params_.field.width / params_.block_size) + 1;
+  streets_y_ =
+      static_cast<int>(params_.field.height / params_.block_size) + 1;
+
+  const geom::Vec2 start{
+      street_coord(static_cast<int>(rng_.index(
+          static_cast<std::size_t>(streets_x_)))),
+      street_coord(static_cast<int>(rng_.index(
+          static_cast<std::size_t>(streets_y_))))};
+  speed_ = rng_.uniform(params_.min_speed, params_.max_speed);
+  epoch_left_ = params_.speed_epoch;
+  dir_ = geom::Vec2{1.0, 0.0};  // placeholder; choose a legal one:
+  choose_direction(start);
+  set_initial_leg(make_leg(0.0, start));
+}
+
+double Manhattan::street_coord(int index) const {
+  return params_.block_size * static_cast<double>(index);
+}
+
+bool Manhattan::at_intersection(geom::Vec2 p) const {
+  const auto on_grid = [&](double v) {
+    const double r = std::fmod(v, params_.block_size);
+    return r < 1e-6 || params_.block_size - r < 1e-6;
+  };
+  return on_grid(p.x) && on_grid(p.y);
+}
+
+void Manhattan::choose_direction(geom::Vec2 at) {
+  MANET_ASSERT(at_intersection(at));
+  const std::vector<geom::Vec2> all = {
+      {1.0, 0.0}, {-1.0, 0.0}, {0.0, 1.0}, {0.0, -1.0}};
+  std::vector<geom::Vec2> legal;
+  for (const auto d : all) {
+    const geom::Vec2 next = at + d * params_.block_size;
+    if (next.x >= -1e-6 && next.x <= params_.field.width + 1e-6 &&
+        next.y >= -1e-6 && next.y <= params_.field.height + 1e-6) {
+      legal.push_back(d);
+    }
+  }
+  MANET_ASSERT(!legal.empty(), "isolated intersection");
+
+  const auto contains = [&legal](geom::Vec2 d) {
+    return std::find(legal.begin(), legal.end(), d) != legal.end();
+  };
+  std::vector<geom::Vec2> perps;
+  for (const auto d : legal) {
+    if (std::abs(d.dot(dir_)) < 0.5) {
+      perps.push_back(d);
+    }
+  }
+
+  const bool straight_ok = contains(dir_);
+  if (straight_ok &&
+      (perps.empty() || !rng_.bernoulli(params_.turn_probability))) {
+    return;  // keep going straight
+  }
+  if (!perps.empty()) {
+    dir_ = perps[rng_.index(perps.size())];
+    return;
+  }
+  if (straight_ok) {
+    return;
+  }
+  dir_ = dir_ * -1.0;  // dead end: u-turn
+  MANET_ASSERT(contains(dir_));
+}
+
+LegBasedModel::Leg Manhattan::make_leg(sim::Time t_begin, geom::Vec2 from) {
+  if (epoch_left_ <= 0.0) {
+    speed_ = rng_.uniform(params_.min_speed, params_.max_speed);
+    epoch_left_ = params_.speed_epoch;
+  }
+  const geom::Vec2 to = from + dir_ * params_.block_size;
+  const double span = std::max(params_.block_size / speed_, 1e-6);
+  epoch_left_ -= span;
+  return Leg{t_begin, t_begin + span, from, to};
+}
+
+LegBasedModel::Leg Manhattan::next_leg(const Leg& prev) {
+  choose_direction(prev.to);
+  return make_leg(prev.t_end, prev.to);
+}
+
+}  // namespace manet::mobility

@@ -1,0 +1,124 @@
+#include "mobility/random_walk.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/assert.h"
+
+namespace manet::mobility {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Time until a point moving at velocity v from p exits the field, or +inf
+// if it never does.
+double time_to_boundary(const geom::Rect& field, geom::Vec2 p, geom::Vec2 v) {
+  double t = std::numeric_limits<double>::infinity();
+  if (v.x > kEps) {
+    t = std::min(t, (field.width - p.x) / v.x);
+  } else if (v.x < -kEps) {
+    t = std::min(t, -p.x / v.x);
+  }
+  if (v.y > kEps) {
+    t = std::min(t, (field.height - p.y) / v.y);
+  } else if (v.y < -kEps) {
+    t = std::min(t, -p.y / v.y);
+  }
+  return std::max(t, 0.0);
+}
+
+geom::Vec2 unit_heading(util::Rng& rng) {
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  return {std::cos(theta), std::sin(theta)};
+}
+
+// Flips heading components that point out of the field at position p.
+geom::Vec2 reflect_heading(const geom::Rect& field, geom::Vec2 p,
+                           geom::Vec2 dir) {
+  if ((p.x <= kEps && dir.x < 0.0) ||
+      (p.x >= field.width - kEps && dir.x > 0.0)) {
+    dir.x = -dir.x;
+  }
+  if ((p.y <= kEps && dir.y < 0.0) ||
+      (p.y >= field.height - kEps && dir.y > 0.0)) {
+    dir.y = -dir.y;
+  }
+  return dir;
+}
+
+}  // namespace
+
+RandomWalk::RandomWalk(const RandomWalkParams& params, util::Rng rng)
+    : params_(params), rng_(std::move(rng)) {
+  MANET_CHECK(params_.max_speed > 0.0);
+  MANET_CHECK(params_.min_speed > 0.0 &&
+              params_.min_speed <= params_.max_speed);
+  MANET_CHECK(params_.epoch > 0.0);
+  dir_ = unit_heading(rng_);
+  speed_ = rng_.uniform(params_.min_speed, params_.max_speed);
+  epoch_left_ = params_.epoch;
+  set_initial_leg(make_leg(0.0, params_.field.sample(rng_)));
+}
+
+LegBasedModel::Leg RandomWalk::make_leg(sim::Time t_begin, geom::Vec2 from) {
+  const geom::Vec2 v = dir_ * speed_;
+  double span = std::min(epoch_left_, time_to_boundary(params_.field, from, v));
+  span = std::max(span, 1e-6);
+  epoch_left_ -= span;
+  const geom::Vec2 to = params_.field.clamp(from + v * span);
+  return Leg{t_begin, t_begin + span, from, to};
+}
+
+LegBasedModel::Leg RandomWalk::next_leg(const Leg& prev) {
+  if (epoch_left_ <= kEps) {
+    // Heading epoch over: redraw heading and speed.
+    dir_ = unit_heading(rng_);
+    speed_ = rng_.uniform(params_.min_speed, params_.max_speed);
+    epoch_left_ = params_.epoch;
+  }
+  // If the previous leg ended on a wall, bounce.
+  dir_ = reflect_heading(params_.field, prev.to, dir_);
+  return make_leg(prev.t_end, prev.to);
+}
+
+RandomDirection::RandomDirection(const RandomDirectionParams& params,
+                                 util::Rng rng)
+    : params_(params), rng_(std::move(rng)) {
+  MANET_CHECK(params_.max_speed > 0.0);
+  MANET_CHECK(params_.min_speed > 0.0 &&
+              params_.min_speed <= params_.max_speed);
+  MANET_CHECK(params_.pause_time >= 0.0);
+  set_initial_leg(travel_to_boundary(0.0, params_.field.sample(rng_)));
+  last_was_travel_ = true;
+}
+
+LegBasedModel::Leg RandomDirection::travel_to_boundary(sim::Time t_begin,
+                                                       geom::Vec2 from) {
+  const double speed = rng_.uniform(params_.min_speed, params_.max_speed);
+  // Redraw until the heading actually leads into the interior (a heading
+  // along/out of a wall yields a ~zero travel time).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const geom::Vec2 dir = unit_heading(rng_);
+    const double t_hit =
+        time_to_boundary(params_.field, from, dir * speed);
+    if (t_hit > 1e-6 && std::isfinite(t_hit)) {
+      const geom::Vec2 to = params_.field.clamp(from + dir * speed * t_hit);
+      return Leg{t_begin, t_begin + t_hit, from, to};
+    }
+  }
+  // Degenerate geometry (should not happen on a proper Rect): idle briefly.
+  return Leg{t_begin, t_begin + 1.0, from, from};
+}
+
+LegBasedModel::Leg RandomDirection::next_leg(const Leg& prev) {
+  if (last_was_travel_ && params_.pause_time > 0.0) {
+    last_was_travel_ = false;
+    return Leg{prev.t_end, prev.t_end + params_.pause_time, prev.to, prev.to};
+  }
+  last_was_travel_ = true;
+  return travel_to_boundary(prev.t_end, prev.to);
+}
+
+}  // namespace manet::mobility

@@ -1,0 +1,42 @@
+#include "mobility/random_waypoint.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace manet::mobility {
+
+RandomWaypoint::RandomWaypoint(const RandomWaypointParams& params,
+                               util::Rng rng)
+    : params_(params), rng_(std::move(rng)) {
+  MANET_CHECK(params_.max_speed > 0.0, "max_speed=" << params_.max_speed);
+  MANET_CHECK(params_.min_speed > 0.0 && params_.min_speed <= params_.max_speed,
+              "min_speed=" << params_.min_speed);
+  MANET_CHECK(params_.pause_time >= 0.0);
+  initial_ = params_.field.sample(rng_);
+  // The itinerary starts with a travel leg from the initial position.
+  set_initial_leg(travel_leg(0.0, initial_));
+  last_was_travel_ = true;
+}
+
+LegBasedModel::Leg RandomWaypoint::travel_leg(sim::Time t_begin,
+                                              geom::Vec2 from) {
+  const geom::Vec2 dest = params_.field.sample(rng_);
+  const double speed = rng_.uniform(params_.min_speed, params_.max_speed);
+  const double dist = geom::distance(from, dest);
+  // A destination that coincides with the source degenerates to a micro
+  // pause; guard the leg span so it stays positive.
+  const double span = std::max(dist / speed, 1e-6);
+  return Leg{t_begin, t_begin + span, from, dest};
+}
+
+LegBasedModel::Leg RandomWaypoint::next_leg(const Leg& prev) {
+  if (last_was_travel_ && params_.pause_time > 0.0) {
+    last_was_travel_ = false;
+    return Leg{prev.t_end, prev.t_end + params_.pause_time, prev.to, prev.to};
+  }
+  last_was_travel_ = true;
+  return travel_leg(prev.t_end, prev.to);
+}
+
+}  // namespace manet::mobility

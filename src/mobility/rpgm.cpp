@@ -1,0 +1,101 @@
+#include "mobility/rpgm.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.h"
+
+namespace manet::mobility {
+
+RpgmGroup::RpgmGroup(const RpgmParams& params, util::Rng rng)
+    : params_(params) {
+  MANET_CHECK(params_.duration > 0.0);
+  MANET_CHECK(params_.center_max_speed > 0.0);
+  MANET_CHECK(params_.center_min_speed > 0.0 &&
+              params_.center_min_speed <= params_.center_max_speed);
+  MANET_CHECK(params_.offset_radius >= 0.0);
+  MANET_CHECK(params_.offset_speed >= 0.0);
+
+  // Materialize a random-waypoint itinerary for the reference point.
+  geom::Vec2 pos = params_.field.sample(rng);
+  sim::Time t = 0.0;
+  track_.append(t, pos);
+  while (t < params_.duration) {
+    const geom::Vec2 dest = params_.field.sample(rng);
+    const double speed =
+        rng.uniform(params_.center_min_speed, params_.center_max_speed);
+    const double span =
+        std::max(geom::distance(pos, dest) / speed, 1e-6);
+    t += span;
+    pos = dest;
+    track_.append(t, pos);
+    if (params_.center_pause > 0.0) {
+      t += params_.center_pause;
+      track_.append(t, pos);
+    }
+  }
+}
+
+RpgmMember::RpgmMember(std::shared_ptr<const RpgmGroup> group, util::Rng rng)
+    : group_(std::move(group)), rng_(std::move(rng)) {
+  MANET_CHECK(group_ != nullptr);
+  // Initial offset: uniform in the offset disk.
+  const double r = group_->params().offset_radius * std::sqrt(rng_.uniform());
+  const double theta = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  off_from_ = off_to_ = geom::Vec2{r * std::cos(theta), r * std::sin(theta)};
+  off_t0_ = off_t1_ = 0.0;
+}
+
+void RpgmMember::next_offset_leg() {
+  const auto& p = group_->params();
+  const double r = p.offset_radius * std::sqrt(rng_.uniform());
+  const double theta = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  const geom::Vec2 target{r * std::cos(theta), r * std::sin(theta)};
+  const double dist = geom::distance(off_to_, target);
+  const double span =
+      p.offset_speed > 0.0 ? std::max(dist / p.offset_speed, 1e-6) : 1.0;
+  off_from_ = off_to_;
+  off_to_ = target;
+  off_t0_ = off_t1_;
+  off_t1_ = off_t0_ + span;
+}
+
+geom::Vec2 RpgmMember::offset(sim::Time t) {
+  MANET_ASSERT(t >= off_t0_ - 1e-9, "non-monotonic RPGM query");
+  while (t > off_t1_) {
+    next_offset_leg();
+  }
+  if (off_t1_ <= off_t0_ || t <= off_t0_) {
+    return off_from_;
+  }
+  const double frac = (t - off_t0_) / (off_t1_ - off_t0_);
+  return geom::lerp(off_from_, off_to_, std::min(frac, 1.0));
+}
+
+geom::Vec2 RpgmMember::position(sim::Time t) {
+  return group_->params().field.clamp(group_->center(t) + offset(t));
+}
+
+geom::Vec2 RpgmMember::velocity(sim::Time t) {
+  // Dominated by the group velocity; offset drift contributes its leg slope.
+  geom::Vec2 v = group_->center_velocity(t);
+  if (off_t1_ > off_t0_ && t >= off_t0_ && t <= off_t1_) {
+    v += (off_to_ - off_from_) / (off_t1_ - off_t0_);
+  }
+  return v;
+}
+
+std::vector<std::unique_ptr<MobilityModel>> make_rpgm_group(
+    const RpgmParams& params, std::size_t n_members, util::Rng rng) {
+  MANET_CHECK(n_members > 0, "empty RPGM group");
+  auto group = std::make_shared<const RpgmGroup>(params, rng.substream("center"));
+  std::vector<std::unique_ptr<MobilityModel>> members;
+  members.reserve(n_members);
+  for (std::size_t i = 0; i < n_members; ++i) {
+    members.push_back(
+        std::make_unique<RpgmMember>(group, rng.substream("member", i)));
+  }
+  return members;
+}
+
+}  // namespace manet::mobility

@@ -1,0 +1,33 @@
+// ns-2 / CMU movement-scenario interop ("setdest" format) — the file
+// format the paper's own scenarios were generated in:
+//
+//   $node_(0) set X_ 83.36
+//   $node_(0) set Y_ 239.44
+//   $node_(0) set Z_ 0.0
+//   $ns_ at 2.00 "$node_(0) setdest 100.00 200.00 10.00"
+//
+// Import converts a script into per-node PiecewiseLinearTracks (honoring
+// mid-flight redirections exactly as the ns-2 mobile node does); export
+// writes our tracks back out as a script ns-2 would accept. This lets the
+// repository exchange scenarios with the original ns-2 tooling.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "mobility/track.h"
+
+namespace manet::mobility {
+
+/// Parses a setdest movement script. `duration` bounds the final leg of
+/// nodes still in flight at the end. Throws CheckError (with line numbers)
+/// on malformed input. Node indices must be dense from 0.
+std::vector<PiecewiseLinearTrack> read_setdest(std::istream& is,
+                                               double duration);
+
+/// Writes tracks as a setdest script (initial positions + one setdest per
+/// breakpoint, with the speed implied by the segment).
+void write_setdest(std::ostream& os,
+                   const std::vector<PiecewiseLinearTrack>& tracks);
+
+}  // namespace manet::mobility

@@ -1,0 +1,83 @@
+#include "mobility/trace.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace manet::mobility {
+
+PiecewiseLinearTrack record_track(MobilityModel& model, sim::Time duration,
+                                  sim::Time dt) {
+  MANET_CHECK(duration >= 0.0 && dt > 0.0,
+              "duration=" << duration << " dt=" << dt);
+  PiecewiseLinearTrack track;
+  sim::Time t = 0.0;
+  while (t < duration) {
+    track.append(t, model.position(t));
+    t += dt;
+  }
+  track.append(duration, model.position(duration));
+  return track;
+}
+
+TraceModel::TraceModel(std::shared_ptr<const PiecewiseLinearTrack> track)
+    : track_(std::move(track)) {
+  MANET_CHECK(track_ != nullptr && !track_->empty(),
+              "trace model needs a non-empty track");
+}
+
+TraceModel::TraceModel(PiecewiseLinearTrack track)
+    : TraceModel(std::make_shared<const PiecewiseLinearTrack>(
+          std::move(track))) {}
+
+void write_traces_csv(std::ostream& os,
+                      const std::vector<PiecewiseLinearTrack>& tracks) {
+  os << "node,t,x,y\n";
+  os.precision(12);
+  for (std::size_t n = 0; n < tracks.size(); ++n) {
+    for (const auto& p : tracks[n].points()) {
+      os << n << ',' << p.t << ',' << p.pos.x << ',' << p.pos.y << '\n';
+    }
+  }
+}
+
+std::vector<PiecewiseLinearTrack> read_traces_csv(std::istream& is) {
+  std::vector<PiecewiseLinearTrack> tracks;
+  std::string line;
+  bool first = true;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    if (first) {
+      first = false;
+      MANET_CHECK(trimmed == "node,t,x,y",
+                  "bad trace header: '" << trimmed << "'");
+      continue;
+    }
+    const auto fields = util::split(trimmed, ',');
+    MANET_CHECK(fields.size() == 4,
+                "trace line " << line_no << ": expected 4 fields");
+    const auto num = [&](const std::string& s) {
+      char* end = nullptr;
+      const double v = std::strtod(s.c_str(), &end);
+      MANET_CHECK(end == s.c_str() + s.size(),
+                  "trace line " << line_no << ": bad number '" << s << "'");
+      return v;
+    };
+    const auto node = static_cast<std::size_t>(num(fields[0]));
+    if (node >= tracks.size()) {
+      tracks.resize(node + 1);
+    }
+    tracks[node].append(num(fields[1]), {num(fields[2]), num(fields[3])});
+  }
+  return tracks;
+}
+
+}  // namespace manet::mobility

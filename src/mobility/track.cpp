@@ -1,0 +1,59 @@
+#include "mobility/track.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace manet::mobility {
+
+void PiecewiseLinearTrack::append(sim::Time t, geom::Vec2 pos) {
+  MANET_CHECK(points_.empty() || t > points_.back().t,
+              "track breakpoints must be strictly increasing: " << t);
+  points_.push_back({t, pos});
+}
+
+sim::Time PiecewiseLinearTrack::begin_time() const {
+  MANET_CHECK(!points_.empty());
+  return points_.front().t;
+}
+
+sim::Time PiecewiseLinearTrack::end_time() const {
+  MANET_CHECK(!points_.empty());
+  return points_.back().t;
+}
+
+std::size_t PiecewiseLinearTrack::segment_of(sim::Time t) const {
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](sim::Time lhs, const Point& p) { return lhs < p.t; });
+  MANET_ASSERT(it != points_.begin());
+  return static_cast<std::size_t>(it - points_.begin()) - 1;
+}
+
+geom::Vec2 PiecewiseLinearTrack::position(sim::Time t) const {
+  MANET_CHECK(!points_.empty(), "position() on empty track");
+  if (t <= points_.front().t) {
+    return points_.front().pos;
+  }
+  if (t >= points_.back().t) {
+    return points_.back().pos;
+  }
+  const std::size_t i = segment_of(t);
+  const Point& a = points_[i];
+  const Point& b = points_[i + 1];
+  const double frac = (t - a.t) / (b.t - a.t);
+  return geom::lerp(a.pos, b.pos, frac);
+}
+
+geom::Vec2 PiecewiseLinearTrack::velocity(sim::Time t) const {
+  MANET_CHECK(!points_.empty(), "velocity() on empty track");
+  if (points_.size() < 2 || t < points_.front().t || t >= points_.back().t) {
+    return {};
+  }
+  const std::size_t i = segment_of(t);
+  const Point& a = points_[i];
+  const Point& b = points_[i + 1];
+  return (b.pos - a.pos) / (b.t - a.t);
+}
+
+}  // namespace manet::mobility

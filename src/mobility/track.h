@@ -1,0 +1,45 @@
+// PiecewiseLinearTrack: an explicit itinerary of (time, position) breakpoints
+// with linear interpolation. Unlike LegBasedModel it supports queries at
+// *any* time within its span, so it can be shared by several consumers whose
+// query times interleave (e.g. the RPGM group center) and backs trace replay.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+#include "sim/event_queue.h"
+
+namespace manet::mobility {
+
+class PiecewiseLinearTrack {
+ public:
+  /// Appends a breakpoint; times must be strictly increasing.
+  void append(sim::Time t, geom::Vec2 pos);
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  sim::Time begin_time() const;
+  sim::Time end_time() const;
+
+  /// Position at time t; clamps to the first/last breakpoint outside the
+  /// span. Requires a non-empty track.
+  geom::Vec2 position(sim::Time t) const;
+
+  /// Velocity of the segment containing t (zero outside the span or on a
+  /// single-point track).
+  geom::Vec2 velocity(sim::Time t) const;
+
+  struct Point {
+    sim::Time t;
+    geom::Vec2 pos;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  /// Index of the last breakpoint with time <= t (requires t >= begin).
+  std::size_t segment_of(sim::Time t) const;
+
+  std::vector<Point> points_;
+};
+
+}  // namespace manet::mobility

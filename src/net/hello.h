@@ -1,0 +1,49 @@
+// The periodic "Hello" / "I'm Alive" beacon (paper §3.2). Carries the
+// sender's clustering advertisement: its aggregate mobility metric M (the
+// 8-byte overhead the paper quantifies), its cluster role, its clusterhead,
+// and its neighbor list (the Lowest-ID literature [4, 5] has nodes broadcast
+// their neighbor set; Max-Connectivity derives degree from it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/types.h"
+
+namespace manet::net {
+
+/// Role advertised in a Hello. Mirrors the protocol states of §3.2.
+enum class AdvertRole : std::uint8_t {
+  kUndecided = 0,
+  kHead = 1,
+  kMember = 2,
+};
+
+struct HelloPacket {
+  NodeId sender = kInvalidNode;
+  std::uint32_t seq = 0;
+
+  /// Advertised clustering weight. For MOBIC this is the aggregate local
+  /// mobility metric M of eq. (2) ("represented by a double precision
+  /// floating point number", §3.2); Lowest-ID ignores it.
+  double weight = 0.0;
+
+  AdvertRole role = AdvertRole::kUndecided;
+
+  /// The sender's clusterhead (itself if role == kHead); kInvalidNode if
+  /// undecided.
+  NodeId cluster_head = kInvalidNode;
+
+  /// The sender's current 1-hop neighbor set (excluding itself).
+  std::vector<NodeId> neighbors;
+
+  /// Wire size in bytes: 4 (sender) + 4 (seq) + 1 (role) + 4 (clusterhead)
+  /// + 2 (neighbor count) + 4 per neighbor, plus the paper's 8-byte mobility
+  /// field.
+  std::size_t serialized_bytes() const {
+    return 4 + 4 + 1 + 4 + 2 + 4 * neighbors.size() + 8;
+  }
+};
+
+}  // namespace manet::net

@@ -1,0 +1,30 @@
+// Generic one-hop message facility, used by protocols layered above the
+// Hello beaconing (e.g. the CBRP-style routing extension). A Message is
+// either a local broadcast (dst == kInvalidNode) or a one-hop unicast; the
+// channel applies the same geometry/fading/loss rules as Hello delivery,
+// and unicasts report link-layer success (the 802.11 ACK abstraction).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/types.h"
+
+namespace manet::net {
+
+struct Message {
+  /// Immediate (one-hop) sender.
+  NodeId src = kInvalidNode;
+  /// One-hop destination; kInvalidNode broadcasts to every node in range.
+  NodeId dst = kInvalidNode;
+  /// Protocol-defined discriminator (tells the receiver how to interpret
+  /// `body`).
+  int kind = 0;
+  /// Protocol-defined immutable payload; receivers std::static_pointer_cast
+  /// it based on `kind`.
+  std::shared_ptr<const void> body;
+  /// Wire size for overhead accounting.
+  std::size_t bytes = 0;
+};
+
+}  // namespace manet::net

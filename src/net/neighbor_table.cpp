@@ -1,0 +1,75 @@
+#include "net/neighbor_table.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace manet::net {
+
+void NeighborTable::on_hello(sim::Time t, const HelloPacket& pkt,
+                             double rx_w) {
+  MANET_CHECK(pkt.sender != kInvalidNode, "hello without sender");
+  MANET_CHECK(rx_w > 0.0, "non-positive rx power");
+  NeighborEntry& e = entries_[pkt.sender];
+  if (e.id == kInvalidNode) {
+    e.id = pkt.sender;
+  } else {
+    MANET_ASSERT(t >= e.last_heard, "hello from the past");
+    e.prev_heard = e.last_heard;
+    e.prev_rx_w = e.last_rx_w;
+    e.has_prev = true;
+  }
+  e.last_heard = t;
+  e.last_rx_w = rx_w;
+  e.last_seq = pkt.seq;
+  e.weight = pkt.weight;
+  e.role = pkt.role;
+  e.cluster_head = pkt.cluster_head;
+  e.degree = static_cast<std::uint16_t>(
+      std::min<std::size_t>(pkt.neighbors.size(), 0xFFFF));
+}
+
+std::size_t NeighborTable::purge(sim::Time t, double timeout) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.last_heard < t - timeout) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+bool NeighborTable::erase(NodeId id) { return entries_.erase(id) > 0; }
+
+const NeighborEntry* NeighborTable::find(NodeId id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const NeighborEntry*> NeighborTable::entries_by_id() const {
+  std::vector<const NeighborEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) {
+    out.push_back(&e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NeighborEntry* a, const NeighborEntry* b) {
+              return a->id < b->id;
+            });
+  return out;
+}
+
+std::vector<NodeId> NeighborTable::ids() const {
+  std::vector<NodeId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, _] : entries_) {
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace manet::net

@@ -1,0 +1,72 @@
+// Per-node neighbor table fed by Hello receptions.
+//
+// For every neighbor it keeps the two most recent reception powers — the
+// raw material of the paper's relative mobility metric — the reception
+// times (to enforce the "two *successive* transmissions" rule), and the
+// neighbor's advertised clustering state. Entries expire after the timeout
+// period TP.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/hello.h"
+#include "net/types.h"
+#include "sim/event_queue.h"
+
+namespace manet::net {
+
+struct NeighborEntry {
+  NodeId id = kInvalidNode;
+
+  // Reception history (newest first).
+  sim::Time last_heard = 0.0;
+  sim::Time prev_heard = 0.0;
+  double last_rx_w = 0.0;
+  double prev_rx_w = 0.0;
+  bool has_prev = false;
+  std::uint32_t last_seq = 0;
+
+  // Advertised clustering state from the latest Hello.
+  double weight = 0.0;
+  AdvertRole role = AdvertRole::kUndecided;
+  NodeId cluster_head = kInvalidNode;
+  std::uint16_t degree = 0;  // size of the advertised neighbor list
+
+  /// True if the two stored receptions are successive beacons: both exist
+  /// and their spacing does not exceed `max_gap` (the paper's heuristic
+  /// excluding nodes that skipped a beacon in the window).
+  bool has_successive_pair(double max_gap) const {
+    return has_prev && (last_heard - prev_heard) <= max_gap;
+  }
+};
+
+class NeighborTable {
+ public:
+  /// Records a Hello from `pkt.sender` heard at time `t` with power `rx_w`.
+  void on_hello(sim::Time t, const HelloPacket& pkt, double rx_w);
+
+  /// Drops entries not heard since `t - timeout`. Returns how many were
+  /// dropped.
+  std::size_t purge(sim::Time t, double timeout);
+
+  /// Removes a single neighbor (used by failure-injection tests).
+  bool erase(NodeId id);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  bool contains(NodeId id) const { return entries_.count(id) > 0; }
+  const NeighborEntry* find(NodeId id) const;
+
+  /// Stable iteration: ascending neighbor id (deterministic across runs).
+  std::vector<const NeighborEntry*> entries_by_id() const;
+
+  /// Neighbor ids, ascending.
+  std::vector<NodeId> ids() const;
+
+ private:
+  std::unordered_map<NodeId, NeighborEntry> entries_;
+};
+
+}  // namespace manet::net

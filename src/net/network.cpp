@@ -1,0 +1,220 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace manet::net {
+
+namespace {
+
+// Grid cell size: coarse enough that rebuilds stay cheap, fine enough that
+// query rectangles do not degenerate to full scans at common ranges.
+double grid_cell_size(const geom::Rect& field) {
+  return std::max(25.0, std::min(field.width, field.height) / 16.0);
+}
+
+}  // namespace
+
+Network::Network(sim::Simulator& sim, radio::Medium medium, geom::Rect field,
+                 NetworkParams params, util::Rng rng)
+    : sim_(sim),
+      medium_(std::move(medium)),
+      field_(field),
+      params_(params),
+      rng_(std::move(rng)),
+      grid_(field, grid_cell_size(field)) {
+  MANET_CHECK(params_.broadcast_interval > 0.0);
+  MANET_CHECK(params_.neighbor_timeout > 0.0);
+  MANET_CHECK(params_.per_beacon_jitter >= 0.0 &&
+              params_.per_beacon_jitter < params_.broadcast_interval);
+  MANET_CHECK(params_.packet_loss >= 0.0 && params_.packet_loss <= 1.0);
+  MANET_CHECK(params_.collision_window >= 0.0);
+  MANET_CHECK(params_.delivery_delay >= 0.0);
+  MANET_CHECK(params_.speed_bound >= 0.0);
+  MANET_CHECK(params_.grid_refresh > 0.0);
+}
+
+Node& Network::add_node(std::unique_ptr<Node> node) {
+  MANET_CHECK(!started_, "add_node() after start()");
+  MANET_CHECK(node != nullptr);
+  MANET_CHECK(node->id() == nodes_.size(),
+              "node ids must be dense and in order; got "
+                  << node->id() << " at index " << nodes_.size());
+  nodes_.push_back(std::move(node));
+  return *nodes_.back();
+}
+
+void Network::add_fleet(
+    std::vector<std::unique_ptr<mobility::MobilityModel>> fleet) {
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto id = static_cast<NodeId>(nodes_.size());
+    add_node(std::make_unique<Node>(id, std::move(fleet[i]),
+                                    rng_.substream("node", id)));
+  }
+}
+
+void Network::start() {
+  MANET_CHECK(!started_, "network started twice");
+  MANET_CHECK(!nodes_.empty(), "network with no nodes");
+  started_ = true;
+  util::Rng phase_rng = rng_.substream("phase");
+  for (auto& node : nodes_) {
+    // Stagger initial beacons uniformly across the first interval.
+    node->start(*this, phase_rng.uniform(0.0, params_.broadcast_interval));
+  }
+}
+
+Node& Network::node(NodeId id) {
+  MANET_CHECK(id < nodes_.size(), "node id " << id << " out of range");
+  return *nodes_[id];
+}
+
+const Node& Network::node(NodeId id) const {
+  MANET_CHECK(id < nodes_.size(), "node id " << id << " out of range");
+  return *nodes_[id];
+}
+
+void Network::refresh_grid_if_stale() {
+  const sim::Time now = sim_.now();
+  if (snapshot_valid_ && now - snapshot_time_ <= params_.grid_refresh) {
+    return;
+  }
+  snapshot_.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    snapshot_[i] = nodes_[i]->position(now);
+  }
+  grid_.rebuild(snapshot_);
+  snapshot_time_ = now;
+  snapshot_valid_ = true;
+}
+
+void Network::broadcast(Node& sender, const HelloPacket& pkt) {
+  const sim::Time now = sim_.now();
+  ++stats_.beacons_sent;
+  stats_.bytes_sent += pkt.serialized_bytes();
+
+  refresh_grid_if_stale();
+
+  const geom::Vec2 sender_pos = sender.position(now);
+  // Pad the query radius: both endpoints may have moved since the snapshot.
+  const double staleness = now - snapshot_time_;
+  const double pad = 2.0 * params_.speed_bound * staleness + 1.0;
+  const double radius = medium_.max_delivery_range_m() + pad;
+
+  query_buf_.clear();
+  grid_.query_radius(snapshot_[sender.id()], radius, query_buf_);
+
+  std::uint32_t delivered = 0;
+  util::Rng& fading = sender.rng();
+  for (const std::size_t idx : query_buf_) {
+    Node& receiver = *nodes_[idx];
+    if (receiver.id() == sender.id() || !receiver.alive()) {
+      continue;
+    }
+    const double dist = geom::distance(sender_pos, receiver.position(now));
+    if (dist > medium_.max_delivery_range_m()) {
+      continue;
+    }
+    const auto reception = medium_.try_receive(dist, fading);
+    if (!reception.delivered) {
+      ++stats_.hellos_lost;
+      continue;
+    }
+    if (params_.packet_loss > 0.0 && fading.bernoulli(params_.packet_loss)) {
+      ++stats_.hellos_lost;
+      continue;
+    }
+    ++delivered;
+    ++stats_.hellos_delivered;
+    if (params_.delivery_delay > 0.0) {
+      auto shared = std::make_shared<HelloPacket>(pkt);
+      Node* rx = &receiver;
+      const double rx_w = reception.rx_power_w;
+      sim_.schedule_in(params_.delivery_delay,
+                       [rx, shared, rx_w] { rx->receive(*shared, rx_w); });
+    } else {
+      receiver.receive(pkt, reception.rx_power_w);
+    }
+  }
+  stats_.sum_degree_samples += delivered;
+  ++stats_.degree_samples;
+}
+
+std::size_t Network::send(Node& sender, Message msg) {
+  const sim::Time now = sim_.now();
+  msg.src = sender.id();
+  ++stats_.messages_sent;
+  stats_.message_bytes += msg.bytes;
+
+  util::Rng& fading = sender.rng();
+  const geom::Vec2 sender_pos = sender.position(now);
+
+  const auto try_deliver = [&](Node& receiver) -> bool {
+    if (!receiver.alive()) {
+      return false;
+    }
+    const double dist = geom::distance(sender_pos, receiver.position(now));
+    if (dist > medium_.max_delivery_range_m()) {
+      return false;
+    }
+    const auto reception = medium_.try_receive(dist, fading);
+    if (!reception.delivered ||
+        (params_.packet_loss > 0.0 && fading.bernoulli(params_.packet_loss))) {
+      return false;
+    }
+    ++stats_.messages_delivered;
+    Node* rx = &receiver;
+    auto shared = std::make_shared<const Message>(msg);
+    sim_.schedule_in(params_.delivery_delay,
+                     [rx, shared] { rx->receive_message(*shared); });
+    return true;
+  };
+
+  if (msg.dst != kInvalidNode) {
+    MANET_CHECK(msg.dst < nodes_.size(), "unicast to unknown node");
+    MANET_CHECK(msg.dst != sender.id(), "unicast to self");
+    return try_deliver(*nodes_[msg.dst]) ? 1 : 0;
+  }
+
+  refresh_grid_if_stale();
+  const double staleness = now - snapshot_time_;
+  const double pad = 2.0 * params_.speed_bound * staleness + 1.0;
+  query_buf_.clear();
+  grid_.query_radius(snapshot_[sender.id()],
+                     medium_.max_delivery_range_m() + pad, query_buf_);
+  std::size_t delivered = 0;
+  for (const std::size_t idx : query_buf_) {
+    if (idx == sender.id()) {
+      continue;
+    }
+    delivered += try_deliver(*nodes_[idx]) ? 1 : 0;
+  }
+  return delivered;
+}
+
+std::vector<std::vector<NodeId>> Network::true_adjacency(sim::Time t) {
+  std::vector<geom::Vec2> pos(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    pos[i] = nodes_[i]->position(t);
+  }
+  const double range = medium_.nominal_range_m();
+  std::vector<std::vector<NodeId>> adj(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      if (geom::distance(pos[i], pos[j]) <= range) {
+        adj[i].push_back(static_cast<NodeId>(j));
+        adj[j].push_back(static_cast<NodeId>(i));
+      }
+    }
+  }
+  return adj;
+}
+
+double Network::distance(NodeId a, NodeId b, sim::Time t) {
+  return geom::distance(node(a).position(t), node(b).position(t));
+}
+
+}  // namespace manet::net

@@ -1,0 +1,137 @@
+// The broadcast channel + node container: the piece of ns-2 the paper's
+// experiments actually exercise.
+//
+// Delivery model: on each Hello broadcast the channel computes the exact
+// sender/receiver positions, evaluates the propagation model, and delivers
+// to every node whose received power clears the calibrated threshold
+// (optionally after a fading draw and/or a Bernoulli loss — failure
+// injection). A spatial grid over a recent position snapshot bounds the
+// candidate set; candidates are then re-checked with exact geometry, so the
+// grid is a pure optimization (padding covers node motion since the
+// snapshot).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geom/grid_index.h"
+#include "net/node.h"
+#include "radio/medium.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace manet::net {
+
+struct NetworkParams {
+  double broadcast_interval = 2.0;  // BI, seconds (paper: 2.0)
+  double neighbor_timeout = 3.0;    // TP, seconds (paper: 3.0)
+  /// Beacons are staggered: node k first fires at a uniform phase in
+  /// [0, BI) and keeps that phase, plus a small per-beacon jitter below.
+  double per_beacon_jitter = 0.01;  // seconds of uniform jitter per beacon
+  /// Independent per-reception loss probability (failure injection; 0 = off).
+  double packet_loss = 0.0;
+  /// Simplified MAC collision model (0 = ideal MAC, the paper's setting):
+  /// a Hello arriving at a receiver within this many seconds of the
+  /// previous arrival is destroyed by the overlap (first-capture model).
+  /// A realistic value is the Hello airtime, ~0.5-2 ms at 1-2 Mb/s.
+  double collision_window = 0.0;
+  /// Fixed delivery latency (propagation + transmission of a short Hello).
+  double delivery_delay = 0.0005;  // seconds
+  /// Upper bound on node speed; pads grid queries against snapshot
+  /// staleness.
+  double speed_bound = 50.0;  // m/s
+  /// Snapshot refresh period for the spatial grid.
+  double grid_refresh = 0.5;  // seconds
+};
+
+struct NetworkStats {
+  std::uint64_t beacons_sent = 0;
+  std::uint64_t messages_sent = 0;       // protocol Messages (see send())
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t message_bytes = 0;
+  std::uint64_t hellos_delivered = 0;
+  std::uint64_t hellos_lost = 0;      // Bernoulli loss or fading below threshold
+  std::uint64_t hellos_collided = 0;  // destroyed by the collision window
+  std::uint64_t bytes_sent = 0;
+  double sum_degree_samples = 0.0;    // accumulated receiver counts
+  std::uint64_t degree_samples = 0;
+
+  double mean_degree() const {
+    return degree_samples == 0
+               ? 0.0
+               : sum_degree_samples / static_cast<double>(degree_samples);
+  }
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, radio::Medium medium, geom::Rect field,
+          NetworkParams params, util::Rng rng);
+
+  /// Adds a node (takes ownership). All nodes must be added, and agents
+  /// attached, before start().
+  Node& add_node(std::unique_ptr<Node> node);
+
+  /// Convenience: builds nodes 0..n-1 from a mobility fleet.
+  void add_fleet(std::vector<std::unique_ptr<mobility::MobilityModel>> fleet);
+
+  /// Starts every node's beacon loop (staggered phases).
+  void start();
+
+  sim::Simulator& simulator() { return sim_; }
+  const radio::Medium& medium() const { return medium_; }
+  const NetworkParams& params() const { return params_; }
+  const geom::Rect& field() const { return field_; }
+
+  std::size_t size() const { return nodes_.size(); }
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  std::vector<std::unique_ptr<Node>>& nodes() { return nodes_; }
+
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Ground-truth connectivity at time t (positions within nominal range):
+  /// used by validators and the routing experiments, not by the protocols.
+  std::vector<std::vector<NodeId>> true_adjacency(sim::Time t);
+
+  /// Exact current distance between two nodes (ground truth helper).
+  double distance(NodeId a, NodeId b, sim::Time t);
+
+  /// Books a collision-model loss (called by receiving nodes).
+  void note_collision() { ++stats_.hellos_collided; }
+
+  /// Sends a protocol Message from `sender` (msg.src is overwritten).
+  /// Broadcast (msg.dst == kInvalidNode): delivered to every alive node in
+  /// range; returns the receiver count. Unicast: delivered to msg.dst iff
+  /// in range and not lost; returns 1 on link-layer success, 0 otherwise
+  /// (the 802.11 ACK abstraction — the sender knows immediately).
+  /// Deliveries invoke the receiver agent's on_message() after the
+  /// configured delivery delay.
+  std::size_t send(Node& sender, Message msg);
+
+ private:
+  friend class Node;
+
+  /// Called by a node when its beacon timer fires.
+  void broadcast(Node& sender, const HelloPacket& pkt);
+
+  void refresh_grid_if_stale();
+
+  sim::Simulator& sim_;
+  radio::Medium medium_;
+  geom::Rect field_;
+  NetworkParams params_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+
+  geom::GridIndex grid_;
+  std::vector<geom::Vec2> snapshot_;
+  sim::Time snapshot_time_ = -1.0;
+  bool snapshot_valid_ = false;
+  std::vector<std::size_t> query_buf_;
+
+  NetworkStats stats_;
+};
+
+}  // namespace manet::net

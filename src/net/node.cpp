@@ -1,0 +1,141 @@
+#include "net/node.h"
+
+#include "net/network.h"
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace manet::net {
+
+Node::Node(NodeId id, std::unique_ptr<mobility::MobilityModel> mobility,
+           util::Rng rng)
+    : id_(id), mobility_(std::move(mobility)), rng_(std::move(rng)) {
+  MANET_CHECK(id_ != kInvalidNode, "reserved node id");
+  MANET_CHECK(mobility_ != nullptr, "node needs a mobility model");
+}
+
+void Node::set_agent(std::unique_ptr<Agent> agent) {
+  MANET_CHECK(agent != nullptr);
+  agent_ = std::move(agent);
+}
+
+Network& Node::network() {
+  MANET_CHECK(network_ != nullptr, "node not attached to a network");
+  return *network_;
+}
+
+sim::Simulator& Node::simulator() { return network().simulator(); }
+
+void Node::start(Network& network, sim::Time first_beacon_at) {
+  MANET_CHECK(network_ == nullptr, "node started twice");
+  MANET_CHECK(agent_ != nullptr, "node " << id_ << " has no agent");
+  network_ = &network;
+  alive_ = true;
+  agent_->on_attach(*this);
+  beacon_timer_ = std::make_unique<sim::PeriodicTimer>(
+      network.simulator(), [this] { beacon(); });
+  beacon_timer_->start(first_beacon_at,
+                       network.params().broadcast_interval);
+}
+
+void Node::set_beacon_period(double period) {
+  MANET_CHECK(beacon_timer_ != nullptr, "set_beacon_period() before start()");
+  beacon_timer_->set_period(period);
+}
+
+double Node::beacon_period() const {
+  MANET_CHECK(beacon_timer_ != nullptr, "beacon_period() before start()");
+  return beacon_timer_->period();
+}
+
+void Node::fail() {
+  alive_ = false;
+  if (beacon_timer_ != nullptr) {
+    beacon_timer_->stop();
+  }
+  if (network_ != nullptr && agent_ != nullptr) {
+    agent_->on_reset(*this);  // a crash loses protocol state
+  }
+}
+
+void Node::recover() {
+  MANET_CHECK(network_ != nullptr, "recover() before start()");
+  if (alive_) {
+    return;
+  }
+  alive_ = true;
+  table_ = NeighborTable();  // stale state is gone after an outage
+  const double jitter =
+      rng_.uniform(0.0, network_->params().broadcast_interval);
+  beacon_timer_->start(simulator().now() + jitter,
+                       network_->params().broadcast_interval);
+}
+
+void Node::beacon() {
+  if (!alive_) {
+    return;
+  }
+  const sim::Time now = simulator().now();
+  table_.purge(now, network_->params().neighbor_timeout);
+
+  HelloPacket pkt;
+  pkt.sender = id_;
+  pkt.seq = ++seq_;
+  pkt.neighbors = table_.ids();
+  agent_->on_beacon(*this, pkt);
+
+  // Small per-beacon jitter desynchronizes beacons that drifted into phase
+  // (the stagger is fixed at start; this models clock wobble).
+  const double jitter = network_->params().per_beacon_jitter;
+  if (jitter > 0.0) {
+    auto delayed = std::make_shared<HelloPacket>(std::move(pkt));
+    simulator().schedule_in(rng_.uniform(0.0, jitter),
+                            [this, delayed]() {
+                              if (alive_) {
+                                network_->broadcast(*this, *delayed);
+                              }
+                            });
+  } else {
+    network_->broadcast(*this, pkt);
+  }
+}
+
+void Node::receive(const HelloPacket& pkt, double rx_power_w) {
+  if (!alive_) {
+    return;
+  }
+  const sim::Time now = simulator().now();
+  // Simplified MAC collision model: an arrival overlapping the previous
+  // one (within the collision window) is destroyed. The first frame is
+  // assumed captured; the newcomer is lost but still occupies the medium.
+  const double window = network_->params().collision_window;
+  if (window > 0.0 && seen_rx_ && now - last_rx_time_ < window) {
+    last_rx_time_ = now;
+    network_->note_collision();
+    return;
+  }
+  last_rx_time_ = now;
+  seen_rx_ = true;
+  ++hellos_received_;
+  table_.on_hello(now, pkt, rx_power_w);
+  agent_->on_hello(*this, pkt, rx_power_w);
+}
+
+void Node::receive_message(const Message& msg) {
+  if (!alive_) {
+    return;
+  }
+  // Messages share the medium with Hellos: the same collision window
+  // applies to their arrivals.
+  const sim::Time now = simulator().now();
+  const double window = network_->params().collision_window;
+  if (window > 0.0 && seen_rx_ && now - last_rx_time_ < window) {
+    last_rx_time_ = now;
+    network_->note_collision();
+    return;
+  }
+  last_rx_time_ = now;
+  seen_rx_ = true;
+  agent_->on_message(*this, msg);
+}
+
+}  // namespace manet::net

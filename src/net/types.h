@@ -1,0 +1,14 @@
+// Shared network-layer identifiers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace manet::net {
+
+/// Node identifier; the Lowest-ID algorithm's total order lives on these.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace manet::net

@@ -1,0 +1,35 @@
+#include "radio/medium.h"
+
+#include "util/assert.h"
+
+namespace manet::radio {
+
+Medium::Medium(std::shared_ptr<const PropagationModel> propagation,
+               const RadioParams& radio, double nominal_range_m)
+    : propagation_(std::move(propagation)),
+      radio_(radio),
+      nominal_range_m_(nominal_range_m) {
+  MANET_CHECK(propagation_ != nullptr);
+  MANET_CHECK(nominal_range_m > 0.0, "range=" << nominal_range_m);
+  rx_threshold_w_ = propagation_->rx_power_w(radio_, nominal_range_m, nullptr);
+  MANET_CHECK(rx_threshold_w_ > 0.0 && rx_threshold_w_ < radio_.tx_power_w,
+              "degenerate threshold " << rx_threshold_w_);
+  max_range_m_ = propagation_->max_range_m(radio_, rx_threshold_w_);
+  MANET_CHECK(max_range_m_ >= nominal_range_m * 0.999,
+              "max range " << max_range_m_ << " below nominal range");
+}
+
+Medium::Reception Medium::try_receive(double distance_m,
+                                      util::Rng& fading) const {
+  Reception r;
+  r.rx_power_w = propagation_->rx_power_w(radio_, distance_m, &fading);
+  r.delivered = r.rx_power_w >= rx_threshold_w_;
+  return r;
+}
+
+Medium make_paper_medium(double nominal_range_m) {
+  return Medium(std::make_shared<FreeSpace>(), RadioParams{},
+                nominal_range_m);
+}
+
+}  // namespace manet::radio

@@ -1,0 +1,151 @@
+#include "radio/propagation.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace manet::radio {
+
+namespace {
+
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+
+double friis(const RadioParams& r, double d) {
+  MANET_ASSERT(d >= 0.0, "distance=" << d);
+  if (d <= 0.0) {
+    return r.tx_power_w;
+  }
+  const double lambda = r.wavelength_m();
+  const double denom = kFourPi * d;
+  return r.tx_power_w * r.antenna_gain_tx * r.antenna_gain_rx * lambda *
+         lambda / (denom * denom * r.system_loss);
+}
+
+// Inverts friis() for distance: d = lambda/(4 pi) * sqrt(Pt Gt Gr / (Pr L)).
+double friis_inverse(const RadioParams& r, double rx_w) {
+  MANET_CHECK(rx_w > 0.0, "threshold must be positive");
+  const double lambda = r.wavelength_m();
+  return lambda / kFourPi *
+         std::sqrt(r.tx_power_w * r.antenna_gain_tx * r.antenna_gain_rx /
+                   (rx_w * r.system_loss));
+}
+
+}  // namespace
+
+double FreeSpace::rx_power_w(const RadioParams& radio, double distance_m,
+                             util::Rng*) const {
+  return friis(radio, distance_m);
+}
+
+double FreeSpace::max_range_m(const RadioParams& radio,
+                              double threshold_w) const {
+  return friis_inverse(radio, threshold_w);
+}
+
+double TwoRayGround::crossover_distance_m(const RadioParams& radio) {
+  const double h = radio.antenna_height_m;
+  return kFourPi * h * h / radio.wavelength_m();
+}
+
+double TwoRayGround::rx_power_w(const RadioParams& radio, double distance_m,
+                                util::Rng*) const {
+  const double dc = crossover_distance_m(radio);
+  if (distance_m <= dc) {
+    return friis(radio, distance_m);
+  }
+  const double h = radio.antenna_height_m;
+  const double d2 = distance_m * distance_m;
+  return radio.tx_power_w * radio.antenna_gain_tx * radio.antenna_gain_rx *
+         h * h * h * h / (d2 * d2 * radio.system_loss);
+}
+
+double TwoRayGround::max_range_m(const RadioParams& radio,
+                                 double threshold_w) const {
+  MANET_CHECK(threshold_w > 0.0);
+  const double dc = crossover_distance_m(radio);
+  const double d_friis = friis_inverse(radio, threshold_w);
+  if (d_friis <= dc) {
+    return d_friis;
+  }
+  const double h = radio.antenna_height_m;
+  return std::pow(radio.tx_power_w * radio.antenna_gain_tx *
+                      radio.antenna_gain_rx * h * h * h * h /
+                      (threshold_w * radio.system_loss),
+                  0.25);
+}
+
+LogDistance::LogDistance(double exponent, double reference_m)
+    : exponent_(exponent), reference_m_(reference_m) {
+  MANET_CHECK(exponent > 0.0, "path-loss exponent=" << exponent);
+  MANET_CHECK(reference_m > 0.0, "reference distance=" << reference_m);
+}
+
+double LogDistance::rx_power_w(const RadioParams& radio, double distance_m,
+                               util::Rng*) const {
+  if (distance_m <= 0.0) {
+    return radio.tx_power_w;
+  }
+  const double pr_ref = friis(radio, reference_m_);
+  if (distance_m <= reference_m_) {
+    // Free space inside the reference distance.
+    return friis(radio, distance_m);
+  }
+  return pr_ref * std::pow(reference_m_ / distance_m, exponent_);
+}
+
+double LogDistance::max_range_m(const RadioParams& radio,
+                                double threshold_w) const {
+  MANET_CHECK(threshold_w > 0.0);
+  const double pr_ref = friis(radio, reference_m_);
+  if (threshold_w >= pr_ref) {
+    return std::min(reference_m_, friis_inverse(radio, threshold_w));
+  }
+  return reference_m_ * std::pow(pr_ref / threshold_w, 1.0 / exponent_);
+}
+
+LogNormalShadowing::LogNormalShadowing(double exponent, double sigma_db,
+                                       double reference_m)
+    : base_(exponent, reference_m), sigma_db_(sigma_db) {
+  MANET_CHECK(sigma_db >= 0.0, "sigma_db=" << sigma_db);
+}
+
+double LogNormalShadowing::rx_power_w(const RadioParams& radio,
+                                      double distance_m,
+                                      util::Rng* fading) const {
+  const double median = base_.rx_power_w(radio, distance_m, nullptr);
+  if (fading == nullptr || sigma_db_ <= 0.0) {
+    return median;
+  }
+  return median * db_to_ratio(fading->normal(0.0, sigma_db_));
+}
+
+double LogNormalShadowing::max_range_m(const RadioParams& radio,
+                                       double threshold_w) const {
+  // Headroom: a +3.5 sigma fade still delivering at the threshold.
+  const double boosted = threshold_w / db_to_ratio(3.5 * sigma_db_);
+  return base_.max_range_m(radio, boosted);
+}
+
+std::unique_ptr<PropagationModel> make_propagation(std::string_view name,
+                                                   double exponent,
+                                                   double sigma_db) {
+  const std::string n = util::to_lower(name);
+  if (n == "free_space" || n == "friis") {
+    return std::make_unique<FreeSpace>();
+  }
+  if (n == "two_ray" || n == "two_ray_ground") {
+    return std::make_unique<TwoRayGround>();
+  }
+  if (n == "log_distance") {
+    return std::make_unique<LogDistance>(exponent);
+  }
+  if (n == "shadowing" || n == "log_normal_shadowing") {
+    return std::make_unique<LogNormalShadowing>(exponent, sigma_db);
+  }
+  MANET_CHECK(false, "unknown propagation model: " << name);
+  return nullptr;  // unreachable
+}
+
+}  // namespace manet::radio

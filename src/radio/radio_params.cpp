@@ -1,0 +1,19 @@
+#include "radio/radio_params.h"
+
+#include <cmath>
+
+namespace manet::radio {
+
+double RadioParams::wavelength_m() const {
+  return kSpeedOfLight / frequency_hz;
+}
+
+double watts_to_dbm(double watts) { return 10.0 * std::log10(watts * 1e3); }
+
+double dbm_to_watts(double dbm) { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+
+double ratio_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+}  // namespace manet::radio

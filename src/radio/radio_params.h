@@ -1,0 +1,30 @@
+// Physical radio parameters. Defaults are the ns-2 / CMU wireless-extension
+// 914 MHz Lucent WaveLAN card constants the paper's simulations used, so the
+// received-power values feeding the MOBIC metric are the same magnitudes the
+// authors measured.
+#pragma once
+
+namespace manet::radio {
+
+struct RadioParams {
+  double tx_power_w = 0.28183815;  // ns-2 default transmit power (24.5 dBm)
+  double frequency_hz = 914e6;     // WaveLAN carrier
+  double antenna_gain_tx = 1.0;    // Gt
+  double antenna_gain_rx = 1.0;    // Gr
+  double system_loss = 1.0;        // L >= 1
+  double antenna_height_m = 1.5;   // ht = hr, used by two-ray ground
+
+  /// Carrier wavelength (meters).
+  double wavelength_m() const;
+};
+
+/// Speed of light, m/s.
+inline constexpr double kSpeedOfLight = 299792458.0;
+
+/// dBm/dB helpers.
+double watts_to_dbm(double watts);
+double dbm_to_watts(double dbm);
+double ratio_to_db(double ratio);
+double db_to_ratio(double db);
+
+}  // namespace manet::radio

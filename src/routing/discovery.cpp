@@ -1,0 +1,85 @@
+#include "routing/discovery.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/assert.h"
+
+namespace manet::routing {
+
+namespace {
+
+// BFS where only nodes satisfying `forwards` re-broadcast. Any node can
+// *receive* (so dst is found through a non-forwarding last hop), but the
+// search expands only through forwarders.
+template <typename ForwardsFn>
+DiscoveryResult restricted_flood(const Adjacency& adj, net::NodeId src,
+                                 net::NodeId dst, ForwardsFn forwards) {
+  MANET_CHECK(src < adj.size() && dst < adj.size(),
+              "src/dst out of range: " << src << ", " << dst);
+  MANET_CHECK(src != dst, "src == dst");
+  DiscoveryResult result;
+
+  std::vector<net::NodeId> parent(adj.size(), net::kInvalidNode);
+  std::vector<char> visited(adj.size(), 0);
+  std::deque<net::NodeId> queue;
+
+  visited[src] = 1;
+  queue.push_back(src);
+  while (!queue.empty() && !result.reached) {
+    const net::NodeId u = queue.front();
+    queue.pop_front();
+    ++result.control_transmissions;  // u broadcasts the RREQ
+    for (const net::NodeId v : adj[u]) {
+      if (visited[v]) {
+        continue;
+      }
+      visited[v] = 1;
+      parent[v] = u;
+      if (v == dst) {
+        result.reached = true;
+        break;
+      }
+      if (forwards(v)) {
+        queue.push_back(v);
+      }
+    }
+  }
+
+  if (result.reached) {
+    for (net::NodeId v = dst; v != net::kInvalidNode; v = parent[v]) {
+      result.path.push_back(v);
+    }
+    std::reverse(result.path.begin(), result.path.end());
+    MANET_ASSERT(result.path.front() == src && result.path.back() == dst);
+    result.route_hops = result.path.size() - 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+DiscoveryResult flood_discovery(const Adjacency& adj, net::NodeId src,
+                                net::NodeId dst) {
+  return restricted_flood(adj, src, dst, [](net::NodeId) { return true; });
+}
+
+DiscoveryResult cluster_discovery(const Adjacency& adj,
+                                  const std::vector<NodeClusterState>& state,
+                                  net::NodeId src, net::NodeId dst) {
+  MANET_CHECK(state.size() == adj.size(), "state/adjacency size mismatch");
+  return restricted_flood(adj, src, dst, [&state](net::NodeId v) {
+    return state[v].role == cluster::Role::kHead || state[v].gateway;
+  });
+}
+
+std::size_t shortest_path_hops(const Adjacency& adj, net::NodeId src,
+                               net::NodeId dst) {
+  if (src == dst) {
+    return 0;
+  }
+  const auto r = flood_discovery(adj, src, dst);
+  return r.route_hops;
+}
+
+}  // namespace manet::routing

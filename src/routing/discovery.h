@@ -1,0 +1,60 @@
+// Route-discovery cost models (paper §5 future work: "integrate the
+// mobility metric with a cluster based routing protocol"; CBRP [10] is the
+// protocol the paper names).
+//
+// Two discovery schemes over a connectivity snapshot:
+//   * flood_discovery   — flat AODV/DSR-style flooding: every reachable
+//     node rebroadcasts the RREQ once.
+//   * cluster_discovery — CBRP-style: only clusterheads and gateways (plus
+//     the source) forward the RREQ; ordinary members receive but stay
+//     silent. The overlay shrinks the broadcast storm — the scalability
+//     argument of §1/§2.
+//
+// Both return the number of control transmissions and the discovered route
+// length; comparing them across clustering algorithms quantifies how
+// cluster *stability* translates into routing performance.
+#pragma once
+
+#include <vector>
+
+#include "cluster/types.h"
+#include "net/types.h"
+
+namespace manet::routing {
+
+/// adjacency[i] = ids of nodes in range of node i (symmetric).
+using Adjacency = std::vector<std::vector<net::NodeId>>;
+
+/// Per-node clustering snapshot (from the agents at sample time).
+struct NodeClusterState {
+  cluster::Role role = cluster::Role::kUndecided;
+  net::NodeId head = net::kInvalidNode;
+  bool gateway = false;
+};
+
+struct DiscoveryResult {
+  bool reached = false;
+  /// RREQ (re)broadcasts spent, including the source's initial one.
+  std::size_t control_transmissions = 0;
+  /// Hop count of the discovered route (0 when unreachable).
+  std::size_t route_hops = 0;
+  /// The discovered route, src..dst (empty when unreachable).
+  std::vector<net::NodeId> path;
+};
+
+/// Flat flooding: BFS from src; every node that receives forwards once
+/// (dst only replies).
+DiscoveryResult flood_discovery(const Adjacency& adj, net::NodeId src,
+                                net::NodeId dst);
+
+/// Cluster-overlay flooding: only src, clusterheads and gateways forward.
+DiscoveryResult cluster_discovery(const Adjacency& adj,
+                                  const std::vector<NodeClusterState>& state,
+                                  net::NodeId src, net::NodeId dst);
+
+/// Shortest-path hop count (flat), for stretch accounting; 0 if
+/// unreachable or src == dst.
+std::size_t shortest_path_hops(const Adjacency& adj, net::NodeId src,
+                               net::NodeId dst);
+
+}  // namespace manet::routing

@@ -1,0 +1,57 @@
+// The routing experiment driver (ablation A7): runs a clustering scenario
+// while periodically sampling route discoveries between random node pairs,
+// comparing flat flooding against the cluster overlay, and — after the run —
+// measuring how long each discovered route survived node motion (route
+// lifetime, from recorded position tracks).
+//
+// The punchline quantity is control overhead and route lifetime as a
+// function of the clustering algorithm: stabler clusterheads (MOBIC) mean a
+// stabler forwarding overlay.
+#pragma once
+
+#include "scenario/scenario.h"
+
+namespace manet::routing {
+
+struct RoutingExperimentParams {
+  scenario::Scenario scenario;
+  /// Route discoveries are sampled every `sample_period` seconds starting
+  /// after the scenario warm-up.
+  double sample_period = 15.0;
+  /// Random (src, dst) pairs per sample instant.
+  int discoveries_per_sample = 4;
+  /// Position-track recording resolution (route-lifetime analysis).
+  double track_dt = 1.0;
+};
+
+struct RoutingResult {
+  // Clustering context.
+  std::uint64_t ch_changes = 0;
+  double avg_clusters = 0.0;
+
+  // Discovery outcomes (aggregated over all attempts).
+  std::size_t attempts = 0;
+  double delivery_flood = 0.0;    // fraction of attempts that found dst
+  double delivery_cluster = 0.0;
+  double mean_tx_flood = 0.0;     // control transmissions per attempt
+  double mean_tx_cluster = 0.0;
+  double mean_hops_flood = 0.0;   // route length when found
+  double mean_hops_cluster = 0.0;
+  /// Mean (cluster hops / flood hops) over attempts both schemes delivered.
+  double mean_stretch = 0.0;
+
+  // Route survival (seconds until a discovered route's first link broke;
+  // censored at simulation end).
+  double mean_route_lifetime_flood = 0.0;
+  double mean_route_lifetime_cluster = 0.0;
+
+  // Forwarding-overlay stability: fraction of nodes whose membership in
+  // the overlay (head or gateway) flipped between consecutive samples.
+  // This is the CBRP maintenance cost a stable clustering saves.
+  double overlay_churn = 0.0;
+};
+
+RoutingResult run_routing_experiment(const RoutingExperimentParams& params,
+                                     const scenario::OptionsFactory& factory);
+
+}  // namespace manet::routing

@@ -1,0 +1,167 @@
+#include "scenario/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace manet::scenario {
+
+namespace {
+
+double parse_number(const std::string& value, int line_no) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  MANET_CHECK(end == value.c_str() + value.size(),
+              "config line " << line_no << ": not a number: '" << value
+                             << "'");
+  return v;
+}
+
+// "670x670" or "670" (square).
+geom::Rect parse_field(const std::string& value, int line_no) {
+  const auto x = value.find('x');
+  if (x == std::string::npos) {
+    const double side = parse_number(value, line_no);
+    return geom::Rect(side, side);
+  }
+  return geom::Rect(parse_number(value.substr(0, x), line_no),
+                    parse_number(value.substr(x + 1), line_no));
+}
+
+}  // namespace
+
+Scenario read_config(std::istream& is) {
+  Scenario s;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    const auto eq = trimmed.find('=');
+    MANET_CHECK(eq != std::string::npos,
+                "config line " << line_no << ": expected 'key = value'");
+    const std::string key =
+        util::to_lower(util::trim(trimmed.substr(0, eq)));
+    const std::string value{util::trim(trimmed.substr(eq + 1))};
+    MANET_CHECK(!value.empty(), "config line " << line_no << ": empty value");
+
+    const auto num = [&] { return parse_number(value, line_no); };
+    if (key == "n_nodes") {
+      s.n_nodes = static_cast<std::size_t>(num());
+    } else if (key == "field") {
+      s.fleet.field = parse_field(value, line_no);
+    } else if (key == "mobility") {
+      s.fleet.kind = mobility::parse_model_kind(value);
+    } else if (key == "max_speed") {
+      s.fleet.max_speed = num();
+    } else if (key == "min_speed") {
+      s.fleet.min_speed = num();
+    } else if (key == "pause_time") {
+      s.fleet.pause_time = num();
+    } else if (key == "walk_epoch") {
+      s.fleet.walk_epoch = num();
+    } else if (key == "gm_alpha") {
+      s.fleet.gm_alpha = num();
+    } else if (key == "gm_sigma") {
+      s.fleet.gm_sigma = num();
+    } else if (key == "rpgm_group_size") {
+      s.fleet.rpgm_group_size = static_cast<std::size_t>(num());
+    } else if (key == "rpgm_offset_radius") {
+      s.fleet.rpgm_offset_radius = num();
+    } else if (key == "rpgm_offset_speed") {
+      s.fleet.rpgm_offset_speed = num();
+    } else if (key == "highway_length") {
+      s.fleet.highway.length = num();
+    } else if (key == "highway_lanes_per_direction") {
+      s.fleet.highway.lanes_per_direction = static_cast<int>(num());
+    } else if (key == "highway_mean_speed") {
+      s.fleet.highway.mean_speed = num();
+    } else if (key == "highway_speed_stddev") {
+      s.fleet.highway.speed_stddev = num();
+    } else if (key == "tx_range") {
+      s.tx_range = num();
+    } else if (key == "sim_time") {
+      s.sim_time = num();
+    } else if (key == "broadcast_interval") {
+      s.net.broadcast_interval = num();
+    } else if (key == "neighbor_timeout") {
+      s.net.neighbor_timeout = num();
+    } else if (key == "packet_loss") {
+      s.net.packet_loss = num();
+    } else if (key == "collision_window") {
+      s.net.collision_window = num();
+    } else if (key == "propagation") {
+      s.propagation = value;
+    } else if (key == "pathloss_exponent") {
+      s.pathloss_exponent = num();
+    } else if (key == "shadowing_sigma_db") {
+      s.shadowing_sigma_db = num();
+    } else if (key == "seed") {
+      s.seed = static_cast<std::uint64_t>(num());
+    } else if (key == "warmup") {
+      s.warmup = num();
+    } else if (key == "sample_period") {
+      s.sample_period = num();
+    } else {
+      MANET_CHECK(false,
+                  "config line " << line_no << ": unknown key '" << key
+                                 << "'");
+    }
+  }
+  return s;
+}
+
+Scenario read_config_file(const std::string& path) {
+  std::ifstream in(path);
+  MANET_CHECK(in.is_open(), "cannot open config file: " << path);
+  return read_config(in);
+}
+
+void write_config(std::ostream& os, const Scenario& s) {
+  os.precision(12);
+  os << "# MANET clustering scenario (MOBIC reproduction)\n"
+     << "n_nodes = " << s.n_nodes << '\n'
+     << "field = " << s.fleet.field.width << 'x' << s.fleet.field.height
+     << '\n'
+     << "mobility = " << mobility::model_kind_name(s.fleet.kind) << '\n'
+     << "max_speed = " << s.fleet.max_speed << '\n'
+     << "min_speed = " << s.fleet.min_speed << '\n'
+     << "pause_time = " << s.fleet.pause_time << '\n'
+     << "walk_epoch = " << s.fleet.walk_epoch << '\n'
+     << "gm_alpha = " << s.fleet.gm_alpha << '\n'
+     << "gm_sigma = " << s.fleet.gm_sigma << '\n'
+     << "rpgm_group_size = " << s.fleet.rpgm_group_size << '\n'
+     << "rpgm_offset_radius = " << s.fleet.rpgm_offset_radius << '\n'
+     << "rpgm_offset_speed = " << s.fleet.rpgm_offset_speed << '\n'
+     << "highway_length = " << s.fleet.highway.length << '\n'
+     << "highway_lanes_per_direction = "
+     << s.fleet.highway.lanes_per_direction << '\n'
+     << "highway_mean_speed = " << s.fleet.highway.mean_speed << '\n'
+     << "highway_speed_stddev = " << s.fleet.highway.speed_stddev << '\n'
+     << "tx_range = " << s.tx_range << '\n'
+     << "sim_time = " << s.sim_time << '\n'
+     << "broadcast_interval = " << s.net.broadcast_interval << '\n'
+     << "neighbor_timeout = " << s.net.neighbor_timeout << '\n'
+     << "packet_loss = " << s.net.packet_loss << '\n'
+     << "collision_window = " << s.net.collision_window << '\n'
+     << "propagation = " << s.propagation << '\n'
+     << "pathloss_exponent = " << s.pathloss_exponent << '\n'
+     << "shadowing_sigma_db = " << s.shadowing_sigma_db << '\n'
+     << "seed = " << s.seed << '\n'
+     << "warmup = " << s.warmup << '\n'
+     << "sample_period = " << s.sample_period << '\n';
+}
+
+}  // namespace manet::scenario

@@ -1,0 +1,35 @@
+// Scenario (de)serialization as simple `key = value` config files — the
+// ns-2 Tcl-script equivalent for this simulator: lets an experiment be
+// described in a file, versioned, and rerun bit-identically.
+//
+//   # figure3 point
+//   n_nodes = 50
+//   field = 670x670
+//   mobility = random_waypoint
+//   max_speed = 20
+//   tx_range = 250
+//   sim_time = 900
+//   seed = 1
+//
+// Unknown keys are an error (catches typos); omitted keys keep the Table-1
+// defaults.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "scenario/scenario.h"
+
+namespace manet::scenario {
+
+/// Parses a config stream into a Scenario. Throws CheckError with the line
+/// number on malformed input or unknown keys.
+Scenario read_config(std::istream& is);
+
+/// Convenience: parse from a file path.
+Scenario read_config_file(const std::string& path);
+
+/// Writes every setting (including defaults) in read_config() syntax.
+void write_config(std::ostream& os, const Scenario& s);
+
+}  // namespace manet::scenario

@@ -1,0 +1,78 @@
+// Multi-seed replication and aggregation: the layer between run_scenario()
+// and the figure benches. Handles seed derivation, per-field aggregation
+// with 95% confidence intervals, and paper-style series assembly.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "util/stats.h"
+
+namespace manet::scenario {
+
+/// Runs `replications` seeds of `scenario` (seed = scenario.seed + k) and
+/// returns every per-run result.
+std::vector<RunResult> run_replications(Scenario scenario,
+                                        const OptionsFactory& factory,
+                                        int replications);
+
+/// Extracts a field from a RunResult (for aggregation).
+using FieldFn = std::function<double(const RunResult&)>;
+
+/// Mean and 95% CI of a field across runs.
+util::MeanCI aggregate(const std::vector<RunResult>& runs,
+                       const FieldFn& field);
+
+/// Common fields.
+double field_ch_changes(const RunResult& r);
+double field_avg_clusters(const RunResult& r);
+double field_reaffiliations(const RunResult& r);
+double field_head_lifetime(const RunResult& r);
+double field_mean_degree(const RunResult& r);
+
+/// One named clustering configuration in a comparison.
+struct AlgorithmSpec {
+  std::string name;          // label in tables/CSV
+  OptionsFactory factory;
+};
+
+/// The paper's two contenders.
+std::vector<AlgorithmSpec> paper_algorithms();
+
+/// A point of an x-swept comparison series (e.g. Tx on the x axis).
+struct SweepPoint {
+  double x = 0.0;
+  /// algorithm name -> aggregated value.
+  std::map<std::string, util::MeanCI> values;
+  /// algorithm name -> the per-seed samples behind the aggregate (for
+  /// significance testing).
+  std::map<std::string, std::vector<double>> raw;
+};
+
+/// Sweeps `xs`; for each x, `configure` mutates the scenario, then every
+/// algorithm runs `replications` seeds and `field` is aggregated.
+std::vector<SweepPoint> sweep(
+    const Scenario& base, const std::vector<double>& xs,
+    const std::function<void(Scenario&, double)>& configure,
+    const std::vector<AlgorithmSpec>& algorithms, const FieldFn& field,
+    int replications);
+
+/// Like sweep(), but aggregates several result fields from the *same* runs
+/// (no re-simulation per field).
+struct MultiSweepPoint {
+  double x = 0.0;
+  /// values[algorithm][field name] -> aggregate.
+  std::map<std::string, std::map<std::string, util::MeanCI>> values;
+};
+
+std::vector<MultiSweepPoint> sweep_fields(
+    const Scenario& base, const std::vector<double>& xs,
+    const std::function<void(Scenario&, double)>& configure,
+    const std::vector<AlgorithmSpec>& algorithms,
+    const std::vector<std::pair<std::string, FieldFn>>& fields,
+    int replications);
+
+}  // namespace manet::scenario

@@ -1,0 +1,93 @@
+#include "scenario/scenario.h"
+
+#include "radio/medium.h"
+#include "sim/simulator.h"
+#include "util/assert.h"
+
+namespace manet::scenario {
+
+OptionsFactory factory_by_name(const std::string& name) {
+  return [name](cluster::ClusterEventSink* sink) {
+    return cluster::options_by_name(name, sink);
+  };
+}
+
+RunResult run_scenario(const Scenario& scenario,
+                       const OptionsFactory& factory,
+                       const std::function<void(LiveContext&)>& on_start,
+                       cluster::ClusterEventSink* extra_sink) {
+  MANET_CHECK(scenario.n_nodes >= 2, "need at least two nodes");
+  MANET_CHECK(scenario.tx_range > 0.0);
+  MANET_CHECK(scenario.sim_time > scenario.warmup,
+              "sim_time must exceed warmup");
+
+  sim::Simulator sim;
+  util::Rng root(scenario.seed);
+
+  // Radio medium calibrated for the scenario's nominal range.
+  radio::Medium medium(
+      radio::make_propagation(scenario.propagation,
+                              scenario.pathloss_exponent,
+                              scenario.shadowing_sigma_db),
+      radio::RadioParams{}, scenario.tx_range);
+
+  // Mobility fleet; keep the horizon and field coherent with the scenario.
+  mobility::FleetParams fleet = scenario.fleet;
+  fleet.duration = scenario.sim_time;
+  const geom::Rect field = mobility::fleet_field(fleet);
+
+  net::NetworkParams net_params = scenario.net;
+  net_params.speed_bound =
+      std::max(net_params.speed_bound, fleet.max_speed * 2.0);
+
+  net::Network network(sim, std::move(medium), field, net_params,
+                       root.substream("network"));
+  network.add_fleet(
+      mobility::make_fleet(fleet, scenario.n_nodes,
+                           root.substream("mobility")));
+
+  cluster::ClusterStats stats(scenario.warmup);
+  cluster::FanoutClusterEventSink fanout({&stats, extra_sink});
+  cluster::ClusterEventSink* sink =
+      extra_sink == nullptr ? static_cast<cluster::ClusterEventSink*>(&stats)
+                            : &fanout;
+  std::vector<const cluster::WeightedClusterAgent*> agents;
+  agents.reserve(scenario.n_nodes);
+  for (auto& node : network.nodes()) {
+    auto agent =
+        std::make_unique<cluster::WeightedClusterAgent>(factory(sink));
+    agents.push_back(agent.get());
+    node->set_agent(std::move(agent));
+  }
+
+  cluster::ClusterSampler sampler(sim, agents);
+  sampler.start(scenario.warmup, scenario.sample_period, scenario.sim_time);
+
+  network.start();
+  if (on_start != nullptr) {
+    LiveContext ctx{sim, network, agents};
+    on_start(ctx);
+  }
+  sim.run_until(scenario.sim_time);
+  stats.finish(scenario.sim_time);
+
+  RunResult result;
+  result.ch_changes = stats.clusterhead_changes();
+  result.head_gains = stats.head_gains();
+  result.head_losses = stats.head_losses();
+  result.reaffiliations = stats.reaffiliations();
+  result.mean_head_lifetime = stats.head_lifetimes().mean();
+  result.avg_clusters = sampler.num_clusters().mean();
+  result.avg_gateways = sampler.num_gateways().mean();
+  result.avg_undecided = sampler.num_undecided().mean();
+  result.avg_cluster_size = sampler.cluster_sizes().mean();
+  result.mean_degree = network.stats().mean_degree();
+  result.beacons_sent = network.stats().beacons_sent;
+  result.hellos_delivered = network.stats().hellos_delivered;
+  result.bytes_sent = network.stats().bytes_sent;
+  result.final_validation =
+      cluster::validate_clusters(network, agents, scenario.sim_time);
+  return result;
+}
+
+}  // namespace manet::scenario

@@ -1,0 +1,98 @@
+// Scenario description + single-run driver. A Scenario is the complete
+// recipe for one simulation run (Table 1 of the paper plus the mobility and
+// propagation configuration); run_scenario() executes it for one clustering
+// configuration and returns the measured metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/presets.h"
+#include "cluster/stats.h"
+#include "cluster/validation.h"
+#include "mobility/factory.h"
+#include "net/network.h"
+
+namespace manet::scenario {
+
+struct Scenario {
+  std::size_t n_nodes = 50;           // N (paper: 50)
+  double tx_range = 250.0;            // Tx, meters (paper sweeps 10-250)
+  double sim_time = 900.0;            // S, seconds (paper: 900)
+
+  /// Mobility configuration; fleet.field is the m x n scenario area
+  /// (paper: 670^2 and 1000^2) and fleet.duration is kept in sync with
+  /// sim_time by run_scenario().
+  mobility::FleetParams fleet{};
+
+  /// Hello-protocol timing: BI = 2.0 s, TP = 3.0 s (paper defaults).
+  net::NetworkParams net{};
+
+  /// Propagation: "free_space" (paper), "two_ray", "log_distance",
+  /// "shadowing".
+  std::string propagation = "free_space";
+  double pathloss_exponent = 2.7;   // log-distance / shadowing models
+  double shadowing_sigma_db = 4.0;  // shadowing model
+
+  std::uint64_t seed = 1;
+
+  /// Measurement warm-up: clusterhead changes before this time (the initial
+  /// election) are not counted, and role sampling starts here.
+  double warmup = 10.0;
+  /// Role-distribution sampling period.
+  double sample_period = 1.0;
+};
+
+/// Everything a run measures; aggregated across seeds by the experiment
+/// harness.
+struct RunResult {
+  // Stability (paper metric CS) and its decomposition.
+  std::uint64_t ch_changes = 0;
+  std::uint64_t head_gains = 0;
+  std::uint64_t head_losses = 0;
+  std::uint64_t reaffiliations = 0;
+  double mean_head_lifetime = 0.0;  // s
+
+  // Role-distribution averages over the measurement window.
+  double avg_clusters = 0.0;  // paper Figure 4 quantity
+  double avg_gateways = 0.0;
+  double avg_undecided = 0.0;
+  double avg_cluster_size = 0.0;
+
+  // Substrate statistics.
+  double mean_degree = 0.0;  // delivered receptions per beacon
+  std::uint64_t beacons_sent = 0;
+  std::uint64_t hellos_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+
+  // Invariant check at simulation end (ground truth).
+  cluster::ValidationReport final_validation;
+};
+
+/// Builds the cluster options for a run; receives the per-run stats sink.
+using OptionsFactory =
+    std::function<cluster::ClusterOptions(cluster::ClusterEventSink*)>;
+
+/// Factory from an algorithm name (see cluster::options_by_name).
+OptionsFactory factory_by_name(const std::string& name);
+
+/// Access to the live simulation, handed to a hook right after the network
+/// starts: lets callers schedule custom in-simulation sampling (the routing
+/// experiments use this).
+struct LiveContext {
+  sim::Simulator& sim;
+  net::Network& network;
+  const std::vector<const cluster::WeightedClusterAgent*>& agents;
+};
+
+/// Executes one full simulation of `scenario` with every node running the
+/// clustering configuration produced by `factory`. `on_start`, if given, is
+/// invoked once before the clock runs; `extra_sink`, if given, receives the
+/// clustering events alongside the internal stats collector (e.g. a
+/// TimelineRecorder).
+RunResult run_scenario(
+    const Scenario& scenario, const OptionsFactory& factory,
+    const std::function<void(LiveContext&)>& on_start = nullptr,
+    cluster::ClusterEventSink* extra_sink = nullptr);
+
+}  // namespace manet::scenario

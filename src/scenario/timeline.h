@@ -1,0 +1,79 @@
+// Timeline recording: captures the full clustering dynamics of a run for
+// post-hoc analysis and visualization — the ns-2 nam-trace equivalent.
+//
+//   * every role-change and affiliation-change event (from the agent sink);
+//   * periodic whole-network snapshots: position, role, clusterhead,
+//     gateway flag and metric value per node.
+//
+// Both streams export as CSV (plotable with any tool); the snapshots also
+// answer questions like "who was the clusterhead of node 7 at t = 312?"
+// without re-running the simulation.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "cluster/events.h"
+#include "scenario/scenario.h"
+
+namespace manet::scenario {
+
+class TimelineRecorder final : public cluster::ClusterEventSink {
+ public:
+  struct RoleEvent {
+    sim::Time t = 0.0;
+    net::NodeId node = net::kInvalidNode;
+    cluster::Role old_role = cluster::Role::kUndecided;
+    cluster::Role new_role = cluster::Role::kUndecided;
+  };
+  struct AffiliationEvent {
+    sim::Time t = 0.0;
+    net::NodeId node = net::kInvalidNode;
+    net::NodeId old_head = net::kInvalidNode;
+    net::NodeId new_head = net::kInvalidNode;
+  };
+  struct SnapshotRow {
+    sim::Time t = 0.0;
+    net::NodeId node = net::kInvalidNode;
+    geom::Vec2 pos;
+    cluster::Role role = cluster::Role::kUndecided;
+    net::NodeId head = net::kInvalidNode;
+    bool gateway = false;
+    double metric = 0.0;
+  };
+
+  // ClusterEventSink:
+  void on_role_change(sim::Time t, net::NodeId node, cluster::Role old_role,
+                      cluster::Role new_role) override;
+  void on_affiliation_change(sim::Time t, net::NodeId node,
+                             net::NodeId old_head,
+                             net::NodeId new_head) override;
+
+  /// Schedules snapshots every `period` seconds over [0, until] on the live
+  /// simulation (call from a run_scenario on_start hook).
+  void schedule_snapshots(LiveContext& ctx, double period, double until);
+
+  /// Takes one snapshot immediately.
+  void snapshot(LiveContext& ctx);
+
+  const std::vector<RoleEvent>& role_events() const { return role_events_; }
+  const std::vector<AffiliationEvent>& affiliation_events() const {
+    return affiliation_events_;
+  }
+  const std::vector<SnapshotRow>& snapshots() const { return snapshots_; }
+
+  /// Cluster membership of each node at the last snapshot <= t;
+  /// kInvalidNode if never snapshotted or node unaffiliated.
+  net::NodeId head_at(sim::Time t, net::NodeId node) const;
+
+  void write_events_csv(std::ostream& os) const;
+  void write_snapshots_csv(std::ostream& os) const;
+
+ private:
+  std::vector<RoleEvent> role_events_;
+  std::vector<AffiliationEvent> affiliation_events_;
+  std::vector<SnapshotRow> snapshots_;
+  std::size_t nodes_per_snapshot_ = 0;
+};
+
+}  // namespace manet::scenario

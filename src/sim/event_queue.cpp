@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include "util/assert.h"
+
+namespace manet::sim {
+
+EventId EventQueue::push(Time t, EventFn fn) {
+  MANET_CHECK(fn != nullptr, "scheduling a null event handler");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Cancellation is lazy: the heap entry stays behind and is skipped when it
+  // reaches the front. `pending_` is the source of truth for liveness.
+  if (pending_.erase(id) == 0) {
+    return false;
+  }
+  ++cancelled_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_front() {
+  while (!heap_.empty() && pending_.count(heap_.top().id) == 0) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled_front();
+  MANET_CHECK(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_front();
+  MANET_CHECK(!heap_.empty(), "pop() on empty queue");
+  const Entry& top = heap_.top();
+  Fired fired{top.time, top.id, std::move(top.fn)};
+  heap_.pop();
+  pending_.erase(fired.id);
+  return fired;
+}
+
+}  // namespace manet::sim

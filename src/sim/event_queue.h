@@ -1,0 +1,76 @@
+// Pending-event set for the discrete-event simulator: a binary heap ordered
+// by (time, insertion sequence) — simultaneous events fire in FIFO order,
+// which makes runs reproducible — with O(1) lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace manet::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+/// Opaque handle to a scheduled event; valid until the event fires or is
+/// cancelled. Id 0 is never issued and acts as "no event".
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`. Returns a cancellation handle.
+  EventId push(Time t, EventFn fn);
+
+  /// Cancels a pending event. Returns false if the handle is unknown,
+  /// already fired, or already cancelled — all safe to ignore.
+  bool cancel(EventId id);
+
+  /// True if the event is scheduled and not yet fired or cancelled.
+  bool pending(EventId id) const { return pending_.count(id) > 0; }
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  Time next_time() const;
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  struct Fired {
+    Time time;
+    EventId id;
+    EventFn fn;
+  };
+  Fired pop();
+
+  /// Lifetime counters, exposed for stats/tests.
+  std::uint64_t total_scheduled() const { return next_id_ - 1; }
+  std::uint64_t total_cancelled() const { return cancelled_count_; }
+
+ private:
+  struct Entry {
+    Time time;
+    EventId id;
+    mutable EventFn fn;  // moved out on pop; heap never reorders after that
+    bool operator>(const Entry& o) const {
+      if (time != o.time) {
+        return time > o.time;
+      }
+      return id > o.id;  // ids are issued in insertion order
+    }
+  };
+
+  void drop_cancelled_front();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+  std::uint64_t cancelled_count_ = 0;
+};
+
+}  // namespace manet::sim

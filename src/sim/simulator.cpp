@@ -1,0 +1,35 @@
+#include "sim/simulator.h"
+
+namespace manet::sim {
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    step();
+  }
+}
+
+void Simulator::run_until(Time t_end) {
+  MANET_CHECK(t_end >= now_, "run_until(" << t_end << ") in the past");
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= t_end) {
+    step();
+  }
+  if (!stopped_) {
+    now_ = t_end;
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  auto fired = queue_.pop();
+  MANET_ASSERT(fired.time >= now_, "event time regressed");
+  now_ = fired.time;
+  ++executed_;
+  fired.fn();
+  return true;
+}
+
+}  // namespace manet::sim

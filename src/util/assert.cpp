@@ -1,0 +1,15 @@
+#include "util/assert.h"
+
+namespace manet::util::detail {
+
+void fail_check(const char* expr, const char* file, int line,
+                const std::string& message) {
+  std::ostringstream oss;
+  oss << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw CheckError(oss.str());
+}
+
+}  // namespace manet::util::detail

@@ -1,0 +1,45 @@
+// Lightweight assertion / checked-failure macros used across the library.
+//
+// MANET_CHECK   - always evaluated, throws util::CheckError on failure. Use for
+//                 preconditions on public API boundaries and config validation.
+// MANET_ASSERT  - internal invariants; compiled out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace manet::util {
+
+/// Thrown when a MANET_CHECK fails: a violated precondition or invariant that
+/// callers may legitimately want to catch (e.g. bad configuration values).
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& message);
+}  // namespace detail
+
+}  // namespace manet::util
+
+// Always-on check. Optional trailing message: MANET_CHECK(x > 0, "x=" << x);
+#define MANET_CHECK(expr, ...)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream manet_check_oss_;                                  \
+      manet_check_oss_ << "" __VA_ARGS__;                                   \
+      ::manet::util::detail::fail_check(#expr, __FILE__, __LINE__,          \
+                                        manet_check_oss_.str());            \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define MANET_ASSERT(expr, ...) \
+  do {                          \
+  } while (false)
+#else
+#define MANET_ASSERT(expr, ...) MANET_CHECK(expr, __VA_ARGS__)
+#endif

@@ -1,0 +1,79 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace manet::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') {
+      out.push_back('"');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : to_file_(true) {
+  file_.open(path, std::ios::out | std::ios::trunc);
+  MANET_CHECK(file_.is_open(), "cannot open CSV output file: " << path);
+}
+
+CsvWriter::CsvWriter() = default;
+
+std::ostream& CsvWriter::out() {
+  MANET_ASSERT(to_file_);
+  return file_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      line.push_back(',');
+    }
+    line += csv_escape(fields[i]);
+  }
+  line.push_back('\n');
+  if (to_file_) {
+    out() << line;
+  } else {
+    buffer_ += line;
+  }
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  std::vector<std::string> copy;
+  copy.reserve(fields.size());
+  for (const auto f : fields) {
+    copy.emplace_back(f);
+  }
+  row(copy);
+}
+
+std::string CsvWriter::str() const {
+  MANET_CHECK(!to_file_, "str() is only available for in-memory writers");
+  return buffer_;
+}
+
+std::string CsvWriter::format_field(double v) {
+  std::ostringstream oss;
+  oss.precision(12);
+  oss << v;
+  return oss.str();
+}
+
+}  // namespace manet::util

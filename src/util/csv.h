@@ -1,0 +1,64 @@
+// Tiny CSV writer with RFC-4180-style quoting. Benches use it to dump every
+// reproduced figure as machine-readable data next to the console output.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manet::util {
+
+/// Quotes a CSV field if it contains a comma, quote or newline.
+std::string csv_escape(std::string_view field);
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating. Throws CheckError if the file
+  /// cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// In-memory writer (for tests); contents retrievable via str().
+  CsvWriter();
+
+  /// Writes one row; fields are escaped as needed.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string_view> fields);
+
+  /// Convenience: formats arithmetic values with max round-trip precision.
+  template <typename... Ts>
+  void row_values(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(format_field(values)), ...);
+    row(fields);
+  }
+
+  /// Number of rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+  /// Only valid for in-memory writers.
+  std::string str() const;
+
+ private:
+  static std::string format_field(const std::string& s) { return s; }
+  static std::string format_field(const char* s) { return s; }
+  static std::string format_field(std::string_view s) { return std::string(s); }
+  static std::string format_field(double v);
+  static std::string format_field(float v) { return format_field(double{v}); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string format_field(T v) {
+    return std::to_string(v);
+  }
+
+  std::ostream& out();
+
+  std::ofstream file_;
+  std::string buffer_;  // used when file_ is not open
+  bool to_file_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace manet::util

@@ -1,0 +1,57 @@
+#include "util/logging.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/assert.h"
+
+namespace manet::util {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+std::ostream* Logger::stream_ = &std::cerr;
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  MANET_CHECK(false, "unknown log level: " << name);
+  return LogLevel::kWarn;  // unreachable
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip directories from the file path for compact output.
+  std::string_view path(file);
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string_view::npos) {
+    path.remove_prefix(slash + 1);
+  }
+  oss_ << "[" << log_level_name(level_) << " " << path << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  Logger::stream() << oss_.str() << '\n';
+}
+
+}  // namespace manet::util

@@ -1,0 +1,72 @@
+// Minimal leveled logger. Single global sink (stderr by default), thread-safe
+// enough for this single-threaded simulator (no locking; do not log from
+// multiple threads concurrently).
+//
+// Usage:
+//   MANET_LOG(Info) << "node " << id << " became clusterhead";
+//   util::Logger::set_level(util::LogLevel::kWarn);   // silence info/debug
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace manet::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Returns the canonical short name ("DEBUG", "INFO", ...) for a level.
+std::string_view log_level_name(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Throws CheckError on unknown names.
+LogLevel parse_log_level(std::string_view name);
+
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+
+  /// Sink for finished log lines; overridable for tests.
+  static std::ostream& stream() { return *stream_; }
+  static void set_stream(std::ostream& os) { stream_ = &os; }
+
+ private:
+  static LogLevel level_;
+  static std::ostream* stream_;
+};
+
+/// One log statement: buffers the message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+
+}  // namespace manet::util
+
+#define MANET_LOG(severity)                                                  \
+  if (::manet::util::LogLevel::k##severity < ::manet::util::Logger::level()) \
+    ;                                                                        \
+  else                                                                       \
+    ::manet::util::LogMessage(::manet::util::LogLevel::k##severity,          \
+                              __FILE__, __LINE__)

@@ -1,0 +1,23 @@
+#include "util/rng.h"
+
+namespace manet::util {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer (Steele, Lea, Flood 2014): full-avalanche 64-bit mix.
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_name(std::string_view name) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace manet::util

@@ -1,0 +1,47 @@
+// Nonparametric significance tools for the experiment harness: the
+// Mann-Whitney U rank-sum test (are MOBIC's CS samples stochastically
+// smaller than Lowest-ID's?) and bootstrap confidence intervals for
+// arbitrary statistics — small-sample-safe, distribution-free, which is
+// what 5-seed simulation studies need.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace manet::util {
+
+struct MannWhitneyResult {
+  double u = 0.0;        // U statistic of sample A
+  double z = 0.0;        // normal approximation (tie-corrected)
+  double p_two_sided = 0.0;
+  double p_a_less = 0.0;  // one-sided: A stochastically smaller than B
+  /// Common-language effect size: P(a < b) + 0.5 P(a = b).
+  double effect_size = 0.0;
+};
+
+/// Mann-Whitney U with normal approximation and tie correction. Requires
+/// both samples non-empty; with very small n (< ~4 per side) p-values are
+/// approximate — report the effect size alongside.
+MannWhitneyResult mann_whitney(std::span<const double> a,
+                               std::span<const double> b);
+
+/// Percentile-bootstrap confidence interval for `statistic` of `sample`.
+struct BootstrapCI {
+  double point = 0.0;  // statistic on the original sample
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+BootstrapCI bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence = 0.95, int resamples = 2000,
+    std::uint64_t seed = 0x9E3779B9);
+
+/// Standard normal CDF (exposed for tests).
+double normal_cdf(double z);
+
+}  // namespace manet::util

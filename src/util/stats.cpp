@@ -1,0 +1,217 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace manet::util {
+
+void RunningStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel-merge form of Welford's update.
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats(); }
+
+double RunningStats::variance_population() const {
+  if (count_ < 1) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::variance_sample() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev_population() const {
+  return std::sqrt(variance_population());
+}
+
+double RunningStats::stddev_sample() const {
+  return std::sqrt(variance_sample());
+}
+
+double var0(std::span<const double> samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double sum_sq = 0.0;
+  for (const double x : samples) {
+    sum_sq += x * x;
+  }
+  return sum_sq / static_cast<double>(samples.size());
+}
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double x : samples) {
+    sum += x;
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+double percentile(std::vector<double> samples, double pct) {
+  MANET_CHECK(!samples.empty(), "percentile of empty sample set");
+  MANET_CHECK(pct >= 0.0 && pct <= 100.0, "pct=" << pct);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) {
+    return samples.front();
+  }
+  const double rank = pct / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+namespace {
+
+// Two-sided 95% Student-t critical values for df = 1..30; beyond that the
+// normal approximation (1.96) is within ~2%.
+double t_crit95(std::size_t df) {
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) {
+    return 0.0;
+  }
+  if (df <= 30) {
+    return kTable[df - 1];
+  }
+  return 1.96;
+}
+
+}  // namespace
+
+MeanCI mean_ci95(std::span<const double> samples) {
+  MeanCI ci;
+  ci.n = samples.size();
+  if (samples.empty()) {
+    return ci;
+  }
+  RunningStats rs;
+  for (const double x : samples) {
+    rs.add(x);
+  }
+  ci.mean = rs.mean();
+  if (samples.size() >= 2) {
+    const double se =
+        rs.stddev_sample() / std::sqrt(static_cast<double>(samples.size()));
+    ci.half_width = t_crit95(samples.size() - 1) * se;
+  }
+  return ci;
+}
+
+void TimeWeightedMean::set(double t, double v) {
+  MANET_CHECK(!finished_, "set() after finish()");
+  if (started_) {
+    MANET_CHECK(t >= last_t_, "non-monotonic time: " << t << " < " << last_t_);
+    weighted_sum_ += last_v_ * (t - last_t_);
+    total_time_ += t - last_t_;
+  }
+  started_ = true;
+  last_t_ = t;
+  last_v_ = v;
+}
+
+void TimeWeightedMean::finish(double t_end) {
+  MANET_CHECK(started_, "finish() before any set()");
+  MANET_CHECK(!finished_, "finish() called twice");
+  MANET_CHECK(t_end >= last_t_, "t_end=" << t_end << " < last=" << last_t_);
+  weighted_sum_ += last_v_ * (t_end - last_t_);
+  total_time_ += t_end - last_t_;
+  finished_ = true;
+}
+
+double TimeWeightedMean::average() const {
+  if (total_time_ <= 0.0) {
+    // Degenerate span: report the last (only) level set.
+    return started_ ? last_v_ : 0.0;
+  }
+  return weighted_sum_ / total_time_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  MANET_CHECK(hi > lo, "histogram range [" << lo << ", " << hi << ")");
+  MANET_CHECK(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  std::size_t bin;
+  if (x < lo_) {
+    bin = 0;
+  } else if (x >= hi_) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>((x - lo_) / width_);
+    bin = std::min(bin, counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  MANET_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (const auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        counts_[i] * max_width / peak;
+    oss << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(bar, '#') << " " << counts_[i] << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace manet::util

@@ -1,0 +1,116 @@
+// Statistics primitives used throughout the simulator and the experiment
+// harness: Welford running moments, the paper's variance-about-zero (eq. 2),
+// percentiles, time-weighted averages, confidence intervals and histograms.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace manet::util {
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return mean_; }
+  /// Population variance (divide by n); 0 when fewer than 1 observation.
+  double variance_population() const;
+  /// Sample variance (divide by n-1); 0 when fewer than 2 observations.
+  double variance_sample() const;
+  double stddev_population() const;
+  double stddev_sample() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Variance about zero, var0(x) = E[x^2] — the aggregation the paper's eq. (2)
+/// applies to the per-neighbor relative-mobility samples. Returns 0 for an
+/// empty sample set.
+double var0(std::span<const double> samples);
+
+/// Mean of a sample set; 0 when empty.
+double mean(std::span<const double> samples);
+
+/// Percentile in [0, 100] with linear interpolation between order statistics.
+/// Requires a non-empty sample set (throws CheckError otherwise).
+double percentile(std::vector<double> samples, double pct);
+
+/// Mean with a two-sided confidence interval half-width. Uses Student's t
+/// critical values for small n and the normal approximation for large n.
+struct MeanCI {
+  double mean = 0.0;
+  double half_width = 0.0;  // mean ± half_width
+  std::size_t n = 0;
+};
+
+/// 95% confidence interval on the mean of the samples. n == 0 yields {0,0,0};
+/// n == 1 yields a zero-width interval.
+MeanCI mean_ci95(std::span<const double> samples);
+
+/// Integrates a piecewise-constant signal over time: call set(t, v) at each
+/// change; finish(t_end) closes the last segment. average() is the
+/// time-weighted mean over [first set, t_end].
+class TimeWeightedMean {
+ public:
+  /// Records that the signal takes value `v` from time `t` onwards.
+  /// Times must be non-decreasing.
+  void set(double t, double v);
+  /// Closes the final segment at `t_end` (>= last set time).
+  void finish(double t_end);
+
+  bool started() const { return started_; }
+  double average() const;
+  /// Total observed span (finish time minus first set time).
+  double duration() const { return total_time_; }
+
+ private:
+  bool started_ = false;
+  bool finished_ = false;
+  double last_t_ = 0.0;
+  double last_v_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the edge
+/// bins. Used for distributional reporting (cluster sizes, CH lifetimes).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering, for debug output.
+  std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace manet::util

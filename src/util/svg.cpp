@@ -1,0 +1,120 @@
+#include "util/svg.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace manet::util {
+
+namespace {
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height) {
+  MANET_CHECK(width > 0.0 && height > 0.0,
+              "canvas " << width << "x" << height);
+}
+
+void SvgDocument::add_circle(double cx, double cy, double r,
+                             std::string_view fill, std::string_view stroke,
+                             double stroke_width) {
+  std::ostringstream oss;
+  oss << "<circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"" << r
+      << "\" fill=\"" << fill << "\" stroke=\"" << stroke
+      << "\" stroke-width=\"" << stroke_width << "\"/>";
+  body_.push_back(oss.str());
+}
+
+void SvgDocument::add_circle_outline(double cx, double cy, double r,
+                                     std::string_view stroke, double width,
+                                     bool dashed) {
+  std::ostringstream oss;
+  oss << "<circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"" << r
+      << "\" fill=\"none\" stroke=\"" << stroke << "\" stroke-width=\""
+      << width << "\"";
+  if (dashed) {
+    oss << " stroke-dasharray=\"6 4\"";
+  }
+  oss << "/>";
+  body_.push_back(oss.str());
+}
+
+void SvgDocument::add_rect(double x, double y, double w, double h,
+                           std::string_view fill, std::string_view stroke,
+                           double stroke_width) {
+  std::ostringstream oss;
+  oss << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+      << "\" height=\"" << h << "\" fill=\"" << fill << "\" stroke=\""
+      << stroke << "\" stroke-width=\"" << stroke_width << "\"/>";
+  body_.push_back(oss.str());
+}
+
+void SvgDocument::add_line(double x1, double y1, double x2, double y2,
+                           std::string_view stroke, double width,
+                           double opacity) {
+  std::ostringstream oss;
+  oss << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+      << "\" y2=\"" << y2 << "\" stroke=\"" << stroke
+      << "\" stroke-width=\"" << width << "\" stroke-opacity=\"" << opacity
+      << "\"/>";
+  body_.push_back(oss.str());
+}
+
+void SvgDocument::add_text(double x, double y, std::string_view text,
+                           double size, std::string_view fill) {
+  std::ostringstream oss;
+  oss << "<text x=\"" << x << "\" y=\"" << y << "\" font-size=\"" << size
+      << "\" font-family=\"sans-serif\" fill=\"" << fill << "\">"
+      << escape_text(text) << "</text>";
+  body_.push_back(oss.str());
+}
+
+std::string SvgDocument::to_string() const {
+  std::ostringstream oss;
+  oss << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+      << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << " "
+      << height_ << "\">\n";
+  for (const auto& el : body_) {
+    oss << "  " << el << '\n';
+  }
+  oss << "</svg>\n";
+  return oss.str();
+}
+
+void SvgDocument::save(const std::string& path) const {
+  std::ofstream out(path);
+  MANET_CHECK(out.is_open(), "cannot open SVG output file: " << path);
+  out << to_string();
+}
+
+std::string SvgDocument::palette(std::size_t i) {
+  static const char* kColors[] = {
+      "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+      "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#1b9e77", "#7570b3"};
+  return kColors[i % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+}  // namespace manet::util

@@ -1,0 +1,46 @@
+// Minimal SVG document builder — enough to render cluster-topology frames
+// (circles, rectangles, lines, text) without external dependencies.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manet::util {
+
+class SvgDocument {
+ public:
+  /// Canvas in user units (1 unit = 1 px).
+  SvgDocument(double width, double height);
+
+  void add_circle(double cx, double cy, double r, std::string_view fill,
+                  std::string_view stroke = "none", double stroke_width = 0);
+  void add_rect(double x, double y, double w, double h,
+                std::string_view fill, std::string_view stroke = "none",
+                double stroke_width = 0);
+  void add_line(double x1, double y1, double x2, double y2,
+                std::string_view stroke, double width = 1.0,
+                double opacity = 1.0);
+  void add_text(double x, double y, std::string_view text, double size,
+                std::string_view fill = "black");
+
+  /// Dashed circle outline (cluster coverage disks).
+  void add_circle_outline(double cx, double cy, double r,
+                          std::string_view stroke, double width = 1.0,
+                          bool dashed = true);
+
+  std::size_t elements() const { return body_.size(); }
+  std::string to_string() const;
+  /// Writes the document; throws CheckError if the file cannot be opened.
+  void save(const std::string& path) const;
+
+  /// A qualitative 12-color palette; pick(i) cycles deterministically.
+  static std::string palette(std::size_t i);
+
+ private:
+  double width_;
+  double height_;
+  std::vector<std::string> body_;
+};
+
+}  // namespace manet::util

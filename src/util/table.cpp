@@ -1,0 +1,91 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace manet::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (const char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == '%')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MANET_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MANET_CHECK(row.size() == header_.size(),
+              "row width " << row.size() << " != header width "
+                           << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int digits) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(digits) << v;
+  return oss.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  std::vector<bool> numeric(header_.size(), true);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+      if (!looks_numeric(row[c])) {
+        numeric[c] = false;
+      }
+    }
+  }
+
+  std::ostringstream oss;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        oss << "  ";
+      }
+      if (numeric[c] && !rows_.empty()) {
+        oss << std::setw(static_cast<int>(widths[c])) << std::right << row[c];
+      } else {
+        oss << std::setw(static_cast<int>(widths[c])) << std::left << row[c];
+      }
+    }
+    oss << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  oss << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return oss.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace manet::util

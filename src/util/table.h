@@ -1,0 +1,51 @@
+// ASCII table printer: right-aligned numeric columns, left-aligned text,
+// column separators — used by every bench binary to print paper-style rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace manet::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row. Must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for mixed string/number rows.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(to_cell(cells)), ...);
+    add_row(std::move(row));
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `digits` decimal places (helper for callers).
+  static std::string fmt(double v, int digits = 2);
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v) { return fmt(v); }
+  static std::string to_cell(float v) { return fmt(v); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace manet::util

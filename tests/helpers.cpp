@@ -1,0 +1,59 @@
+#include "helpers.h"
+
+#include <algorithm>
+
+#include "mobility/mobility_model.h"
+
+namespace manet::test {
+
+std::unique_ptr<StaticWorld> make_static_world(
+    const std::vector<geom::Vec2>& positions, double range,
+    cluster::ClusterOptions options, std::uint64_t seed) {
+  auto world = std::make_unique<StaticWorld>();
+
+  double w = 1.0;
+  double h = 1.0;
+  for (const auto p : positions) {
+    w = std::max(w, p.x + 1.0);
+    h = std::max(h, p.y + 1.0);
+  }
+
+  util::Rng root(seed);
+  world->network = std::make_unique<net::Network>(
+      world->sim, radio::make_paper_medium(range), geom::Rect(w, h),
+      net::NetworkParams{}, root.substream("network"));
+
+  options.sink = &world->stats;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    auto node = std::make_unique<net::Node>(
+        static_cast<net::NodeId>(i),
+        std::make_unique<mobility::StaticModel>(positions[i]),
+        root.substream("node", i));
+    auto agent = std::make_unique<cluster::WeightedClusterAgent>(options);
+    world->agents.push_back(agent.get());
+    node->set_agent(std::move(agent));
+    world->network->add_node(std::move(node));
+  }
+  world->network->start();
+  return world;
+}
+
+std::vector<geom::Vec2> figure1_positions() {
+  // Range 100 m. Three clusters: {0: 2, 3, 8}, {1: 5, 8, 9}, {4: 6, 7, 9};
+  // 8 bridges clusters 0/1 and 9 bridges 1/4. All coordinates shifted +100
+  // to stay on the positive quadrant.
+  return {
+      {100.0, 100.0},  // 0: head of cluster A
+      {280.0, 100.0},  // 1: head of cluster B
+      {160.0, 160.0},  // 2: member of A
+      {100.0, 180.0},  // 3: member of A
+      {460.0, 100.0},  // 4: head of cluster C
+      {300.0, 160.0},  // 5: member of B
+      {520.0, 150.0},  // 6: member of C
+      {510.0, 40.0},   // 7: member of C
+      {190.0, 100.0},  // 8: gateway A/B
+      {370.0, 100.0},  // 9: gateway B/C
+  };
+}
+
+}  // namespace manet::test

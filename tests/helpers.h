@@ -1,0 +1,57 @@
+// Shared test fixtures: hand-built static networks with attached clustering
+// agents, so protocol tests can assert on exact topologies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/agent.h"
+#include "cluster/stats.h"
+#include "geom/vec2.h"
+#include "net/network.h"
+#include "radio/medium.h"
+#include "sim/simulator.h"
+
+namespace manet::test {
+
+/// A complete static-topology simulation: nodes at fixed positions, free
+/// space radio calibrated to `range`, one clustering agent per node.
+struct StaticWorld {
+  sim::Simulator sim;
+  std::unique_ptr<net::Network> network;
+  std::vector<cluster::WeightedClusterAgent*> agents;
+  cluster::ClusterStats stats{0.0};
+
+  /// Runs `seconds` of simulated time.
+  void run(double seconds) { sim.run_until(sim.now() + seconds); }
+
+  const cluster::WeightedClusterAgent& agent(net::NodeId id) const {
+    return *agents.at(id);
+  }
+  std::vector<const cluster::WeightedClusterAgent*> const_agents() const {
+    return {agents.begin(), agents.end()};
+  }
+
+  /// Ids currently in Cluster_Head state.
+  std::vector<net::NodeId> heads() const {
+    std::vector<net::NodeId> out;
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+      if (agents[i]->role() == cluster::Role::kHead) {
+        out.push_back(static_cast<net::NodeId>(i));
+      }
+    }
+    return out;
+  }
+};
+
+/// Builds a StaticWorld. `options` is cloned per node with the world's
+/// stats collector injected as sink. Positions must be non-negative.
+std::unique_ptr<StaticWorld> make_static_world(
+    const std::vector<geom::Vec2>& positions, double range,
+    cluster::ClusterOptions options, std::uint64_t seed = 42);
+
+/// The 10-node topology of the paper's Figure 1 shape: three Lowest-ID
+/// clusters with heads {0, 1, 4} and gateways {8, 9} at range 100 m.
+std::vector<geom::Vec2> figure1_positions();
+
+}  // namespace manet::test

@@ -1,0 +1,95 @@
+// Weight total order, role conversions, presets.
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "cluster/types.h"
+#include "cluster/weight.h"
+#include "util/assert.h"
+
+namespace manet::cluster {
+namespace {
+
+TEST(WeightTest, LexicographicOrder) {
+  // Metric dominates...
+  EXPECT_LT((Weight{1.0, 99}), (Weight{2.0, 0}));
+  // ...and the id breaks ties (the paper's augmented weight {M, ID}).
+  EXPECT_LT((Weight{1.0, 3}), (Weight{1.0, 4}));
+  EXPECT_EQ((Weight{1.0, 3}), (Weight{1.0, 3}));
+}
+
+TEST(WeightTest, TotalOrderOnDistinctIds) {
+  // With distinct ids no two weights compare equal, whatever the metrics —
+  // the premise of Theorem 1.
+  const Weight a{5.0, 1};
+  const Weight b{5.0, 2};
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_NE(a, b);
+}
+
+TEST(RoleTest, AdvertRoundTrip) {
+  for (const Role r : {Role::kUndecided, Role::kHead, Role::kMember}) {
+    EXPECT_EQ(from_advert(to_advert(r)), r);
+  }
+  EXPECT_EQ(role_name(Role::kHead), "head");
+  EXPECT_EQ(role_name(Role::kUndecided), "undecided");
+  EXPECT_EQ(role_name(Role::kMember), "member");
+}
+
+TEST(PresetsTest, MobicConfiguration) {
+  const auto o = mobic_options(nullptr, 4.0);
+  EXPECT_EQ(o.kind, WeightKind::kMobility);
+  EXPECT_TRUE(o.lcc);
+  EXPECT_DOUBLE_EQ(o.cci, 4.0);
+  EXPECT_DOUBLE_EQ(o.mobility.ewma_alpha, 1.0);  // memoryless, as published
+}
+
+TEST(PresetsTest, LowestIdConfigurations) {
+  const auto lcc = lowest_id_lcc_options();
+  EXPECT_EQ(lcc.kind, WeightKind::kLowestId);
+  EXPECT_TRUE(lcc.lcc);
+  EXPECT_DOUBLE_EQ(lcc.cci, 0.0);
+  const auto plain = lowest_id_plain_options();
+  EXPECT_FALSE(plain.lcc);
+}
+
+TEST(PresetsTest, HistoryVariant) {
+  const auto o = mobic_history_options(0.3);
+  EXPECT_DOUBLE_EQ(o.mobility.ewma_alpha, 0.3);
+  EXPECT_EQ(o.kind, WeightKind::kMobility);
+}
+
+TEST(PresetsTest, ByNameLookups) {
+  EXPECT_EQ(options_by_name("mobic").kind, WeightKind::kMobility);
+  EXPECT_EQ(options_by_name("MOBIC").kind, WeightKind::kMobility);
+  EXPECT_EQ(options_by_name("lowest_id").kind, WeightKind::kLowestId);
+  EXPECT_TRUE(options_by_name("lowest_id").lcc);
+  EXPECT_FALSE(options_by_name("lowest_id_plain").lcc);
+  EXPECT_EQ(options_by_name("max_connectivity").kind,
+            WeightKind::kMaxConnectivity);
+  EXPECT_DOUBLE_EQ(options_by_name("mobic_history:0.25").mobility.ewma_alpha,
+                   0.25);
+  EXPECT_THROW(options_by_name("zeus"), util::CheckError);
+  EXPECT_THROW(options_by_name("mobic_history:2.0"), util::CheckError);
+}
+
+TEST(PresetsTest, WeightKindNames) {
+  EXPECT_EQ(weight_kind_name(WeightKind::kMobility), "mobic");
+  EXPECT_EQ(weight_kind_name(WeightKind::kLowestId), "lowest_id");
+  EXPECT_EQ(weight_kind_name(WeightKind::kMaxConnectivity),
+            "max_connectivity");
+  EXPECT_EQ(weight_kind_name(WeightKind::kStaticWeight), "dca_static");
+}
+
+TEST(AgentTest, RejectsBadOptions) {
+  ClusterOptions o = mobic_options();
+  o.cci = -1.0;
+  EXPECT_THROW(WeightedClusterAgent{o}, util::CheckError);
+  o = mobic_options();
+  o.adaptive_bi = true;
+  o.adaptive_bi_min = 5.0;
+  o.adaptive_bi_max = 1.0;
+  EXPECT_THROW(WeightedClusterAgent{o}, util::CheckError);
+}
+
+}  // namespace
+}  // namespace manet::cluster

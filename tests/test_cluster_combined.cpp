@@ -1,0 +1,107 @@
+// The WCA-style combined weight (extension): blends the paper's mobility
+// metric with a degree-fitness term.
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "helpers.h"
+#include "scenario/experiment.h"
+
+namespace manet::cluster {
+namespace {
+
+TEST(CombinedWeightTest, PresetConfiguration) {
+  const auto o = combined_options(2.0, 0.5, 6.0);
+  EXPECT_EQ(o.kind, WeightKind::kCombined);
+  EXPECT_DOUBLE_EQ(o.combined_mobility_weight, 2.0);
+  EXPECT_DOUBLE_EQ(o.combined_degree_weight, 0.5);
+  EXPECT_DOUBLE_EQ(o.combined_ideal_degree, 6.0);
+  EXPECT_TRUE(o.lcc);
+  EXPECT_EQ(options_by_name("combined").kind, WeightKind::kCombined);
+  EXPECT_EQ(options_by_name("wca").kind, WeightKind::kCombined);
+}
+
+TEST(CombinedWeightTest, DegreeTermElectsTheBestConnectedStaticNode) {
+  // Static star with ideal_degree = 3: the hub (degree 3) has penalty 0,
+  // peripherals (degree 1) have penalty 2 — the hub wins despite id 3,
+  // mirroring Max-Connectivity, but through the combined weight.
+  auto options = combined_options(1.0, 1.0, 3.0);
+  auto world = test::make_static_world(
+      {{0.0, 100.0}, {200.0, 100.0}, {100.0, 0.0}, {100.0, 90.0}}, 110.0,
+      options);
+  world->run(20.0);
+  EXPECT_EQ(world->agent(3).role(), Role::kHead);
+  for (net::NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(world->agent(i).cluster_head(), 3u);
+  }
+}
+
+TEST(CombinedWeightTest, ZeroDegreeWeightReducesToMobic) {
+  // With the degree term off, the combined metric equals M: on a static
+  // topology all metrics are ~0 and ids break ties like MOBIC.
+  auto options = combined_options(1.0, 0.0, 8.0);
+  auto world = test::make_static_world(test::figure1_positions(), 100.0,
+                                       options);
+  world->run(16.0);
+  EXPECT_EQ(world->heads(), (std::vector<net::NodeId>{0, 1, 4}));
+}
+
+TEST(CombinedWeightTest, MetricIsAdvertisedAndCompared) {
+  auto options = combined_options(1.0, 1.0, 2.0);
+  auto world = test::make_static_world(
+      {{0.0, 0.0}, {50.0, 0.0}, {100.0, 0.0}}, 120.0, options);
+  world->run(10.0);
+  // Chain of 3 within 120 m partially: node 1 hears both others
+  // (degree 2, penalty 0); 0 and 2 hear... 0-2 distance is 100 < 120, so
+  // all pairwise connected: everyone degree 2, penalty 0 -> tie -> id 0.
+  EXPECT_EQ(world->heads(), (std::vector<net::NodeId>{0}));
+  EXPECT_DOUBLE_EQ(world->agent(0).metric(), 0.0);
+}
+
+TEST(CombinedWeightTest, RunsInFullScenario) {
+  scenario::Scenario s;
+  s.n_nodes = 25;
+  s.fleet.field = geom::Rect(400.0, 400.0);
+  s.fleet.max_speed = 10.0;
+  s.tx_range = 120.0;
+  s.sim_time = 120.0;
+  const auto r = scenario::run_scenario(
+      s, scenario::factory_by_name("combined"));
+  EXPECT_GT(r.avg_clusters, 1.0);
+  EXPECT_EQ(r.final_validation.undecided, 0u);
+}
+
+TEST(SweepFieldsTest, AggregatesMultipleFieldsFromSameRuns) {
+  scenario::Scenario base;
+  base.n_nodes = 15;
+  base.fleet.field = geom::Rect(300.0, 300.0);
+  base.tx_range = 100.0;
+  base.sim_time = 60.0;
+  const auto series = scenario::sweep_fields(
+      base, {80.0, 150.0},
+      [](scenario::Scenario& s, double tx) { s.tx_range = tx; },
+      scenario::paper_algorithms(),
+      {{"cs", scenario::field_ch_changes},
+       {"clusters", scenario::field_avg_clusters}},
+      2);
+  ASSERT_EQ(series.size(), 2u);
+  for (const auto& p : series) {
+    for (const auto& alg : {"lowest_id", "mobic"}) {
+      ASSERT_TRUE(p.values.count(alg));
+      EXPECT_TRUE(p.values.at(alg).count("cs"));
+      EXPECT_TRUE(p.values.at(alg).count("clusters"));
+    }
+  }
+  // Clusters shrink with range, consistent with the single-field sweep().
+  EXPECT_LT(series[1].values.at("mobic").at("clusters").mean,
+            series[0].values.at("mobic").at("clusters").mean);
+  // Cross-check against sweep(): identical runs -> identical aggregates.
+  const auto single = scenario::sweep(
+      base, {80.0, 150.0},
+      [](scenario::Scenario& s, double tx) { s.tx_range = tx; },
+      scenario::paper_algorithms(), scenario::field_avg_clusters, 2);
+  EXPECT_DOUBLE_EQ(single[0].values.at("mobic").mean,
+                   series[0].values.at("mobic").at("clusters").mean);
+}
+
+}  // namespace
+}  // namespace manet::cluster

@@ -1,0 +1,288 @@
+// MOBIC-specific dynamics: metric-driven elections, the LCC member rule,
+// and the Cluster Contention Interval, exercised with trace-driven motion.
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "helpers.h"
+#include "mobility/trace.h"
+
+namespace manet::cluster {
+namespace {
+
+// World with trace-driven nodes and per-node cluster options.
+struct TraceWorld {
+  sim::Simulator sim;
+  std::unique_ptr<net::Network> network;
+  std::vector<WeightedClusterAgent*> agents;
+  ClusterStats stats{0.0};
+};
+
+std::unique_ptr<TraceWorld> make_trace_world(
+    const std::vector<mobility::PiecewiseLinearTrack>& tracks, double range,
+    ClusterOptions options, geom::Rect field = geom::Rect(2000.0, 2000.0)) {
+  auto world = std::make_unique<TraceWorld>();
+  util::Rng root(11);
+  net::NetworkParams params;
+  params.per_beacon_jitter = 0.001;
+  world->network = std::make_unique<net::Network>(
+      world->sim, radio::make_paper_medium(range), field, params,
+      root.substream("net"));
+  options.sink = &world->stats;
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    auto node = std::make_unique<net::Node>(
+        static_cast<net::NodeId>(i),
+        std::make_unique<mobility::TraceModel>(tracks[i]),
+        root.substream("node", i));
+    auto agent = std::make_unique<WeightedClusterAgent>(options);
+    world->agents.push_back(agent.get());
+    node->set_agent(std::move(agent));
+    world->network->add_node(std::move(node));
+  }
+  world->network->start();
+  return world;
+}
+
+mobility::PiecewiseLinearTrack track_of(
+    std::initializer_list<std::pair<double, geom::Vec2>> points) {
+  mobility::PiecewiseLinearTrack t;
+  for (const auto& [time, pos] : points) {
+    t.append(time, pos);
+  }
+  return t;
+}
+
+mobility::PiecewiseLinearTrack static_at(geom::Vec2 p, double until = 1e4) {
+  return track_of({{0.0, p}, {until, p}});
+}
+
+TEST(MobicDynamicsTest, MobileNodeDoesNotBecomeHeadDespiteLowId) {
+  // Node 0 (lowest id!) oscillates rapidly within range of a static trio
+  // 1,2,3. Lowest-ID would crown node 0; MOBIC must not, because node 0's
+  // power ratios swing every beacon while 1-3 are mutually static.
+  std::vector<mobility::PiecewiseLinearTrack> tracks;
+  mobility::PiecewiseLinearTrack zigzag;
+  for (int k = 0; k <= 100; ++k) {
+    // 10 s period triangle between x=900 and x=1100 -> +-20 m/s
+    zigzag.append(5.0 * k, {k % 2 == 0 ? 900.0 : 1100.0, 1000.0});
+  }
+  tracks.push_back(zigzag);
+  tracks.push_back(static_at({1000.0, 1060.0}));
+  tracks.push_back(static_at({1000.0, 1120.0}));
+  tracks.push_back(static_at({940.0, 1060.0}));
+
+  auto world = make_trace_world(tracks, 250.0, mobic_options());
+  world->sim.run_until(60.0);
+  EXPECT_NE(world->agents[0]->role(), Role::kHead)
+      << "fast node must not head a static neighborhood";
+  // The static trio elected one of themselves...
+  int head = -1;
+  for (int i = 1; i <= 3; ++i) {
+    if (world->agents[i]->role() == Role::kHead) {
+      EXPECT_EQ(head, -1) << "two heads in one neighborhood";
+      head = i;
+    }
+  }
+  ASSERT_NE(head, -1);
+  // ...namely one with a lower aggregate mobility than the zigzagger, whose
+  // own M clearly registers the motion.
+  EXPECT_GT(world->agents[0]->metric(), 1.0);
+  EXPECT_LT(world->agents[head]->metric(), world->agents[0]->metric());
+}
+
+TEST(MobicDynamicsTest, LowestIdWouldCrownTheMobileNode) {
+  // Same topology under Lowest-ID: node 0 wins on id despite its motion —
+  // the exact pathology §3 opens with.
+  std::vector<mobility::PiecewiseLinearTrack> tracks;
+  mobility::PiecewiseLinearTrack zigzag;
+  for (int k = 0; k <= 100; ++k) {
+    zigzag.append(5.0 * k, {k % 2 == 0 ? 900.0 : 1100.0, 1000.0});
+  }
+  tracks.push_back(zigzag);
+  tracks.push_back(static_at({1000.0, 1060.0}));
+  tracks.push_back(static_at({1000.0, 1120.0}));
+  tracks.push_back(static_at({940.0, 1060.0}));
+
+  auto world = make_trace_world(tracks, 250.0, lowest_id_lcc_options());
+  world->sim.run_until(60.0);
+  EXPECT_EQ(world->agents[0]->role(), Role::kHead);
+}
+
+TEST(MobicDynamicsTest, LccRuleMemberPassingThroughDoesNotRecluster) {
+  // Two adjacent clusters whose coverage areas overlap (heads 160 m apart,
+  // range 100 m, so the heads do not hear each other). A member of cluster
+  // A drifts into cluster B's range *while staying in range of its own
+  // head*, then returns. LCC (§3.2, 4th bullet): no reclustering.
+  std::vector<mobility::PiecewiseLinearTrack> tracks;
+  tracks.push_back(static_at({200.0, 200.0}));  // 0: head A
+  tracks.push_back(track_of({{0.0, {260.0, 200.0}},
+                             {30.0, {260.0, 200.0}},
+                             {60.0, {290.0, 200.0}},  // inside B's range now
+                             {90.0, {260.0, 200.0}},
+                             {1000.0, {260.0, 200.0}}}));  // 1: wanderer
+  tracks.push_back(static_at({360.0, 200.0}));  // 2: head B
+  tracks.push_back(static_at({420.0, 200.0}));  // 3: member B
+
+  auto world = make_trace_world(tracks, 100.0, mobic_options(),
+                                geom::Rect(1000.0, 500.0));
+  world->sim.run_until(20.0);
+  ASSERT_EQ(world->agents[0]->role(), Role::kHead);
+  ASSERT_EQ(world->agents[2]->role(), Role::kHead);
+  ASSERT_EQ(world->agents[1]->cluster_head(), 0u);
+  const auto role_changes_before = world->stats.role_changes();
+
+  world->sim.run_until(120.0);
+  // No role changed anywhere: the wanderer stayed a member of head 0, and
+  // neither head was deposed.
+  EXPECT_EQ(world->agents[0]->role(), Role::kHead);
+  EXPECT_EQ(world->agents[2]->role(), Role::kHead);
+  EXPECT_EQ(world->agents[1]->cluster_head(), 0u);
+  EXPECT_EQ(world->stats.role_changes(), role_changes_before)
+      << "member transit must not trigger reclustering (LCC)";
+}
+
+TEST(MobicDynamicsTest, CciFiltersIncidentalHeadContact) {
+  // Two single-node clusters pass within range for ~2 s (< CCI = 4 s):
+  // with MOBIC neither head resigns; with CCI = 0 one of them does.
+  const auto build_tracks = [] {
+    std::vector<mobility::PiecewiseLinearTrack> tracks;
+    tracks.push_back(static_at({500.0, 500.0}));  // head 0
+    // Head 1 sweeps past: inside 100 m of node 0 only around t ~ 50 s.
+    tracks.push_back(track_of({{0.0, {500.0, 2500.0}},
+                               {100.0, {500.0, -1500.0}}}));  // 40 m/s
+    return tracks;
+  };
+
+  // 40 m/s: within 100 m for |y-500|<100 -> t in [47.5, 52.5], 5 s...
+  // use 60 m/s to keep the contact under the CCI. Rebuild with speed 60:
+  std::vector<mobility::PiecewiseLinearTrack> fast;
+  fast.push_back(static_at({500.0, 500.0}));
+  fast.push_back(track_of({{0.0, {500.0, 3500.0}},
+                           {100.0, {500.0, -2500.0}}}));  // 60 m/s
+  {
+    // CCI = 8 s: the ~3.3 s geometric contact plus the one-beacon
+    // detection lag stays safely under the interval, so nobody resigns.
+    // (At the paper's CCI = 4 s this exact contact is borderline: beacon
+    // phasing decides whether the rival still looks fresh when the timer
+    // matures — an artifact any beacon-driven implementation shares.)
+    auto world = make_trace_world(fast, 100.0, mobic_options(nullptr, 8.0),
+                                  geom::Rect(1000.0, 4000.0));
+    world->sim.run_until(40.0);
+    ASSERT_EQ(world->agents[0]->role(), Role::kHead);
+    ASSERT_EQ(world->agents[1]->role(), Role::kHead);
+    const auto losses_before = world->stats.head_losses();
+    world->sim.run_until(80.0);
+    EXPECT_EQ(world->stats.head_losses(), losses_before)
+        << "a ~3 s contact must be ignored under CCI = 8 s";
+    EXPECT_EQ(world->agents[0]->role(), Role::kHead);
+    EXPECT_EQ(world->agents[1]->role(), Role::kHead);
+  }
+  {
+    // Ablation in miniature: CCI = 0 resolves the same contact.
+    auto world = make_trace_world(fast, 100.0, mobic_options(nullptr, 0.0),
+                                  geom::Rect(1000.0, 4000.0));
+    world->sim.run_until(40.0);
+    const auto losses_before = world->stats.head_losses();
+    world->sim.run_until(80.0);
+    EXPECT_GT(world->stats.head_losses(), losses_before)
+        << "with CCI = 0 the contact must trigger a resignation";
+  }
+
+  (void)build_tracks;
+}
+
+TEST(MobicDynamicsTest, SustainedHeadContactResolvesByLowerMobility) {
+  // Two heads converge and then stay in range: after CCI the one with the
+  // higher aggregate mobility must resign (§3.2 last bullet). Node 0 (low
+  // id!) keeps moving around its spot; node 1 is perfectly static — MOBIC
+  // must keep node 1 and depose node 0, the opposite of the id tie-break.
+  std::vector<mobility::PiecewiseLinearTrack> tracks;
+  // Node 0 jitters around (450, 500) after arriving at t = 30.
+  mobility::PiecewiseLinearTrack jitter;
+  jitter.append(0.0, {100.0, 500.0});
+  jitter.append(30.0, {450.0, 500.0});
+  for (int k = 1; k <= 200; ++k) {
+    jitter.append(30.0 + 2.5 * k,
+                  {k % 2 == 0 ? 450.0 : 480.0, 500.0});  // 12 m/s wobble
+  }
+  tracks.push_back(jitter);
+  tracks.push_back(static_at({520.0, 500.0}));  // node 1: static head
+  // Give each head a static companion so M comparisons have samples and
+  // the clusters are non-trivial.
+  mobility::PiecewiseLinearTrack comp0;  // follows node 0's approach
+  comp0.append(0.0, {60.0, 500.0});
+  comp0.append(30.0, {410.0, 540.0});
+  comp0.append(1000.0, {410.0, 540.0});
+  tracks.push_back(comp0);
+  tracks.push_back(static_at({560.0, 540.0}));  // companion of node 1
+
+  auto world = make_trace_world(tracks, 100.0, mobic_options(),
+                                geom::Rect(1000.0, 1000.0));
+  // Before contact: two clusters with heads 0 and 1.
+  world->sim.run_until(25.0);
+  EXPECT_EQ(world->agents[0]->role(), Role::kHead);
+  EXPECT_EQ(world->agents[1]->role(), Role::kHead);
+  // After sustained contact (> CCI) the wobbling node 0 must yield.
+  world->sim.run_until(80.0);
+  EXPECT_EQ(world->agents[1]->role(), Role::kHead)
+      << "static node must retain headship";
+  EXPECT_NE(world->agents[0]->role(), Role::kHead)
+      << "mobile node must resign after CCI despite its lower id";
+}
+
+TEST(MobicDynamicsTest, EqualMetricsFallBackToLowestId) {
+  // All static (every M = 0): two heads brought into contact resolve by id.
+  std::vector<mobility::PiecewiseLinearTrack> tracks;
+  tracks.push_back(track_of({{0.0, {100.0, 100.0}},
+                             {20.0, {100.0, 100.0}},
+                             {40.0, {260.0, 100.0}},
+                             {1000.0, {260.0, 100.0}}}));  // 1 moves to 0? no:
+  // index 0 is the mover (ends near node 1).
+  tracks.push_back(static_at({340.0, 100.0}));
+
+  auto world = make_trace_world(tracks, 100.0, mobic_options(),
+                                geom::Rect(600.0, 300.0));
+  world->sim.run_until(20.0);
+  EXPECT_EQ(world->agents[0]->role(), Role::kHead);
+  EXPECT_EQ(world->agents[1]->role(), Role::kHead);
+  world->sim.run_until(120.0);  // in range (80 m) once 0 arrives; M decays
+                                // to ~0 for both after 0 stops
+  // Ties at M ~ 0 resolve by id: node 0 keeps the role, node 1 resigns.
+  EXPECT_EQ(world->agents[0]->role(), Role::kHead);
+  EXPECT_EQ(world->agents[1]->role(), Role::kMember);
+  EXPECT_EQ(world->agents[1]->cluster_head(), 0u);
+}
+
+TEST(MobicDynamicsTest, AdaptiveBeaconIntervalTracksMobility) {
+  // §5 extension: a node in a static neighborhood relaxes its beacon rate;
+  // a node in a churning neighborhood speeds up.
+  ClusterOptions opts = mobic_options();
+  opts.adaptive_bi = true;
+  opts.adaptive_bi_min = 1.0;
+  opts.adaptive_bi_max = 4.0;
+  opts.adaptive_bi_ref = 5.0;
+
+  std::vector<mobility::PiecewiseLinearTrack> calm;
+  calm.push_back(static_at({100.0, 100.0}));
+  calm.push_back(static_at({150.0, 100.0}));
+  auto world = make_trace_world(calm, 250.0, opts, geom::Rect(400, 400));
+  world->sim.run_until(30.0);
+  // Static pair: M = 0 -> period drifts to the slow end, which is clamped
+  // to 0.8 * TP = 2.4 s (beaconing slower than the neighbor timeout would
+  // flap the tables).
+  EXPECT_NEAR(world->network->node(0).beacon_period(), 2.4, 0.01);
+
+  std::vector<mobility::PiecewiseLinearTrack> busy;
+  busy.push_back(static_at({500.0, 500.0}));
+  mobility::PiecewiseLinearTrack osc;
+  for (int k = 0; k <= 300; ++k) {
+    osc.append(2.0 * k, {k % 2 == 0 ? 450.0 : 650.0, 500.0});
+  }
+  busy.push_back(osc);
+  auto world2 = make_trace_world(busy, 250.0, opts, geom::Rect(1000, 1000));
+  world2->sim.run_until(30.0);
+  // Strictly faster than the calm clamp of 2.4 s.
+  EXPECT_LT(world2->network->node(0).beacon_period(), 2.2);
+}
+
+}  // namespace
+}  // namespace manet::cluster

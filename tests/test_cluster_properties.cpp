@@ -1,0 +1,158 @@
+// Property-based tests of Theorem 1 (paper §3.2): for every algorithm in
+// the weight-based family, on random static topologies of varying density,
+// the converged clustering satisfies
+//   (a) every node is decided,
+//   (b) clusters have diameter <= 2 hops (every member hears its head),
+//   (c) no two clusterheads are within range of each other,
+// and the clusterhead set is exactly the expected one for Lowest-ID
+// (computed by an independent reference implementation).
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "cluster/validation.h"
+#include "helpers.h"
+#include "mobility/trace.h"
+#include "util/rng.h"
+
+namespace manet::cluster {
+namespace {
+
+std::vector<geom::Vec2> random_positions(std::uint64_t seed, std::size_t n,
+                                         double side) {
+  util::Rng rng(seed);
+  const geom::Rect field(side, side);
+  std::vector<geom::Vec2> out(n);
+  for (auto& p : out) {
+    p = field.sample(rng);
+  }
+  return out;
+}
+
+// Reference Lowest-ID head set: greedy over ascending ids — a node becomes
+// a head iff no smaller-id node within range is already a head and it is
+// not "covered"... precisely: process ids ascending; a node is a head iff
+// no head among its in-range smaller-id nodes.
+std::vector<bool> reference_lowest_id_heads(
+    const std::vector<geom::Vec2>& pos, double range) {
+  std::vector<bool> head(pos.size(), false);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    bool covered = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (head[j] && geom::distance(pos[i], pos[j]) <= range) {
+        covered = true;
+        break;
+      }
+    }
+    head[i] = !covered;
+  }
+  return head;
+}
+
+struct Params {
+  std::uint64_t seed;
+  std::size_t n;
+  double side;
+  double range;
+};
+
+class TheoremOne : public ::testing::TestWithParam<Params> {};
+
+TEST_P(TheoremOne, HoldsForAllAlgorithms) {
+  const auto p = GetParam();
+  const auto positions = random_positions(p.seed, p.n, p.side);
+
+  const std::vector<std::pair<std::string, ClusterOptions>> algorithms = {
+      {"lowest_id", lowest_id_lcc_options()},
+      {"mobic", mobic_options()},
+      {"max_connectivity", max_connectivity_options()},
+      {"plain", lowest_id_plain_options()},
+  };
+  for (const auto& [name, options] : algorithms) {
+    auto world = test::make_static_world(positions, p.range, options,
+                                         p.seed ^ 0xABCD);
+    // Convergence is O(network diameter) beacon rounds; be generous.
+    world->run(40.0);
+    const auto report =
+        validate_clusters(*world->network, world->const_agents(), 40.0);
+    EXPECT_TRUE(report.clean())
+        << name << " on seed=" << p.seed << " n=" << p.n
+        << " range=" << p.range << ": " << report.to_string();
+  }
+}
+
+TEST_P(TheoremOne, LowestIdMatchesReferenceHeadSet) {
+  const auto p = GetParam();
+  const auto positions = random_positions(p.seed, p.n, p.side);
+  const auto expected = reference_lowest_id_heads(positions, p.range);
+
+  auto world = test::make_static_world(positions, p.range,
+                                       lowest_id_lcc_options(), p.seed);
+  world->run(40.0);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_EQ(world->agents[i]->role() == Role::kHead, expected[i])
+        << "node " << i << " seed=" << p.seed << " n=" << p.n
+        << " range=" << p.range;
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_n" +
+         std::to_string(info.param.n) + "_r" +
+         std::to_string(static_cast<int>(info.param.range));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTopologies, TheoremOne,
+    ::testing::Values(
+        // Sparse to dense, small to larger, across seeds.
+        Params{1, 10, 400.0, 80.0}, Params{2, 10, 400.0, 150.0},
+        Params{3, 20, 500.0, 100.0}, Params{4, 20, 500.0, 250.0},
+        Params{5, 30, 670.0, 60.0}, Params{6, 30, 670.0, 120.0},
+        Params{7, 40, 670.0, 200.0}, Params{8, 50, 670.0, 100.0},
+        Params{9, 50, 1000.0, 150.0}, Params{10, 15, 300.0, 300.0}),
+    param_name);
+
+// Dynamic-scenario safety property: Theorem 1's "no two heads in range"
+// may be transiently violated while nodes move (contention is deferred by
+// CCI), but must be restored once motion stops.
+TEST(TheoremOneDynamic, QuiescenceRestoresInvariants) {
+  // Nodes move for 60 s, then freeze (trace clamps to the last position).
+  util::Rng rng(77);
+  const geom::Rect field(500.0, 500.0);
+  std::vector<mobility::PiecewiseLinearTrack> tracks;
+  for (int i = 0; i < 20; ++i) {
+    mobility::PiecewiseLinearTrack t;
+    geom::Vec2 p = field.sample(rng);
+    t.append(0.0, p);
+    for (double time = 10.0; time <= 60.0; time += 10.0) {
+      p = field.sample(rng);
+      t.append(time, p);
+    }
+    tracks.push_back(std::move(t));
+  }
+
+  sim::Simulator sim;
+  util::Rng root(78);
+  net::Network network(sim, radio::make_paper_medium(150.0), field,
+                       net::NetworkParams{}, root.substream("net"));
+  std::vector<const WeightedClusterAgent*> agents;
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    auto node = std::make_unique<net::Node>(
+        static_cast<net::NodeId>(i),
+        std::make_unique<mobility::TraceModel>(tracks[i]),
+        root.substream("node", i));
+    auto agent =
+        std::make_unique<WeightedClusterAgent>(mobic_options());
+    agents.push_back(agent.get());
+    node->set_agent(std::move(agent));
+    network.add_node(std::move(node));
+  }
+  network.start();
+  // Long after quiescence (M decays to 0 and contentions resolve):
+  sim.run_until(150.0);
+  const auto report = validate_clusters(network, agents, 150.0);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace manet::cluster

@@ -1,0 +1,180 @@
+// Clustering on fixed topologies: the paper's Figure-1 structure, isolated
+// nodes, chains, and the DCA / Max-Connectivity variants.
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "cluster/validation.h"
+#include "helpers.h"
+
+namespace manet::cluster {
+namespace {
+
+using test::figure1_positions;
+using test::make_static_world;
+
+TEST(LowestIdStaticTest, Figure1Topology) {
+  auto world = make_static_world(figure1_positions(), 100.0,
+                                 lowest_id_lcc_options());
+  world->run(12.0);  // several beacon rounds: convergence is O(diameter)
+
+  // Paper Figure 1 structure: three clusters, heads = the lowest ids that
+  // hear no lower id, gateways bridging adjacent clusters.
+  EXPECT_EQ(world->heads(), (std::vector<net::NodeId>{0, 1, 4}));
+  EXPECT_EQ(world->agent(2).cluster_head(), 0u);
+  EXPECT_EQ(world->agent(3).cluster_head(), 0u);
+  EXPECT_EQ(world->agent(5).cluster_head(), 1u);
+  EXPECT_EQ(world->agent(6).cluster_head(), 4u);
+  EXPECT_EQ(world->agent(7).cluster_head(), 4u);
+  // 8 hears heads 0 and 1 -> gateway; LCC keeps whichever it joined first.
+  EXPECT_TRUE(world->agent(8).is_gateway());
+  EXPECT_TRUE(world->agent(8).cluster_head() == 0u ||
+              world->agent(8).cluster_head() == 1u);
+  // 9 hears heads 1 and 4 -> gateway.
+  EXPECT_TRUE(world->agent(9).is_gateway());
+  EXPECT_TRUE(world->agent(9).cluster_head() == 1u ||
+              world->agent(9).cluster_head() == 4u);
+  // Non-gateway members are not flagged.
+  EXPECT_FALSE(world->agent(2).is_gateway());
+
+  const auto report =
+      validate_clusters(*world->network, world->const_agents(), 12.0);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(MobicStaticTest, Figure1TopologyMatchesLowestId) {
+  // All nodes static -> every M = 0 -> MOBIC's augmented weight degrades to
+  // the ID tie-break, reproducing the Lowest-ID result exactly.
+  auto world =
+      make_static_world(figure1_positions(), 100.0, mobic_options());
+  world->run(16.0);  // CCI adds settling time
+  EXPECT_EQ(world->heads(), (std::vector<net::NodeId>{0, 1, 4}));
+  for (const auto* agent : world->agents) {
+    EXPECT_DOUBLE_EQ(agent->metric(), 0.0);
+  }
+  const auto report =
+      validate_clusters(*world->network, world->const_agents(), 16.0);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(LowestIdStaticTest, IsolatedNodesBecomeTheirOwnHeads) {
+  auto world = make_static_world(
+      {{0.0, 0.0}, {500.0, 0.0}, {1000.0, 0.0}}, 100.0,
+      lowest_id_lcc_options());
+  world->run(8.0);
+  EXPECT_EQ(world->heads(), (std::vector<net::NodeId>{0, 1, 2}));
+}
+
+TEST(LowestIdStaticTest, SingleClusterWhenAllInRange) {
+  auto world = make_static_world(
+      {{0.0, 0.0}, {30.0, 0.0}, {0.0, 30.0}, {30.0, 30.0}}, 100.0,
+      lowest_id_lcc_options());
+  world->run(8.0);
+  EXPECT_EQ(world->heads(), (std::vector<net::NodeId>{0}));
+  for (net::NodeId i = 1; i <= 3; ++i) {
+    EXPECT_EQ(world->agent(i).role(), Role::kMember);
+    EXPECT_EQ(world->agent(i).cluster_head(), 0u);
+  }
+}
+
+TEST(LowestIdStaticTest, ChainAlternatesHeads) {
+  // 5 nodes in a line, 80 m spacing, range 100: only adjacent pairs hear
+  // each other. Lowest-ID: 0 heads {0,1}; 2 heads {2,3}; 4 heads itself.
+  std::vector<geom::Vec2> line;
+  for (int i = 0; i < 5; ++i) {
+    line.push_back({80.0 * i, 0.0});
+  }
+  auto world = make_static_world(line, 100.0, lowest_id_lcc_options());
+  world->run(12.0);
+  EXPECT_EQ(world->heads(), (std::vector<net::NodeId>{0, 2, 4}));
+  EXPECT_EQ(world->agent(1).cluster_head(), 0u);
+  EXPECT_EQ(world->agent(3).cluster_head(), 2u);
+  const auto report =
+      validate_clusters(*world->network, world->const_agents(), 12.0);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(LowestIdStaticTest, HighIdHubDefersToPeripheralLowIds) {
+  // Star: center (id 3) hears 0, 1, 2 (which only hear the center).
+  // 0, 1, 2 are heads (no lower undecided neighbor); 3 joins the best: 0.
+  auto world = make_static_world(
+      {{0.0, 100.0}, {200.0, 100.0}, {100.0, 0.0}, {100.0, 90.0}}, 110.0,
+      lowest_id_lcc_options());
+  world->run(12.0);
+  // Distances from center (100,90): to 0 = ~100.5, 1 = ~100.5, 2 = 90.
+  // Range 110 covers all three; peripheral nodes are ~200 apart.
+  EXPECT_EQ(world->agent(3).role(), Role::kMember);
+  EXPECT_EQ(world->agent(3).cluster_head(), 0u);
+  EXPECT_EQ(world->heads(), (std::vector<net::NodeId>{0, 1, 2}));
+}
+
+TEST(MaxConnectivityStaticTest, HighestDegreeWins) {
+  // Same star: the center (id 3) has degree 3; the others degree 1.
+  // Max-connectivity elects the center despite its high id.
+  auto world = make_static_world(
+      {{0.0, 100.0}, {200.0, 100.0}, {100.0, 0.0}, {100.0, 90.0}}, 110.0,
+      max_connectivity_options());
+  world->run(20.0);
+  EXPECT_EQ(world->agent(3).role(), Role::kHead);
+  for (net::NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(world->agent(i).role(), Role::kMember) << "node " << i;
+    EXPECT_EQ(world->agent(i).cluster_head(), 3u);
+  }
+}
+
+TEST(DcaStaticTest, StaticWeightsDriveElection) {
+  // Two nodes in range; the higher id has the lower DCA weight and must win.
+  ClusterOptions low = dca_options(1.0);
+  ClusterOptions high = dca_options(9.0);
+
+  sim::Simulator sim;
+  util::Rng root(5);
+  net::Network network(sim, radio::make_paper_medium(100.0),
+                       geom::Rect(200.0, 200.0), net::NetworkParams{},
+                       root.substream("net"));
+  std::vector<WeightedClusterAgent*> agents;
+  for (net::NodeId i = 0; i < 2; ++i) {
+    auto node = std::make_unique<net::Node>(
+        i,
+        std::make_unique<mobility::StaticModel>(
+            geom::Vec2{50.0 + 40.0 * i, 50.0}),
+        root.substream("node", i));
+    auto agent =
+        std::make_unique<WeightedClusterAgent>(i == 0 ? high : low);
+    agents.push_back(agent.get());
+    node->set_agent(std::move(agent));
+    network.add_node(std::move(node));
+  }
+  network.start();
+  sim.run_until(10.0);
+  EXPECT_EQ(agents[1]->role(), Role::kHead);  // weight 1.0 beats 9.0
+  EXPECT_EQ(agents[0]->role(), Role::kMember);
+  EXPECT_EQ(agents[0]->cluster_head(), 1u);
+}
+
+TEST(PlainLowestIdStaticTest, ConvergesOnStaticTopology) {
+  // Without mobility the eager variant settles to the same answer as LCC.
+  auto world = make_static_world(figure1_positions(), 100.0,
+                                 lowest_id_plain_options());
+  world->run(12.0);
+  EXPECT_EQ(world->heads(), (std::vector<net::NodeId>{0, 1, 4}));
+}
+
+TEST(StaticTest, EveryNodeEndsDecided) {
+  auto world = make_static_world(figure1_positions(), 100.0,
+                                 lowest_id_lcc_options());
+  world->run(12.0);
+  for (const auto* a : world->agents) {
+    EXPECT_NE(a->role(), Role::kUndecided);
+  }
+}
+
+TEST(StaticTest, AgentsCountDecisions) {
+  auto world = make_static_world({{0.0, 0.0}, {10.0, 0.0}}, 100.0,
+                                 lowest_id_lcc_options());
+  world->run(10.0);
+  // One decision per beacon; BI = 2 s over 10 s -> ~5.
+  EXPECT_NEAR(world->agent(0).decisions(), 5.0, 1.0);
+}
+
+}  // namespace
+}  // namespace manet::cluster

@@ -1,0 +1,126 @@
+// ClusterStats event accounting, the role sampler, and the Theorem-1
+// validators.
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "cluster/stats.h"
+#include "cluster/validation.h"
+#include "helpers.h"
+
+namespace manet::cluster {
+namespace {
+
+TEST(ClusterStatsTest, CountsHeadTransitions) {
+  ClusterStats stats(0.0);
+  stats.on_role_change(1.0, 7, Role::kUndecided, Role::kHead);
+  stats.on_role_change(5.0, 7, Role::kHead, Role::kMember);
+  stats.on_role_change(6.0, 8, Role::kUndecided, Role::kMember);
+  EXPECT_EQ(stats.head_gains(), 1u);
+  EXPECT_EQ(stats.head_losses(), 1u);
+  EXPECT_EQ(stats.clusterhead_changes(), 2u);
+  EXPECT_EQ(stats.role_changes(), 3u);
+}
+
+TEST(ClusterStatsTest, WarmupExcludesInitialElection) {
+  ClusterStats stats(10.0);
+  stats.on_role_change(2.0, 1, Role::kUndecided, Role::kHead);  // warm-up
+  stats.on_role_change(12.0, 1, Role::kHead, Role::kMember);
+  EXPECT_EQ(stats.head_gains(), 0u);
+  EXPECT_EQ(stats.head_losses(), 1u);
+  EXPECT_EQ(stats.clusterhead_changes(), 1u);
+}
+
+TEST(ClusterStatsTest, ReignLifetimesSpanWarmup) {
+  // Lifetimes are measured from the actual election even if it happened
+  // during warm-up.
+  ClusterStats stats(10.0);
+  stats.on_role_change(2.0, 1, Role::kUndecided, Role::kHead);
+  stats.on_role_change(52.0, 1, Role::kHead, Role::kMember);
+  EXPECT_EQ(stats.head_lifetimes().count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.head_lifetimes().mean(), 50.0);
+}
+
+TEST(ClusterStatsTest, FinishClosesOpenReigns) {
+  ClusterStats stats(0.0);
+  stats.on_role_change(100.0, 3, Role::kUndecided, Role::kHead);
+  stats.finish(900.0);
+  EXPECT_EQ(stats.head_lifetimes().count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.head_lifetimes().mean(), 800.0);
+  EXPECT_THROW(stats.finish(900.0), util::CheckError);  // double finish
+}
+
+TEST(ClusterStatsTest, ReaffiliationRules) {
+  ClusterStats stats(0.0);
+  // Member switching clusters: counts.
+  stats.on_affiliation_change(1.0, 5, 2, 3);
+  // Gaining a first head or losing the last: not a reaffiliation.
+  stats.on_affiliation_change(2.0, 5, net::kInvalidNode, 2);
+  stats.on_affiliation_change(3.0, 5, 2, net::kInvalidNode);
+  // Becoming one's own head: not a reaffiliation.
+  stats.on_affiliation_change(4.0, 5, 2, 5);
+  stats.on_affiliation_change(5.0, 5, 5, 2);
+  EXPECT_EQ(stats.reaffiliations(), 1u);
+}
+
+TEST(ClusterSamplerTest, CountsRoles) {
+  auto world = test::make_static_world(test::figure1_positions(), 100.0,
+                                       lowest_id_lcc_options());
+  world->run(12.0);
+  ClusterSampler sampler(world->sim, world->const_agents());
+  sampler.sample_now();
+  EXPECT_EQ(sampler.samples(), 1u);
+  EXPECT_DOUBLE_EQ(sampler.num_clusters().mean(), 3.0);
+  EXPECT_DOUBLE_EQ(sampler.num_gateways().mean(), 2.0);
+  EXPECT_DOUBLE_EQ(sampler.num_undecided().mean(), 0.0);
+  // 10 nodes in 3 clusters: sizes sum to 10, so the mean is 10/3.
+  EXPECT_NEAR(sampler.cluster_sizes().mean(), 10.0 / 3.0, 1e-12);
+}
+
+TEST(ClusterSamplerTest, PeriodicSamplingWindow) {
+  auto world = test::make_static_world({{0.0, 0.0}, {10.0, 0.0}}, 100.0,
+                                       lowest_id_lcc_options());
+  ClusterSampler sampler(world->sim, world->const_agents());
+  sampler.start(5.0, 1.0, 10.0);
+  world->run(30.0);
+  EXPECT_EQ(sampler.samples(), 6u);  // t = 5..10 inclusive
+}
+
+TEST(ClusterSamplerTest, RejectsBadSetup) {
+  sim::Simulator sim;
+  EXPECT_THROW(ClusterSampler(sim, {}), util::CheckError);
+  EXPECT_THROW(ClusterSampler(sim, {nullptr}), util::CheckError);
+}
+
+TEST(ValidationTest, CleanOnConvergedTopology) {
+  auto world = test::make_static_world(test::figure1_positions(), 100.0,
+                                       mobic_options());
+  world->run(16.0);
+  const auto report =
+      validate_clusters(*world->network, world->const_agents(), 16.0);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.connected_nodes, 10u);
+  EXPECT_NE(report.to_string().find("undecided=0"), std::string::npos);
+}
+
+TEST(ValidationTest, DetectsAdjacentHeads) {
+  // Freeze the protocol immediately after boot (before any decision):
+  // every node is undecided -> the validator reports them.
+  auto world = test::make_static_world({{0.0, 0.0}, {50.0, 0.0}}, 100.0,
+                                       lowest_id_lcc_options());
+  world->run(0.5);  // not even one beacon round
+  const auto report =
+      validate_clusters(*world->network, world->const_agents(), 0.5);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.undecided, 2u);
+}
+
+TEST(ValidationTest, SizeMismatchRejected) {
+  auto world = test::make_static_world({{0.0, 0.0}, {50.0, 0.0}}, 100.0,
+                                       lowest_id_lcc_options());
+  std::vector<const WeightedClusterAgent*> wrong = {world->agents[0]};
+  EXPECT_THROW(validate_clusters(*world->network, wrong, 1.0),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace manet::cluster

@@ -1,0 +1,141 @@
+// Failure injection: clusterhead crashes, mass failures, recovery, heavy
+// packet loss — the clustering protocol must heal without manual resets.
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "cluster/validation.h"
+#include "helpers.h"
+
+namespace manet::cluster {
+namespace {
+
+using test::figure1_positions;
+using test::make_static_world;
+
+TEST(FailureInjectionTest, DeadClusterheadIsReplaced) {
+  auto world = make_static_world(figure1_positions(), 100.0,
+                                 lowest_id_lcc_options());
+  world->run(12.0);
+  ASSERT_EQ(world->heads(), (std::vector<net::NodeId>{0, 1, 4}));
+
+  // Kill head 0. Its members (2, 3, and possibly 8) must re-elect within a
+  // few beacon rounds: the new head of that area is node 2 (lowest alive).
+  world->network->node(0).fail();
+  world->run(20.0);
+  EXPECT_EQ(world->agent(2).role(), Role::kHead);
+  EXPECT_EQ(world->agent(3).role(), Role::kMember);
+  EXPECT_EQ(world->agent(3).cluster_head(), 2u);
+  // Node 8 re-homed to a surviving head (1 or the new 2).
+  EXPECT_EQ(world->agent(8).role(), Role::kMember);
+  const auto h8 = world->agent(8).cluster_head();
+  EXPECT_TRUE(h8 == 1u || h8 == 2u) << "head=" << h8;
+}
+
+TEST(FailureInjectionTest, RecoveredHeadRejoinsWithoutDisruption) {
+  auto world = make_static_world(figure1_positions(), 100.0,
+                                 lowest_id_lcc_options());
+  world->run(12.0);
+  world->network->node(0).fail();
+  world->run(20.0);
+  ASSERT_EQ(world->agent(2).role(), Role::kHead);
+
+  // Node 0 comes back: it joins the standing cluster structure (its table
+  // was cleared by the outage and it hears head 2) — the LCC rule means no
+  // takeover happens even though 0 has the lowest id.
+  world->network->node(0).recover();
+  world->run(20.0);
+  EXPECT_TRUE(world->network->node(0).alive());
+  EXPECT_EQ(world->agent(0).role(), Role::kMember);
+  EXPECT_EQ(world->agent(0).cluster_head(), 2u);
+  EXPECT_EQ(world->agent(2).role(), Role::kHead);
+}
+
+TEST(FailureInjectionTest, MassFailureLeavesSurvivorsConsistent) {
+  auto world = make_static_world(figure1_positions(), 100.0,
+                                 mobic_options());
+  world->run(16.0);
+  // Kill over half the network, including two heads.
+  for (const net::NodeId id : {0u, 1u, 3u, 5u, 6u, 9u}) {
+    world->network->node(id).fail();
+  }
+  world->run(30.0);
+  // Survivors: 2, 4, 7, 8. All decided, and the Theorem-1 invariants hold
+  // among the living.
+  std::vector<net::NodeId> alive = {2, 4, 7, 8};
+  for (const auto id : alive) {
+    EXPECT_NE(world->agent(id).role(), Role::kUndecided) << "node " << id;
+    if (world->agent(id).role() == Role::kMember) {
+      const auto head = world->agent(id).cluster_head();
+      EXPECT_TRUE(world->network->node(head).alive())
+          << "node " << id << " affiliated to dead head " << head;
+    }
+  }
+}
+
+TEST(FailureInjectionTest, HeavyPacketLossStillConverges) {
+  // 30% independent loss: neighbor entries flap, M samples are often
+  // excluded (the successive-pair rule), yet clustering must still settle.
+  sim::Simulator sim;
+  util::Rng root(21);
+  net::NetworkParams params;
+  params.packet_loss = 0.3;
+  net::Network network(sim, radio::make_paper_medium(100.0),
+                       geom::Rect(600.0, 400.0), params,
+                       root.substream("net"));
+  ClusterStats stats(0.0);
+  auto options = mobic_options(&stats);
+  std::vector<const WeightedClusterAgent*> agents;
+  const auto positions = figure1_positions();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    auto node = std::make_unique<net::Node>(
+        static_cast<net::NodeId>(i),
+        std::make_unique<mobility::StaticModel>(positions[i]),
+        root.substream("node", i));
+    auto agent = std::make_unique<WeightedClusterAgent>(options);
+    agents.push_back(agent.get());
+    node->set_agent(std::move(agent));
+    network.add_node(std::move(node));
+  }
+  network.start();
+  sim.run_until(120.0);
+  std::size_t undecided = 0;
+  for (const auto* a : agents) {
+    undecided += a->role() == Role::kUndecided ? 1 : 0;
+  }
+  EXPECT_EQ(undecided, 0u);
+  // Losses actually happened.
+  EXPECT_GT(network.stats().hellos_lost, 100u);
+}
+
+TEST(FailureInjectionTest, CollisionWindowDegradesButDoesNotWedge) {
+  // A (too large) collision window destroys many hellos; the protocol must
+  // still elect heads everywhere.
+  sim::Simulator sim;
+  util::Rng root(22);
+  net::NetworkParams params;
+  params.collision_window = 0.05;  // 50 ms — hundreds of times realistic
+  net::Network network(sim, radio::make_paper_medium(120.0),
+                       geom::Rect(600.0, 400.0), params,
+                       root.substream("net"));
+  std::vector<const WeightedClusterAgent*> agents;
+  const auto positions = figure1_positions();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    auto node = std::make_unique<net::Node>(
+        static_cast<net::NodeId>(i),
+        std::make_unique<mobility::StaticModel>(positions[i]),
+        root.substream("node", i));
+    auto agent =
+        std::make_unique<WeightedClusterAgent>(lowest_id_lcc_options());
+    agents.push_back(agent.get());
+    node->set_agent(std::move(agent));
+    network.add_node(std::move(node));
+  }
+  network.start();
+  sim.run_until(120.0);
+  for (const auto* a : agents) {
+    EXPECT_NE(a->role(), Role::kUndecided);
+  }
+}
+
+}  // namespace
+}  // namespace manet::cluster

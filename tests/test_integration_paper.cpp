@@ -1,0 +1,118 @@
+// Paper-level integration tests: scaled-down versions of the evaluation
+// (shorter runs, fewer seeds) asserting the qualitative claims of §4 hold
+// end to end. The full-fidelity versions live in bench/.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.h"
+
+namespace manet::scenario {
+namespace {
+
+Scenario paper_base(double tx, double sim_time = 300.0) {
+  Scenario s;
+  s.n_nodes = 50;
+  s.fleet.kind = mobility::ModelKind::kRandomWaypoint;
+  s.fleet.field = geom::Rect(670.0, 670.0);
+  s.fleet.max_speed = 20.0;
+  s.fleet.pause_time = 0.0;
+  s.tx_range = tx;
+  s.sim_time = sim_time;
+  s.warmup = 10.0;
+  return s;
+}
+
+double mean_cs(const Scenario& s, const std::string& alg, int seeds) {
+  return aggregate(run_replications(s, factory_by_name(alg), seeds),
+                   field_ch_changes)
+      .mean;
+}
+
+TEST(PaperIntegrationTest, MobicBeatsLowestIdAtHighRange) {
+  // The headline claim (Figure 3 / abstract): at Tx = 250 m MOBIC yields
+  // fewer clusterhead changes.
+  const auto s = paper_base(250.0);
+  const double lid = mean_cs(s, "lowest_id", 3);
+  const double mobic = mean_cs(s, "mobic", 3);
+  EXPECT_LT(mobic, lid) << "lid=" << lid << " mobic=" << mobic;
+}
+
+TEST(PaperIntegrationTest, ChurnPeaksAtModerateRange) {
+  // §4.2: CS rises from Tx = 10, peaks near 50, falls by 250.
+  const double cs10 = mean_cs(paper_base(10.0), "lowest_id", 2);
+  const double cs50 = mean_cs(paper_base(50.0), "lowest_id", 2);
+  const double cs250 = mean_cs(paper_base(250.0), "lowest_id", 2);
+  EXPECT_GT(cs50, cs10);
+  EXPECT_GT(cs50, cs250);
+}
+
+TEST(PaperIntegrationTest, ClusterCountDecreasesWithRange) {
+  // Figure 4, both algorithms.
+  for (const auto& alg : {"lowest_id", "mobic"}) {
+    const auto clusters = [&](double tx) {
+      return aggregate(
+                 run_replications(paper_base(tx), factory_by_name(alg), 2),
+                 field_avg_clusters)
+          .mean;
+    };
+    const double c50 = clusters(50.0);
+    const double c100 = clusters(100.0);
+    const double c250 = clusters(250.0);
+    EXPECT_GT(c50, c100) << alg;
+    EXPECT_GT(c100, c250) << alg;
+  }
+}
+
+TEST(PaperIntegrationTest, SparserFieldChurnsMore) {
+  // §4.3 (Figure 5): same nodes on 1000^2 -> more clusterhead changes at a
+  // mid-range Tx.
+  auto dense = paper_base(150.0);
+  auto sparse = paper_base(150.0);
+  sparse.fleet.field = geom::Rect(1000.0, 1000.0);
+  EXPECT_GT(mean_cs(sparse, "lowest_id", 2), mean_cs(dense, "lowest_id", 2));
+}
+
+TEST(PaperIntegrationTest, FasterNodesChurnMore) {
+  // Figure 6 x-axis direction: MaxSpeed 1 -> 30 raises CS.
+  auto slow = paper_base(250.0);
+  slow.fleet.max_speed = 1.0;
+  auto fast = paper_base(250.0);
+  fast.fleet.max_speed = 30.0;
+  EXPECT_GT(mean_cs(fast, "lowest_id", 2), mean_cs(slow, "lowest_id", 2));
+  EXPECT_GT(mean_cs(fast, "mobic", 2), mean_cs(slow, "mobic", 2));
+}
+
+TEST(PaperIntegrationTest, PausesReduceChurn) {
+  // Figure 6(b): PT = 30 s scenarios are calmer than PT = 0. The effect is
+  // strongest where churn itself is high (moderate range), so test there.
+  auto moving = paper_base(150.0);
+  auto pausing = paper_base(150.0);
+  pausing.fleet.pause_time = 30.0;
+  EXPECT_LT(mean_cs(pausing, "lowest_id", 3),
+            mean_cs(moving, "lowest_id", 3));
+}
+
+TEST(PaperIntegrationTest, HelloOverheadMatchesEightBytesPerBeacon) {
+  // §4.1: stamping M onto the hello adds exactly 8 bytes per beacon.
+  const auto s = paper_base(100.0, 120.0);
+  const auto r = run_scenario(s, factory_by_name("mobic"));
+  // serialized_bytes = 15 fixed + 4*neighbors + 8 (M). Check the M share:
+  const double per_beacon =
+      static_cast<double>(r.bytes_sent) / static_cast<double>(r.beacons_sent);
+  EXPECT_GE(per_beacon, 23.0);  // 15 + 8 with no neighbors
+  net::HelloPacket empty;
+  net::HelloPacket one;
+  one.neighbors = {1};
+  EXPECT_EQ(one.serialized_bytes() - empty.serialized_bytes(), 4u);
+}
+
+TEST(PaperIntegrationTest, TheoremOneHoldsAtQuietEnd) {
+  // After 300 s the (dynamic) invariant violations are confined to
+  // transient contention; undecided nodes should be absent.
+  const auto s = paper_base(150.0);
+  const auto r = run_scenario(s, factory_by_name("mobic"));
+  EXPECT_EQ(r.final_validation.undecided, 0u);
+  EXPECT_EQ(r.final_validation.members_of_non_head, 0u);
+}
+
+}  // namespace
+}  // namespace manet::scenario

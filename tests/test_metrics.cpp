@@ -1,0 +1,271 @@
+// The paper's mobility metrics (eqs. 1 and 2) and the geometric baseline.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/aggregate_mobility.h"
+#include "metrics/geometric.h"
+#include "metrics/relative_mobility.h"
+#include "util/assert.h"
+
+namespace manet::metrics {
+namespace {
+
+net::HelloPacket hello(net::NodeId sender, std::uint32_t seq) {
+  net::HelloPacket p;
+  p.sender = sender;
+  p.seq = seq;
+  return p;
+}
+
+TEST(RelativeMobilityTest, Equation1Values) {
+  // Power ratio 10x -> +10 dB; 0.1x -> -10 dB; equal -> 0.
+  EXPECT_NEAR(relative_mobility_db(1e-8, 1e-9), 10.0, 1e-12);
+  EXPECT_NEAR(relative_mobility_db(1e-9, 1e-8), -10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_mobility_db(5e-9, 5e-9), 0.0);
+}
+
+TEST(RelativeMobilityTest, SignConvention) {
+  // Approaching (power grows) -> positive; receding -> negative (§3.1).
+  EXPECT_GT(relative_mobility_db(2e-9, 1e-9), 0.0);
+  EXPECT_LT(relative_mobility_db(1e-9, 2e-9), 0.0);
+}
+
+TEST(RelativeMobilityTest, FriisDistanceForm) {
+  // Under free space Pr ∝ d^-2, so M_rel = 20*log10(d_old/d_new):
+  // halving the distance gives +6.02 dB.
+  const double p_old = 1.0 / (100.0 * 100.0);
+  const double p_new = 1.0 / (50.0 * 50.0);
+  EXPECT_NEAR(relative_mobility_db(p_new, p_old), 20.0 * std::log10(2.0),
+              1e-12);
+}
+
+TEST(RelativeMobilityTest, InvariantUnderPowerScaling) {
+  // The metric is a *ratio*, so it is independent of transmit power,
+  // antenna gains and any multiplicative channel constant — the property
+  // that makes it deployable without calibration (§3.1). Parameterized
+  // sweep over scales.
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(1e-12, 1e-6);
+    const double b = rng.uniform(1e-12, 1e-6);
+    const double k = rng.uniform(1e-3, 1e3);
+    EXPECT_NEAR(relative_mobility_db(k * a, k * b),
+                relative_mobility_db(a, b), 1e-9);
+  }
+}
+
+TEST(RelativeMobilityTest, AntisymmetricInSwap) {
+  // Swapping old/new flips the sign: receding is the mirror of
+  // approaching.
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(1e-12, 1e-6);
+    const double b = rng.uniform(1e-12, 1e-6);
+    EXPECT_NEAR(relative_mobility_db(a, b), -relative_mobility_db(b, a),
+                1e-9);
+  }
+}
+
+TEST(RelativeMobilityTest, RejectsNonPositivePowers) {
+  EXPECT_THROW(relative_mobility_db(0.0, 1e-9), util::CheckError);
+  EXPECT_THROW(relative_mobility_db(1e-9, -1.0), util::CheckError);
+}
+
+TEST(CollectTest, RequiresSuccessivePair) {
+  net::NeighborTable t;
+  t.on_hello(0.0, hello(1, 1), 1e-9);  // only one reception
+  EXPECT_TRUE(collect_relative_mobility(t, 2.0, 3.0, 3.0).empty());
+
+  t.on_hello(2.0, hello(1, 2), 2e-9);
+  const auto samples = collect_relative_mobility(t, 2.0, 3.0, 3.0);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_NEAR(samples[0], 10.0 * std::log10(2.0), 1e-12);
+}
+
+TEST(CollectTest, ExcludesNodesThatSkippedABeacon) {
+  net::NeighborTable t;
+  t.on_hello(0.0, hello(1, 1), 1e-9);
+  t.on_hello(4.0, hello(1, 3), 2e-9);  // 4 s gap > max_gap 3 s
+  EXPECT_TRUE(collect_relative_mobility(t, 4.0, 3.0, 3.0).empty());
+}
+
+TEST(CollectTest, ExcludesDepartedNeighbors) {
+  net::NeighborTable t;
+  t.on_hello(0.0, hello(1, 1), 1e-9);
+  t.on_hello(2.0, hello(1, 2), 2e-9);
+  // Last heard 5 s ago at now=7 with timeout 3 -> gone.
+  EXPECT_TRUE(collect_relative_mobility(t, 7.0, 3.0, 3.0).empty());
+}
+
+TEST(CollectTest, OneSamplePerEligibleNeighborSortedById) {
+  net::NeighborTable t;
+  for (const net::NodeId id : {5u, 2u, 9u}) {
+    t.on_hello(0.0, hello(id, 1), 1e-9);
+    t.on_hello(2.0, hello(id, 2),
+               id == 2 ? 4e-9 : 1e-9);  // node 2 approaches, others static
+  }
+  const auto samples = collect_relative_mobility(t, 2.0, 3.0, 3.0);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_NEAR(samples[0], 10.0 * std::log10(4.0), 1e-12);  // id 2 first
+  EXPECT_DOUBLE_EQ(samples[1], 0.0);
+  EXPECT_DOUBLE_EQ(samples[2], 0.0);
+}
+
+TEST(AggregateTest, Equation2IsVar0) {
+  const std::vector<double> samples = {3.0, -3.0, 0.0};
+  EXPECT_DOUBLE_EQ(aggregate_mobility(samples), 6.0);
+  EXPECT_DOUBLE_EQ(aggregate_mobility({}), 0.0);
+}
+
+TEST(AggregateTest, StaticNeighborhoodScoresZero) {
+  const std::vector<double> samples = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(aggregate_mobility(samples), 0.0);
+}
+
+TEST(EstimatorTest, InitialValueIsZero) {
+  AggregateMobilityEstimator est;
+  EXPECT_DOUBLE_EQ(est.value(), 0.0);  // the paper's initial M
+}
+
+TEST(EstimatorTest, MemorylessTracksCurrentRound) {
+  AggregateMobilityEstimator est;  // alpha = 1 by default
+  net::NeighborTable t;
+  t.on_hello(0.0, hello(1, 1), 1e-9);
+  t.on_hello(2.0, hello(1, 2), 1e-8);  // +10 dB
+  EXPECT_NEAR(est.update(t, 2.0), 100.0, 1e-9);
+  EXPECT_EQ(est.last_sample_count(), 1u);
+
+  t.on_hello(4.0, hello(1, 3), 1e-8);  // now static: 0 dB
+  EXPECT_DOUBLE_EQ(est.update(t, 4.0), 0.0);
+}
+
+TEST(EstimatorTest, EwmaSmoothsHistory) {
+  AggregateMobilityConfig cfg;
+  cfg.ewma_alpha = 0.5;
+  AggregateMobilityEstimator est(cfg);
+  net::NeighborTable t;
+  t.on_hello(0.0, hello(1, 1), 1e-9);
+  t.on_hello(2.0, hello(1, 2), 1e-8);   // M_now = 100
+  EXPECT_NEAR(est.update(t, 2.0), 100.0, 1e-9);  // first sample seeds
+  t.on_hello(4.0, hello(1, 3), 1e-8);   // M_now = 0
+  EXPECT_NEAR(est.update(t, 4.0), 50.0, 1e-9);   // 0.5*0 + 0.5*100
+  t.on_hello(6.0, hello(1, 4), 1e-8);
+  EXPECT_NEAR(est.update(t, 6.0), 25.0, 1e-9);
+}
+
+TEST(EstimatorTest, HoldOnEmptyKeepsLastValue) {
+  AggregateMobilityEstimator est;
+  net::NeighborTable t;
+  t.on_hello(0.0, hello(1, 1), 1e-9);
+  t.on_hello(2.0, hello(1, 2), 1e-8);
+  est.update(t, 2.0);
+  // Neighbor gone: no eligible samples, estimate holds.
+  EXPECT_NEAR(est.update(t, 20.0), 100.0, 1e-9);
+  EXPECT_EQ(est.last_sample_count(), 0u);
+}
+
+TEST(EstimatorTest, ResetOnEmptyWhenConfigured) {
+  AggregateMobilityConfig cfg;
+  cfg.hold_on_empty = false;
+  AggregateMobilityEstimator est(cfg);
+  net::NeighborTable t;
+  t.on_hello(0.0, hello(1, 1), 1e-9);
+  t.on_hello(2.0, hello(1, 2), 1e-8);
+  est.update(t, 2.0);
+  EXPECT_DOUBLE_EQ(est.update(t, 20.0), 0.0);
+}
+
+TEST(EstimatorTest, ResetClearsState) {
+  AggregateMobilityEstimator est;
+  net::NeighborTable t;
+  t.on_hello(0.0, hello(1, 1), 1e-9);
+  t.on_hello(2.0, hello(1, 2), 1e-8);
+  est.update(t, 2.0);
+  est.reset();
+  EXPECT_DOUBLE_EQ(est.value(), 0.0);
+}
+
+TEST(EstimatorTest, RejectsBadConfig) {
+  AggregateMobilityConfig cfg;
+  cfg.ewma_alpha = 0.0;
+  EXPECT_THROW(AggregateMobilityEstimator{cfg}, util::CheckError);
+  cfg = {};
+  cfg.ewma_alpha = 1.5;
+  EXPECT_THROW(AggregateMobilityEstimator{cfg}, util::CheckError);
+}
+
+// --- Geometric baseline ----------------------------------------------------
+
+mobility::PiecewiseLinearTrack line_track(geom::Vec2 from, geom::Vec2 v,
+                                          double duration) {
+  mobility::PiecewiseLinearTrack t;
+  t.append(0.0, from);
+  t.append(duration, from + v * duration);
+  return t;
+}
+
+TEST(GeometricTest, PairwiseRelativeSpeed) {
+  const auto a = line_track({0.0, 0.0}, {10.0, 0.0}, 100.0);
+  const auto b = line_track({50.0, 0.0}, {-10.0, 0.0}, 100.0);
+  EXPECT_NEAR(pairwise_relative_speed(a, b, 50.0), 20.0, 1e-12);
+}
+
+TEST(GeometricTest, ParallelMotionScoresZero) {
+  const auto a = line_track({0.0, 0.0}, {7.0, 3.0}, 100.0);
+  const auto b = line_track({10.0, 10.0}, {7.0, 3.0}, 100.0);
+  std::vector<mobility::PiecewiseLinearTrack> tracks = {a, b};
+  EXPECT_NEAR(geometric_mobility_metric(tracks, 90.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(GeometricTest, MetricAveragesOverPairs) {
+  const auto a = line_track({0.0, 0.0}, {10.0, 0.0}, 100.0);
+  const auto b = line_track({0.0, 10.0}, {10.0, 0.0}, 100.0);   // rel 0 to a
+  const auto c = line_track({0.0, 20.0}, {-10.0, 0.0}, 100.0);  // rel 20
+  std::vector<mobility::PiecewiseLinearTrack> tracks = {a, b, c};
+  // Pairs: (a,b)=0, (a,c)=20, (b,c)=20 -> mean 40/3.
+  EXPECT_NEAR(geometric_mobility_metric(tracks, 90.0, 1.0), 40.0 / 3.0,
+              1e-9);
+}
+
+TEST(GeometricTest, RequiresTwoTracks) {
+  std::vector<mobility::PiecewiseLinearTrack> one(1);
+  EXPECT_THROW(geometric_mobility_metric(one, 10.0, 1.0), util::CheckError);
+}
+
+TEST(LinkStatsTest, CountsLinkEpisodes) {
+  // b crosses a's 100 m disk: link up while |x_b - x_a| <= 100.
+  const auto a = line_track({500.0, 0.0}, {0.0, 0.0}, 100.0);
+  const auto b = line_track({0.0, 0.0}, {10.0, 0.0}, 100.0);
+  std::vector<mobility::PiecewiseLinearTrack> tracks = {a, b};
+  const auto s = link_stats(tracks, 100.0, 100.0, 1.0);
+  // Link comes up at t=40 and the run ends at 100 with it still up
+  // (b at x=1000? no: b reaches 1000 at t=100 -> |1000-500|=500, so the
+  // link breaks at t=60 when b passes 600). Up-window: [40, 60].
+  EXPECT_EQ(s.links_observed, 1u);
+  EXPECT_EQ(s.link_changes, 2u);  // one up + one down transition
+  EXPECT_NEAR(s.mean_link_lifetime, 21.0, 1.5);  // ~[40,61) sampled at 1 s
+  EXPECT_GT(s.mean_degree, 0.0);
+  EXPECT_LT(s.mean_degree, 1.0);
+}
+
+TEST(LinkStatsTest, StaticPairInRangeForever) {
+  const auto a = line_track({0.0, 0.0}, {0.0, 0.0}, 50.0);
+  const auto b = line_track({10.0, 0.0}, {0.0, 0.0}, 50.0);
+  std::vector<mobility::PiecewiseLinearTrack> tracks = {a, b};
+  const auto s = link_stats(tracks, 100.0, 50.0, 1.0);
+  EXPECT_EQ(s.links_observed, 1u);
+  EXPECT_EQ(s.link_changes, 0u);
+  EXPECT_NEAR(s.mean_link_lifetime, 50.0, 1e-9);
+  EXPECT_NEAR(s.mean_degree, 1.0, 1e-9);
+}
+
+TEST(LinkStatsTest, FewerThanTwoTracksIsEmpty) {
+  std::vector<mobility::PiecewiseLinearTrack> one(1);
+  one[0].append(0.0, {0.0, 0.0});
+  const auto s = link_stats(one, 100.0, 10.0, 1.0);
+  EXPECT_EQ(s.links_observed, 0u);
+}
+
+}  // namespace
+}  // namespace manet::metrics

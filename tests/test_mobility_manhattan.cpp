@@ -1,0 +1,131 @@
+// Manhattan-grid mobility.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "mobility/factory.h"
+#include "mobility/manhattan.h"
+#include "util/assert.h"
+
+namespace manet::mobility {
+namespace {
+
+ManhattanParams city() {
+  ManhattanParams p;
+  p.field = geom::Rect(600.0, 400.0);
+  p.block_size = 100.0;
+  p.min_speed = 5.0;
+  p.max_speed = 15.0;
+  p.turn_probability = 0.5;
+  return p;
+}
+
+bool on_street(geom::Vec2 pos, double block) {
+  const auto near_grid = [block](double v) {
+    const double r = std::fmod(v, block);
+    return r < 1e-6 || block - r < 1e-6;
+  };
+  return near_grid(pos.x) || near_grid(pos.y);
+}
+
+TEST(ManhattanTest, StaysOnStreets) {
+  Manhattan m(city(), util::Rng(1));
+  for (double t = 0.0; t <= 600.0; t += 0.25) {
+    const auto pos = m.position(t);
+    EXPECT_TRUE(on_street(pos, 100.0))
+        << "t=" << t << " pos=(" << pos.x << "," << pos.y << ")";
+    EXPECT_TRUE(city().field.contains(pos));
+  }
+}
+
+TEST(ManhattanTest, MovesAxisAligned) {
+  Manhattan m(city(), util::Rng(2));
+  for (double t = 0.5; t <= 300.0; t += 1.0) {
+    const auto v = m.velocity(t);
+    // One component zero, the other within the speed band.
+    const double speed = v.norm();
+    EXPECT_GE(speed, 5.0 - 1e-9);
+    EXPECT_LE(speed, 15.0 + 1e-9);
+    EXPECT_LT(std::min(std::abs(v.x), std::abs(v.y)), 1e-9);
+  }
+}
+
+TEST(ManhattanTest, StreetCounts) {
+  Manhattan m(city(), util::Rng(3));
+  EXPECT_EQ(m.streets_x(), 7);  // x = 0, 100, ..., 600
+  EXPECT_EQ(m.streets_y(), 5);  // y = 0, 100, ..., 400
+}
+
+TEST(ManhattanTest, EventuallyTurns) {
+  Manhattan m(city(), util::Rng(4));
+  std::set<int> axes;
+  for (double t = 0.5; t <= 300.0; t += 1.0) {
+    const auto v = m.velocity(t);
+    axes.insert(std::abs(v.x) > std::abs(v.y) ? 0 : 1);
+  }
+  EXPECT_EQ(axes.size(), 2u) << "node never turned in 300 s";
+}
+
+TEST(ManhattanTest, ZeroTurnProbabilityTurnsOnlyAtBoundary) {
+  auto p = city();
+  p.turn_probability = 0.0;
+  Manhattan m(p, util::Rng(5));
+  bool was_horizontal = false;
+  bool first = true;
+  for (double t = 0.05; t <= 400.0; t += 0.1) {
+    const auto v = m.velocity(t);
+    const bool horizontal = std::abs(v.x) > std::abs(v.y);
+    if (!first && horizontal != was_horizontal) {
+      // A turn just happened; it must have been forced by a field edge.
+      const auto pos = m.position(t);
+      const double edge_dist =
+          std::min(std::min(pos.x, p.field.width - pos.x),
+                   std::min(pos.y, p.field.height - pos.y));
+      EXPECT_LT(edge_dist, 2.0) << "spontaneous turn at t=" << t << " ("
+                                << pos.x << "," << pos.y << ")";
+    }
+    was_horizontal = horizontal;
+    first = false;
+  }
+}
+
+TEST(ManhattanTest, Deterministic) {
+  Manhattan a(city(), util::Rng(6));
+  Manhattan b(city(), util::Rng(6));
+  for (double t = 0.0; t <= 120.0; t += 3.0) {
+    EXPECT_EQ(a.position(t), b.position(t));
+  }
+}
+
+TEST(ManhattanTest, RejectsBadParams) {
+  auto p = city();
+  p.block_size = 0.0;
+  EXPECT_THROW(Manhattan(p, util::Rng(1)), util::CheckError);
+  p = city();
+  p.block_size = 1000.0;  // bigger than the field
+  EXPECT_THROW(Manhattan(p, util::Rng(1)), util::CheckError);
+  p = city();
+  p.turn_probability = 1.5;
+  EXPECT_THROW(Manhattan(p, util::Rng(1)), util::CheckError);
+}
+
+TEST(ManhattanTest, FactoryIntegration) {
+  EXPECT_EQ(parse_model_kind("manhattan"), ModelKind::kManhattan);
+  EXPECT_EQ(model_kind_name(ModelKind::kManhattan), "manhattan");
+  FleetParams fp;
+  fp.kind = ModelKind::kManhattan;
+  fp.field = geom::Rect(600.0, 400.0);
+  fp.min_speed = 5.0;
+  fp.max_speed = 15.0;
+  auto fleet = make_fleet(fp, 8, util::Rng(7));
+  ASSERT_EQ(fleet.size(), 8u);
+  for (auto& m : fleet) {
+    for (double t = 0.0; t <= 100.0; t += 5.0) {
+      EXPECT_TRUE(fp.field.contains(m->position(t)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manet::mobility

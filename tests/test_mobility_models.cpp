@@ -1,0 +1,186 @@
+// Random walk, random direction, Gauss-Markov, static, and the factory.
+#include <gtest/gtest.h>
+
+#include "mobility/factory.h"
+#include "mobility/gauss_markov.h"
+#include "mobility/random_walk.h"
+#include "util/assert.h"
+
+namespace manet::mobility {
+namespace {
+
+const geom::Rect kField(500.0, 400.0);
+
+TEST(StaticModelTest, NeverMoves) {
+  StaticModel m({10.0, 20.0});
+  EXPECT_EQ(m.position(0.0), (geom::Vec2{10.0, 20.0}));
+  EXPECT_EQ(m.position(1e6), (geom::Vec2{10.0, 20.0}));
+  EXPECT_EQ(m.velocity(5.0), (geom::Vec2{0.0, 0.0}));
+}
+
+TEST(RandomWalkTest, StaysInsideAndBounded) {
+  RandomWalkParams p{kField, 1.0, 15.0, 10.0};
+  RandomWalk m(p, util::Rng(1));
+  for (double t = 0.0; t <= 600.0; t += 0.5) {
+    EXPECT_TRUE(kField.contains(m.position(t))) << "t=" << t;
+    const double v = m.velocity(t).norm();
+    EXPECT_LE(v, 15.0 + 1e-9);
+    EXPECT_GE(v, 1.0 - 1e-9);  // walk never pauses
+  }
+}
+
+TEST(RandomWalkTest, ChangesHeadingAcrossEpochs) {
+  RandomWalkParams p{kField, 5.0, 5.0, 5.0};  // fixed speed, 5 s epochs
+  RandomWalk m(p, util::Rng(2));
+  const geom::Vec2 v0 = m.velocity(1.0);
+  // After several epochs the heading is different with overwhelming
+  // probability.
+  const geom::Vec2 v5 = m.velocity(31.0);
+  EXPECT_GT((v0 - v5).norm(), 1e-6);
+}
+
+TEST(RandomWalkTest, Deterministic) {
+  RandomWalkParams p{kField, 1.0, 10.0, 8.0};
+  RandomWalk a(p, util::Rng(3)), b(p, util::Rng(3));
+  for (double t = 0.0; t <= 120.0; t += 3.0) {
+    EXPECT_EQ(a.position(t), b.position(t));
+  }
+}
+
+TEST(RandomDirectionTest, TravelsToBoundary) {
+  RandomDirectionParams p{kField, 2.0, 10.0, 0.0};
+  RandomDirection m(p, util::Rng(4));
+  // Over a long run the node must repeatedly touch the field boundary.
+  int boundary_visits = 0;
+  for (double t = 0.0; t <= 600.0; t += 0.5) {
+    const auto pos = m.position(t);
+    EXPECT_TRUE(kField.contains(pos));
+    const bool on_edge = pos.x < 1.0 || pos.y < 1.0 ||
+                         pos.x > kField.width - 1.0 ||
+                         pos.y > kField.height - 1.0;
+    if (on_edge) {
+      ++boundary_visits;
+    }
+  }
+  EXPECT_GT(boundary_visits, 3);
+}
+
+TEST(RandomDirectionTest, PausesAtBoundary) {
+  RandomDirectionParams p{kField, 2.0, 2.0, 20.0};  // long pauses
+  RandomDirection m(p, util::Rng(5));
+  int paused = 0;
+  for (double t = 0.0; t <= 600.0; t += 1.0) {
+    if (m.velocity(t).norm() == 0.0) {
+      ++paused;
+    }
+  }
+  EXPECT_GT(paused, 20);
+}
+
+TEST(GaussMarkovTest, StaysInsideField) {
+  GaussMarkovParams p{kField, 10.0, 0.85, 3.0, 1.0};
+  GaussMarkov m(p, util::Rng(6));
+  for (double t = 0.0; t <= 900.0; t += 0.5) {
+    EXPECT_TRUE(kField.contains(m.position(t))) << "t=" << t;
+  }
+}
+
+TEST(GaussMarkovTest, VelocityIsTemporallyCorrelated) {
+  // With alpha close to 1, consecutive velocities are similar; compare the
+  // 1-step velocity autocorrelation against an IID (alpha=0) process.
+  const auto autocorr = [](double alpha, std::uint64_t seed) {
+    GaussMarkovParams p{geom::Rect(1e5, 1e5), 0.0, alpha, 5.0, 1.0};
+    GaussMarkov m(p, util::Rng(seed));
+    double num = 0.0, den = 0.0;
+    geom::Vec2 prev = m.velocity(0.5);
+    for (int k = 1; k < 400; ++k) {
+      const geom::Vec2 v = m.velocity(k + 0.5);
+      num += prev.dot(v);
+      den += prev.norm_sq();
+      prev = v;
+    }
+    return num / den;
+  };
+  EXPECT_GT(autocorr(0.9, 7), 0.6);
+  EXPECT_LT(std::abs(autocorr(0.0, 7)), 0.35);
+}
+
+TEST(GaussMarkovTest, RejectsBadAlpha) {
+  GaussMarkovParams p{kField, 10.0, 1.0, 3.0, 1.0};
+  EXPECT_THROW(GaussMarkov(p, util::Rng(1)), util::CheckError);
+}
+
+TEST(FactoryTest, ParsesModelNames) {
+  EXPECT_EQ(parse_model_kind("rwp"), ModelKind::kRandomWaypoint);
+  EXPECT_EQ(parse_model_kind("Random_Waypoint"), ModelKind::kRandomWaypoint);
+  EXPECT_EQ(parse_model_kind("static"), ModelKind::kStatic);
+  EXPECT_EQ(parse_model_kind("walk"), ModelKind::kRandomWalk);
+  EXPECT_EQ(parse_model_kind("direction"), ModelKind::kRandomDirection);
+  EXPECT_EQ(parse_model_kind("gm"), ModelKind::kGaussMarkov);
+  EXPECT_EQ(parse_model_kind("rpgm"), ModelKind::kRpgm);
+  EXPECT_EQ(parse_model_kind("highway"), ModelKind::kHighway);
+  EXPECT_THROW(parse_model_kind("teleport"), util::CheckError);
+}
+
+TEST(FactoryTest, NamesRoundTrip) {
+  for (const auto kind :
+       {ModelKind::kStatic, ModelKind::kRandomWaypoint, ModelKind::kRandomWalk,
+        ModelKind::kRandomDirection, ModelKind::kGaussMarkov, ModelKind::kRpgm,
+        ModelKind::kHighway}) {
+    EXPECT_EQ(parse_model_kind(model_kind_name(kind)), kind);
+  }
+}
+
+class FleetBounds : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(FleetBounds, AllModelsStayInTheirField) {
+  FleetParams p;
+  p.kind = GetParam();
+  p.field = kField;
+  p.duration = 200.0;
+  p.max_speed = 15.0;
+  const geom::Rect field = fleet_field(p);
+  auto fleet = make_fleet(p, 12, util::Rng(11));
+  ASSERT_EQ(fleet.size(), 12u);
+  for (auto& m : fleet) {
+    for (double t = 0.0; t <= 200.0; t += 2.0) {
+      const auto pos = m->position(t);
+      EXPECT_TRUE(field.contains(pos))
+          << model_kind_name(p.kind) << " t=" << t << " pos=(" << pos.x
+          << "," << pos.y << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, FleetBounds,
+    ::testing::Values(ModelKind::kStatic, ModelKind::kRandomWaypoint,
+                      ModelKind::kRandomWalk, ModelKind::kRandomDirection,
+                      ModelKind::kGaussMarkov, ModelKind::kRpgm,
+                      ModelKind::kHighway),
+    [](const auto& info) {
+      return std::string(model_kind_name(info.param));
+    });
+
+TEST(FactoryTest, FleetIsDeterministic) {
+  FleetParams p;
+  p.kind = ModelKind::kRandomWaypoint;
+  p.field = kField;
+  auto a = make_fleet(p, 5, util::Rng(9));
+  auto b = make_fleet(p, 5, util::Rng(9));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i]->position(100.0), b[i]->position(100.0));
+  }
+}
+
+TEST(FactoryTest, NodesGetDistinctStreams) {
+  FleetParams p;
+  p.kind = ModelKind::kRandomWaypoint;
+  p.field = kField;
+  auto fleet = make_fleet(p, 3, util::Rng(9));
+  EXPECT_NE(fleet[0]->position(0.0), fleet[1]->position(0.0));
+  EXPECT_NE(fleet[1]->position(0.0), fleet[2]->position(0.0));
+}
+
+}  // namespace
+}  // namespace manet::mobility

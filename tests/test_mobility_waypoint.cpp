@@ -1,0 +1,130 @@
+// Random Waypoint — the paper's mobility model — plus the LegBasedModel
+// contract.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mobility/random_waypoint.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace manet::mobility {
+namespace {
+
+RandomWaypointParams paper_params(double max_speed = 20.0,
+                                  double pause = 0.0) {
+  RandomWaypointParams p;
+  p.field = geom::Rect(670.0, 670.0);
+  p.max_speed = max_speed;
+  p.min_speed = 0.1;
+  p.pause_time = pause;
+  return p;
+}
+
+TEST(RandomWaypointTest, StaysInsideField) {
+  RandomWaypoint m(paper_params(), util::Rng(1));
+  for (double t = 0.0; t <= 900.0; t += 0.5) {
+    EXPECT_TRUE(geom::Rect(670.0, 670.0).contains(m.position(t)))
+        << "t=" << t;
+  }
+}
+
+TEST(RandomWaypointTest, SpeedNeverExceedsMax) {
+  RandomWaypoint m(paper_params(20.0), util::Rng(2));
+  for (double t = 0.0; t <= 300.0; t += 0.25) {
+    EXPECT_LE(m.velocity(t).norm(), 20.0 + 1e-9) << "t=" << t;
+  }
+}
+
+TEST(RandomWaypointTest, DisplacementConsistentWithVelocity) {
+  RandomWaypoint m(paper_params(), util::Rng(3));
+  double t = 0.0;
+  while (t < 100.0) {
+    const geom::Vec2 p0 = m.position(t);
+    const geom::Vec2 v = m.velocity(t);
+    const double dt = 0.01;
+    const geom::Vec2 p1 = m.position(t + dt);
+    // Within one leg, displacement == velocity * dt; across a leg boundary
+    // the velocity changed, so allow max_speed * dt slack.
+    EXPECT_LE(geom::distance(p1, p0), 20.0 * dt + 1e-9);
+    EXPECT_LE(geom::distance(p1, p0 + v * dt), 2.0 * 20.0 * dt);
+    t += 1.0;
+  }
+}
+
+TEST(RandomWaypointTest, DeterministicPerSeed) {
+  RandomWaypoint a(paper_params(), util::Rng(7));
+  RandomWaypoint b(paper_params(), util::Rng(7));
+  for (double t = 0.0; t <= 200.0; t += 1.0) {
+    EXPECT_EQ(a.position(t), b.position(t));
+  }
+}
+
+TEST(RandomWaypointTest, DifferentSeedsDiverge) {
+  RandomWaypoint a(paper_params(), util::Rng(7));
+  RandomWaypoint b(paper_params(), util::Rng(8));
+  EXPECT_NE(a.position(0.0), b.position(0.0));
+}
+
+TEST(RandomWaypointTest, PauseProducesStationaryIntervals) {
+  // With pause >> travel time (slow field crossing at 20 m/s, pause 30 s)
+  // there must be instants with zero velocity.
+  RandomWaypoint m(paper_params(20.0, 30.0), util::Rng(5));
+  int paused_samples = 0;
+  for (double t = 0.0; t <= 900.0; t += 1.0) {
+    if (m.velocity(t).norm() == 0.0) {
+      ++paused_samples;
+    }
+  }
+  EXPECT_GT(paused_samples, 30);  // at least one full pause observed
+}
+
+TEST(RandomWaypointTest, NoPauseMeansAlwaysMoving) {
+  RandomWaypoint m(paper_params(20.0, 0.0), util::Rng(6));
+  for (double t = 0.0; t <= 300.0; t += 1.0) {
+    EXPECT_GT(m.velocity(t).norm(), 0.0) << "t=" << t;
+  }
+}
+
+TEST(RandomWaypointTest, InitialPositionIsUniformDraw) {
+  // Many seeds: initial positions should cover the field reasonably.
+  double min_x = 1e9, max_x = -1e9;
+  for (int s = 0; s < 50; ++s) {
+    RandomWaypoint m(paper_params(), util::Rng(static_cast<std::uint64_t>(s)));
+    const auto p = m.initial_position();
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    EXPECT_EQ(m.position(0.0), p);
+  }
+  EXPECT_LT(min_x, 200.0);
+  EXPECT_GT(max_x, 470.0);
+}
+
+TEST(RandomWaypointTest, RejectsBadParams) {
+  auto p = paper_params();
+  p.max_speed = 0.0;
+  EXPECT_THROW(RandomWaypoint(p, util::Rng(1)), util::CheckError);
+  p = paper_params();
+  p.min_speed = 0.0;
+  EXPECT_THROW(RandomWaypoint(p, util::Rng(1)), util::CheckError);
+  p = paper_params();
+  p.min_speed = 30.0;  // > max
+  EXPECT_THROW(RandomWaypoint(p, util::Rng(1)), util::CheckError);
+  p = paper_params();
+  p.pause_time = -1.0;
+  EXPECT_THROW(RandomWaypoint(p, util::Rng(1)), util::CheckError);
+}
+
+TEST(RandomWaypointTest, LongHorizonRemainsStable) {
+  RandomWaypoint m(paper_params(1.0), util::Rng(10));  // slow: many queries/leg
+  geom::Vec2 last = m.position(0.0);
+  for (double t = 0.0; t <= 3600.0; t += 10.0) {
+    const auto p = m.position(t);
+    EXPECT_TRUE(geom::Rect(670.0, 670.0).contains(p));
+    EXPECT_LE(geom::distance(p, last), 1.0 * 10.0 + 1e-6);
+    last = p;
+  }
+}
+
+}  // namespace
+}  // namespace manet::mobility

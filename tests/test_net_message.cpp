@@ -1,0 +1,139 @@
+// The generic protocol-message facility (net::Message / Network::send).
+#include <gtest/gtest.h>
+
+#include "cluster/presets.h"
+#include "helpers.h"
+#include "net/network.h"
+#include "util/assert.h"
+
+namespace manet::net {
+namespace {
+
+// Agent that records received messages and otherwise clusters normally.
+class RecordingAgent final : public Agent {
+ public:
+  void on_beacon(Node&, HelloPacket&) override {}
+  void on_message(Node&, const Message& msg) override {
+    received.push_back(msg);
+  }
+  std::vector<Message> received;
+};
+
+struct MessageWorld {
+  sim::Simulator sim;
+  std::unique_ptr<Network> network;
+  std::vector<RecordingAgent*> agents;
+};
+
+std::unique_ptr<MessageWorld> make_world(
+    const std::vector<geom::Vec2>& positions, double range,
+    NetworkParams params = {}) {
+  auto world = std::make_unique<MessageWorld>();
+  util::Rng root(17);
+  double w = 1.0, h = 1.0;
+  for (const auto p : positions) {
+    w = std::max(w, p.x + 1.0);
+    h = std::max(h, p.y + 1.0);
+  }
+  world->network = std::make_unique<Network>(
+      world->sim, radio::make_paper_medium(range), geom::Rect(w, h), params,
+      root.substream("net"));
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    auto node = std::make_unique<Node>(
+        static_cast<NodeId>(i),
+        std::make_unique<mobility::StaticModel>(positions[i]),
+        root.substream("node", i));
+    auto agent = std::make_unique<RecordingAgent>();
+    world->agents.push_back(agent.get());
+    node->set_agent(std::move(agent));
+    world->network->add_node(std::move(node));
+  }
+  world->network->start();
+  return world;
+}
+
+Message text_message(NodeId dst, int kind = 7) {
+  Message msg;
+  msg.dst = dst;
+  msg.kind = kind;
+  msg.body = std::make_shared<const std::string>("payload");
+  msg.bytes = 42;
+  return msg;
+}
+
+TEST(NetworkSendTest, BroadcastReachesAllInRange) {
+  auto world =
+      make_world({{0.0, 0.0}, {50.0, 0.0}, {90.0, 0.0}, {300.0, 0.0}},
+                 100.0);
+  const std::size_t delivered = world->network->send(
+      world->network->node(0), text_message(kInvalidNode));
+  EXPECT_EQ(delivered, 2u);  // nodes 1 and 2; node 3 out of range
+  world->sim.run_until(0.1);
+  EXPECT_EQ(world->agents[1]->received.size(), 1u);
+  EXPECT_EQ(world->agents[2]->received.size(), 1u);
+  EXPECT_TRUE(world->agents[3]->received.empty());
+  // Receivers see the sender and the payload.
+  const auto& msg = world->agents[1]->received.front();
+  EXPECT_EQ(msg.src, 0u);
+  EXPECT_EQ(msg.kind, 7);
+  EXPECT_EQ(*static_cast<const std::string*>(msg.body.get()), "payload");
+}
+
+TEST(NetworkSendTest, UnicastActsAsLinkLayerAck) {
+  auto world = make_world({{0.0, 0.0}, {50.0, 0.0}, {300.0, 0.0}}, 100.0);
+  EXPECT_EQ(world->network->send(world->network->node(0), text_message(1)),
+            1u);
+  EXPECT_EQ(world->network->send(world->network->node(0), text_message(2)),
+            0u);  // out of range
+  world->sim.run_until(0.1);
+  EXPECT_EQ(world->agents[1]->received.size(), 1u);
+  EXPECT_TRUE(world->agents[2]->received.empty());
+}
+
+TEST(NetworkSendTest, UnicastToDeadNodeFails) {
+  auto world = make_world({{0.0, 0.0}, {50.0, 0.0}}, 100.0);
+  world->network->node(1).fail();
+  EXPECT_EQ(world->network->send(world->network->node(0), text_message(1)),
+            0u);
+}
+
+TEST(NetworkSendTest, RejectsBadDestinations) {
+  auto world = make_world({{0.0, 0.0}, {50.0, 0.0}}, 100.0);
+  EXPECT_THROW(
+      world->network->send(world->network->node(0), text_message(9)),
+      util::CheckError);
+  EXPECT_THROW(
+      world->network->send(world->network->node(0), text_message(0)),
+      util::CheckError);  // to self
+}
+
+TEST(NetworkSendTest, AccountsBytesAndCounts) {
+  auto world = make_world({{0.0, 0.0}, {50.0, 0.0}}, 100.0);
+  world->network->send(world->network->node(0), text_message(1));
+  world->network->send(world->network->node(0),
+                       text_message(kInvalidNode));
+  const auto& s = world->network->stats();
+  EXPECT_EQ(s.messages_sent, 2u);
+  EXPECT_EQ(s.messages_delivered, 2u);
+  EXPECT_EQ(s.message_bytes, 84u);
+}
+
+TEST(NetworkSendTest, PacketLossDropsUnicasts) {
+  NetworkParams params;
+  params.packet_loss = 1.0;  // everything lost
+  auto world = make_world({{0.0, 0.0}, {50.0, 0.0}}, 100.0, params);
+  EXPECT_EQ(world->network->send(world->network->node(0), text_message(1)),
+            0u);
+}
+
+TEST(NetworkSendTest, DeliveryIsDelayed) {
+  auto world = make_world({{0.0, 0.0}, {50.0, 0.0}}, 100.0);
+  world->network->send(world->network->node(0), text_message(1));
+  // Before the delivery delay elapses the agent has not seen it.
+  EXPECT_TRUE(world->agents[1]->received.empty());
+  world->sim.run_until(0.001);  // default delay is 0.5 ms
+  EXPECT_EQ(world->agents[1]->received.size(), 1u);
+}
+
+}  // namespace
+}  // namespace manet::net

@@ -1,0 +1,219 @@
+// Propagation models, ns-2 WaveLAN constants, threshold calibration.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "radio/medium.h"
+#include "radio/propagation.h"
+#include "radio/radio_params.h"
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace manet::radio {
+namespace {
+
+TEST(RadioParamsTest, WaveLanDefaults) {
+  const RadioParams r;
+  EXPECT_NEAR(r.tx_power_w, 0.28183815, 1e-9);
+  EXPECT_NEAR(r.wavelength_m(), 0.328, 0.001);  // 914 MHz
+}
+
+TEST(DbHelpersTest, RoundTrips) {
+  EXPECT_NEAR(watts_to_dbm(1.0), 30.0, 1e-9);
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(watts_to_dbm(0.123)), 0.123, 1e-12);
+  EXPECT_NEAR(ratio_to_db(100.0), 20.0, 1e-9);
+  EXPECT_NEAR(db_to_ratio(ratio_to_db(42.0)), 42.0, 1e-9);
+}
+
+TEST(FreeSpaceTest, InverseSquareLaw) {
+  const FreeSpace fs;
+  const RadioParams r;
+  const double p100 = fs.rx_power_w(r, 100.0, nullptr);
+  const double p200 = fs.rx_power_w(r, 200.0, nullptr);
+  EXPECT_NEAR(p100 / p200, 4.0, 1e-9);  // paper's Friis premise
+}
+
+TEST(FreeSpaceTest, ZeroDistanceReturnsTxPower) {
+  const FreeSpace fs;
+  const RadioParams r;
+  EXPECT_DOUBLE_EQ(fs.rx_power_w(r, 0.0, nullptr), r.tx_power_w);
+}
+
+TEST(FreeSpaceTest, MatchesClosedForm) {
+  const FreeSpace fs;
+  const RadioParams r;
+  const double lambda = r.wavelength_m();
+  const double d = 250.0;
+  const double expected =
+      r.tx_power_w * lambda * lambda /
+      (16.0 * M_PI * M_PI * d * d);
+  EXPECT_NEAR(fs.rx_power_w(r, d, nullptr), expected, expected * 1e-12);
+}
+
+TEST(FreeSpaceTest, MaxRangeInvertsExactly) {
+  const FreeSpace fs;
+  const RadioParams r;
+  const double thresh = fs.rx_power_w(r, 175.0, nullptr);
+  EXPECT_NEAR(fs.max_range_m(r, thresh), 175.0, 1e-6);
+}
+
+TEST(TwoRayTest, EqualsFriisBelowCrossover) {
+  const TwoRayGround tr;
+  const FreeSpace fs;
+  const RadioParams r;
+  const double dc = TwoRayGround::crossover_distance_m(r);
+  EXPECT_GT(dc, 50.0);  // ~86 m for 1.5 m antennas at 914 MHz
+  EXPECT_LT(dc, 120.0);
+  const double d = dc * 0.5;
+  EXPECT_DOUBLE_EQ(tr.rx_power_w(r, d, nullptr),
+                   fs.rx_power_w(r, d, nullptr));
+}
+
+TEST(TwoRayTest, FourthPowerBeyondCrossover) {
+  const TwoRayGround tr;
+  const RadioParams r;
+  const double dc = TwoRayGround::crossover_distance_m(r);
+  const double p1 = tr.rx_power_w(r, dc * 2.0, nullptr);
+  const double p2 = tr.rx_power_w(r, dc * 4.0, nullptr);
+  EXPECT_NEAR(p1 / p2, 16.0, 1e-9);
+}
+
+TEST(TwoRayTest, MaxRangeInverts) {
+  const TwoRayGround tr;
+  const RadioParams r;
+  for (const double d : {30.0, 250.0}) {
+    const double thresh = tr.rx_power_w(r, d, nullptr);
+    EXPECT_NEAR(tr.max_range_m(r, thresh), d, 1e-6);
+  }
+}
+
+TEST(TwoRayTest, ContinuousAtCrossover) {
+  const TwoRayGround tr;
+  const RadioParams r;
+  const double dc = TwoRayGround::crossover_distance_m(r);
+  const double before = tr.rx_power_w(r, dc * 0.999, nullptr);
+  const double after = tr.rx_power_w(r, dc * 1.001, nullptr);
+  EXPECT_NEAR(before / after, 1.0, 0.02);
+}
+
+TEST(LogDistanceTest, ExponentGovernsDecay) {
+  const LogDistance ld(3.0, 1.0);
+  const RadioParams r;
+  const double p10 = ld.rx_power_w(r, 10.0, nullptr);
+  const double p100 = ld.rx_power_w(r, 100.0, nullptr);
+  EXPECT_NEAR(ratio_to_db(p10 / p100), 30.0, 1e-9);  // 10 * n dB per decade
+}
+
+TEST(LogDistanceTest, MaxRangeInverts) {
+  const LogDistance ld(2.7, 1.0);
+  const RadioParams r;
+  const double thresh = ld.rx_power_w(r, 180.0, nullptr);
+  EXPECT_NEAR(ld.max_range_m(r, thresh), 180.0, 1e-6);
+}
+
+TEST(LogDistanceTest, RejectsBadParams) {
+  EXPECT_THROW(LogDistance(0.0, 1.0), util::CheckError);
+  EXPECT_THROW(LogDistance(2.0, 0.0), util::CheckError);
+}
+
+TEST(ShadowingTest, DeterministicWithoutRng) {
+  const LogNormalShadowing sh(2.7, 6.0);
+  const LogDistance ld(2.7);
+  const RadioParams r;
+  EXPECT_DOUBLE_EQ(sh.rx_power_w(r, 120.0, nullptr),
+                   ld.rx_power_w(r, 120.0, nullptr));
+}
+
+TEST(ShadowingTest, FadingStatistics) {
+  const LogNormalShadowing sh(2.7, 6.0);
+  const RadioParams r;
+  util::Rng rng(5);
+  const double median = sh.rx_power_w(r, 120.0, nullptr);
+  util::RunningStats db_err;
+  for (int i = 0; i < 20000; ++i) {
+    const double p = sh.rx_power_w(r, 120.0, &rng);
+    db_err.add(ratio_to_db(p / median));
+  }
+  EXPECT_NEAR(db_err.mean(), 0.0, 0.2);
+  EXPECT_NEAR(db_err.stddev_population(), 6.0, 0.2);
+}
+
+TEST(ShadowingTest, SigmaZeroIsDeterministic) {
+  const LogNormalShadowing sh(2.7, 0.0);
+  EXPECT_FALSE(sh.stochastic());
+  util::Rng rng(5);
+  const RadioParams r;
+  EXPECT_DOUBLE_EQ(sh.rx_power_w(r, 50.0, &rng),
+                   sh.rx_power_w(r, 50.0, nullptr));
+}
+
+TEST(ShadowingTest, MaxRangeHasHeadroom) {
+  const LogNormalShadowing sh(2.7, 6.0);
+  const RadioParams r;
+  const double thresh = sh.rx_power_w(r, 150.0, nullptr);
+  EXPECT_GT(sh.max_range_m(r, thresh), 150.0 * 1.5);
+}
+
+TEST(PropagationFactoryTest, KnownNames) {
+  EXPECT_EQ(make_propagation("free_space")->name(), "free_space");
+  EXPECT_EQ(make_propagation("friis")->name(), "free_space");
+  EXPECT_EQ(make_propagation("two_ray")->name(), "two_ray_ground");
+  EXPECT_EQ(make_propagation("log_distance", 3.0)->name(), "log_distance");
+  EXPECT_EQ(make_propagation("shadowing", 2.7, 4.0)->name(),
+            "log_normal_shadowing");
+  EXPECT_THROW(make_propagation("quantum"), util::CheckError);
+}
+
+TEST(MediumTest, ThresholdCalibratedAtNominalRange) {
+  const Medium m = make_paper_medium(250.0);
+  EXPECT_DOUBLE_EQ(m.nominal_range_m(), 250.0);
+  // The receiver at exactly the nominal range sits exactly at threshold.
+  EXPECT_DOUBLE_EQ(m.median_rx_power_w(250.0), m.rx_threshold_w());
+  EXPECT_NEAR(m.max_delivery_range_m(), 250.0, 1e-6);
+}
+
+TEST(MediumTest, DeliveryIsDiskShapedUnderFreeSpace) {
+  const Medium m = make_paper_medium(100.0);
+  util::Rng rng(1);
+  EXPECT_TRUE(m.try_receive(99.9, rng).delivered);
+  EXPECT_TRUE(m.try_receive(100.0, rng).delivered);
+  EXPECT_FALSE(m.try_receive(100.1, rng).delivered);
+}
+
+TEST(MediumTest, ReceivedPowerDropsWithDistance) {
+  const Medium m = make_paper_medium(250.0);
+  util::Rng rng(1);
+  const double p50 = m.try_receive(50.0, rng).rx_power_w;
+  const double p150 = m.try_receive(150.0, rng).rx_power_w;
+  EXPECT_GT(p50, p150);
+  EXPECT_NEAR(p50 / p150, 9.0, 1e-9);
+}
+
+TEST(MediumTest, ShadowingMakesEdgeDeliveryProbabilistic) {
+  Medium m(std::make_shared<LogNormalShadowing>(2.7, 6.0), RadioParams{},
+           150.0);
+  util::Rng rng(7);
+  int in = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    in += m.try_receive(150.0, rng).delivered ? 1 : 0;
+  }
+  // At the median range, about half the receptions clear the threshold.
+  EXPECT_NEAR(in / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(MediumTest, RejectsDegenerateRange) {
+  EXPECT_THROW(make_paper_medium(0.0), util::CheckError);
+}
+
+TEST(MediumTest, NsTwoRxThreshIsNear250mValue) {
+  // ns-2's canonical WaveLAN RXThresh (3.652e-10 W) corresponds to ~250 m
+  // under *two-ray ground* with these parameters; cross-check our models.
+  Medium m(std::make_shared<TwoRayGround>(), RadioParams{}, 250.0);
+  EXPECT_NEAR(m.rx_threshold_w(), 3.652e-10, 3.652e-10 * 0.02);
+}
+
+}  // namespace
+}  // namespace manet::radio

@@ -1,0 +1,180 @@
+// Route discovery algorithms on crafted graphs, and the full routing
+// experiment driver.
+#include <gtest/gtest.h>
+
+#include "routing/discovery.h"
+#include "routing/experiment.h"
+#include "util/assert.h"
+
+namespace manet::routing {
+namespace {
+
+// Line graph 0-1-2-3-4.
+Adjacency line5() {
+  Adjacency adj(5);
+  for (net::NodeId i = 0; i + 1 < 5; ++i) {
+    adj[i].push_back(i + 1);
+    adj[i + 1].push_back(i);
+  }
+  return adj;
+}
+
+std::vector<NodeClusterState> all_heads(std::size_t n) {
+  std::vector<NodeClusterState> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = {cluster::Role::kHead, static_cast<net::NodeId>(i), false};
+  }
+  return s;
+}
+
+TEST(FloodDiscoveryTest, FindsShortestPathOnLine) {
+  const auto adj = line5();
+  const auto r = flood_discovery(adj, 0, 4);
+  EXPECT_TRUE(r.reached);
+  EXPECT_EQ(r.route_hops, 4u);
+  EXPECT_EQ(r.path, (std::vector<net::NodeId>{0, 1, 2, 3, 4}));
+  // Nodes 0..3 each broadcast once before 4 is reached.
+  EXPECT_EQ(r.control_transmissions, 4u);
+}
+
+TEST(FloodDiscoveryTest, UnreachableDestination) {
+  Adjacency adj(4);
+  adj[0].push_back(1);
+  adj[1].push_back(0);  // {0,1} component; {2,3} isolated
+  const auto r = flood_discovery(adj, 0, 3);
+  EXPECT_FALSE(r.reached);
+  EXPECT_EQ(r.route_hops, 0u);
+  EXPECT_TRUE(r.path.empty());
+  EXPECT_EQ(r.control_transmissions, 2u);  // 0 and 1 both flooded
+}
+
+TEST(FloodDiscoveryTest, AdjacentNodes) {
+  const auto adj = line5();
+  const auto r = flood_discovery(adj, 2, 3);
+  EXPECT_TRUE(r.reached);
+  EXPECT_EQ(r.route_hops, 1u);
+  EXPECT_EQ(r.control_transmissions, 1u);  // only the source broadcast
+}
+
+TEST(FloodDiscoveryTest, RejectsBadEndpoints) {
+  const auto adj = line5();
+  EXPECT_THROW(flood_discovery(adj, 0, 0), util::CheckError);
+  EXPECT_THROW(flood_discovery(adj, 0, 9), util::CheckError);
+}
+
+TEST(ClusterDiscoveryTest, OnlyOverlayForwards) {
+  // Line 0-1-2-3-4 where 1 and 3 are ordinary members (silent) and 2 is a
+  // head. A route from 0 to 4 exists physically but the overlay cannot
+  // relay past silent nodes: 0 broadcasts, 1 receives but does not
+  // forward -> 2 never hears the RREQ.
+  const auto adj = line5();
+  std::vector<NodeClusterState> state(5);
+  state[0] = {cluster::Role::kMember, 2, false};
+  state[1] = {cluster::Role::kMember, 2, false};  // silent
+  state[2] = {cluster::Role::kHead, 2, false};
+  state[3] = {cluster::Role::kMember, 2, false};  // silent
+  state[4] = {cluster::Role::kMember, 2, false};
+  const auto r = cluster_discovery(adj, state, 0, 4);
+  EXPECT_FALSE(r.reached);
+  EXPECT_EQ(r.control_transmissions, 1u);  // only the source
+
+  // Promote 1 and 3 to gateways: the overlay now spans the line.
+  state[1].gateway = true;
+  state[3].gateway = true;
+  const auto r2 = cluster_discovery(adj, state, 0, 4);
+  EXPECT_TRUE(r2.reached);
+  EXPECT_EQ(r2.route_hops, 4u);
+  EXPECT_EQ(r2.control_transmissions, 4u);
+}
+
+TEST(ClusterDiscoveryTest, OverhearsDestinationWithoutForwarding) {
+  // dst adjacent to a forwarding head is found even though dst itself is
+  // an ordinary member.
+  Adjacency adj(3);
+  adj[0] = {1};
+  adj[1] = {0, 2};
+  adj[2] = {1};
+  std::vector<NodeClusterState> state(3);
+  state[0] = {cluster::Role::kMember, 1, false};
+  state[1] = {cluster::Role::kHead, 1, false};
+  state[2] = {cluster::Role::kMember, 1, false};
+  const auto r = cluster_discovery(adj, state, 0, 2);
+  EXPECT_TRUE(r.reached);
+  EXPECT_EQ(r.route_hops, 2u);
+}
+
+TEST(ClusterDiscoveryTest, OverheadNeverExceedsFlood) {
+  // On any graph where every node forwards, the overlay (a subset of
+  // forwarders) spends at most as many transmissions.
+  const auto adj = line5();
+  const auto flood = flood_discovery(adj, 0, 4);
+  const auto overlay = cluster_discovery(adj, all_heads(5), 0, 4);
+  EXPECT_TRUE(overlay.reached);
+  EXPECT_LE(overlay.control_transmissions, flood.control_transmissions);
+}
+
+TEST(ClusterDiscoveryTest, RejectsStateSizeMismatch) {
+  const auto adj = line5();
+  EXPECT_THROW(cluster_discovery(adj, all_heads(3), 0, 4),
+               util::CheckError);
+}
+
+TEST(ShortestPathTest, HopCounts) {
+  const auto adj = line5();
+  EXPECT_EQ(shortest_path_hops(adj, 0, 0), 0u);
+  EXPECT_EQ(shortest_path_hops(adj, 0, 3), 3u);
+  Adjacency split(2);
+  EXPECT_EQ(shortest_path_hops(split, 0, 1), 0u);  // unreachable
+}
+
+TEST(RoutingExperimentTest, ProducesCoherentStatistics) {
+  RoutingExperimentParams params;
+  params.scenario.n_nodes = 25;
+  params.scenario.fleet.field = geom::Rect(400.0, 400.0);
+  params.scenario.fleet.max_speed = 10.0;
+  params.scenario.tx_range = 150.0;
+  params.scenario.sim_time = 120.0;
+  params.sample_period = 10.0;
+  params.discoveries_per_sample = 3;
+
+  const auto r = run_routing_experiment(
+      params, scenario::factory_by_name("mobic"));
+  EXPECT_GT(r.attempts, 0u);
+  // Dense-ish 25-node field: most discoveries succeed.
+  EXPECT_GT(r.delivery_flood, 0.5);
+  EXPECT_GT(r.delivery_cluster, 0.3);
+  EXPECT_GE(r.delivery_flood, r.delivery_cluster - 1e-9);
+  // The overlay never transmits more than the flood.
+  EXPECT_LE(r.mean_tx_cluster, r.mean_tx_flood + 1e-9);
+  // Stretch >= 1 by construction (flood finds shortest paths).
+  if (r.mean_stretch > 0.0) {
+    EXPECT_GE(r.mean_stretch, 1.0 - 1e-9);
+  }
+  EXPECT_GT(r.mean_route_lifetime_flood, 0.0);
+  EXPECT_GT(r.mean_route_lifetime_cluster, 0.0);
+  // Overlay churn is a fraction of nodes per sample.
+  EXPECT_GE(r.overlay_churn, 0.0);
+  EXPECT_LE(r.overlay_churn, 1.0);
+}
+
+TEST(RoutingExperimentTest, DeterministicPerSeed) {
+  RoutingExperimentParams params;
+  params.scenario.n_nodes = 15;
+  params.scenario.fleet.field = geom::Rect(300.0, 300.0);
+  params.scenario.tx_range = 120.0;
+  params.scenario.sim_time = 60.0;
+  params.sample_period = 15.0;
+
+  const auto a = run_routing_experiment(
+      params, scenario::factory_by_name("lowest_id"));
+  const auto b = run_routing_experiment(
+      params, scenario::factory_by_name("lowest_id"));
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_DOUBLE_EQ(a.mean_tx_flood, b.mean_tx_flood);
+  EXPECT_DOUBLE_EQ(a.mean_route_lifetime_cluster,
+                   b.mean_route_lifetime_cluster);
+  EXPECT_EQ(a.ch_changes, b.ch_changes);
+}
+
+}  // namespace
+}  // namespace manet::routing

@@ -1,0 +1,119 @@
+#include "util/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+#include "util/stats.h"
+
+namespace manet::util {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(normal_cdf(5.0), 1.0, 1e-6);
+}
+
+TEST(MannWhitneyTest, ClearlySeparatedSamples) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> b = {11, 12, 13, 14, 15, 16, 17, 18};
+  const auto r = mann_whitney(a, b);
+  EXPECT_DOUBLE_EQ(r.u, 0.0);              // no a outranks any b
+  EXPECT_NEAR(r.effect_size, 1.0, 1e-12);  // P(a < b) = 1
+  EXPECT_LT(r.p_a_less, 0.01);
+  EXPECT_LT(r.p_two_sided, 0.02);
+}
+
+TEST(MannWhitneyTest, IdenticalDistributions) {
+  const std::vector<double> a = {1, 3, 5, 7, 9, 11};
+  const std::vector<double> b = {2, 4, 6, 8, 10, 12};
+  const auto r = mann_whitney(a, b);
+  EXPECT_NEAR(r.effect_size, 0.5, 0.1);
+  EXPECT_GT(r.p_two_sided, 0.5);
+}
+
+TEST(MannWhitneyTest, AllTied) {
+  const std::vector<double> a = {5, 5, 5};
+  const std::vector<double> b = {5, 5, 5};
+  const auto r = mann_whitney(a, b);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+  EXPECT_DOUBLE_EQ(r.effect_size, 0.5);
+}
+
+TEST(MannWhitneyTest, HandlesTiesWithMidranks) {
+  const std::vector<double> a = {1, 2, 2, 3};
+  const std::vector<double> b = {2, 3, 3, 4};
+  const auto r = mann_whitney(a, b);
+  // A tends smaller; effect size > 0.5 and finite z.
+  EXPECT_GT(r.effect_size, 0.5);
+  EXPECT_LT(r.p_a_less, 0.5);
+  EXPECT_TRUE(std::isfinite(r.z));
+}
+
+TEST(MannWhitneyTest, SymmetryInSwap) {
+  const std::vector<double> a = {3, 1, 4, 1, 5};
+  const std::vector<double> b = {9, 2, 6, 5, 3};
+  const auto ab = mann_whitney(a, b);
+  const auto ba = mann_whitney(b, a);
+  EXPECT_NEAR(ab.effect_size, 1.0 - ba.effect_size, 1e-12);
+  EXPECT_NEAR(ab.p_two_sided, ba.p_two_sided, 1e-9);
+}
+
+TEST(MannWhitneyTest, RejectsEmpty) {
+  const std::vector<double> a = {1.0};
+  EXPECT_THROW(mann_whitney({}, a), CheckError);
+  EXPECT_THROW(mann_whitney(a, {}), CheckError);
+}
+
+TEST(BootstrapTest, MeanCiCoversTruthOnGaussianData) {
+  Rng rng(5);
+  std::vector<double> sample(60);
+  for (auto& v : sample) {
+    v = rng.normal(10.0, 2.0);
+  }
+  const auto ci = bootstrap_ci(
+      sample, [](std::span<const double> s) { return mean(s); }, 0.95, 1000);
+  EXPECT_NEAR(ci.point, 10.0, 1.0);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  EXPECT_LT(ci.lo, 10.0);
+  EXPECT_GT(ci.hi, 10.0);
+  // Width of a 95% CI on the mean of n=60, sd=2: ~ 2*1.96*2/sqrt(60) ~ 1.0.
+  EXPECT_NEAR(ci.hi - ci.lo, 1.0, 0.5);
+}
+
+TEST(BootstrapTest, WorksForNonSmoothStatistics) {
+  std::vector<double> sample = {1, 2, 3, 4, 5, 6, 7, 8, 9, 100};
+  const auto ci = bootstrap_ci(
+      sample,
+      [](std::span<const double> s) {
+        std::vector<double> v(s.begin(), s.end());
+        return percentile(v, 50.0);
+      },
+      0.9, 500);
+  EXPECT_GE(ci.lo, 1.0);
+  EXPECT_LE(ci.hi, 100.0);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(BootstrapTest, DeterministicPerSeed) {
+  std::vector<double> sample = {1, 2, 3, 4, 5};
+  const auto stat = [](std::span<const double> s) { return mean(s); };
+  const auto a = bootstrap_ci(sample, stat, 0.95, 200, 7);
+  const auto b = bootstrap_ci(sample, stat, 0.95, 200, 7);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapTest, RejectsBadArgs) {
+  const auto stat = [](std::span<const double> s) { return mean(s); };
+  EXPECT_THROW(bootstrap_ci({}, stat), CheckError);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(bootstrap_ci(one, stat, 1.5), CheckError);
+  EXPECT_THROW(bootstrap_ci(one, stat, 0.95, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace manet::util

@@ -1,0 +1,125 @@
+// Randomized stress tests of the event queue against a simple reference
+// model, plus determinism under interleaved schedule/cancel workloads.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace manet::sim {
+namespace {
+
+class EventQueueFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueFuzz, MatchesReferenceModel) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  EventQueue q;
+  // Reference: multimap time -> payload, id -> iterator for cancellation.
+  std::multimap<std::pair<Time, EventId>, int> reference;
+  std::map<EventId, decltype(reference)::iterator> live;
+  std::vector<int> popped_q, popped_ref;
+  int payload = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const double op = rng.uniform();
+    if (op < 0.55) {
+      // push
+      const Time t = rng.uniform(0.0, 100.0);
+      const int p = payload++;
+      const EventId id = q.push(t, [&popped_q, p] { popped_q.push_back(p); });
+      live[id] = reference.emplace(std::make_pair(t, id), p);
+    } else if (op < 0.75 && !live.empty()) {
+      // cancel a random live event
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.index(live.size())));
+      EXPECT_TRUE(q.cancel(it->first));
+      reference.erase(it->second);
+      live.erase(it);
+    } else if (op < 0.8) {
+      // cancel a bogus / stale id
+      EXPECT_FALSE(q.cancel(payload + 100000u));
+    } else if (!q.empty()) {
+      // pop
+      ASSERT_FALSE(reference.empty());
+      EXPECT_DOUBLE_EQ(q.next_time(), reference.begin()->first.first);
+      auto fired = q.pop();
+      fired.fn();
+      popped_ref.push_back(reference.begin()->second);
+      live.erase(reference.begin()->first.second);
+      reference.erase(reference.begin());
+      EXPECT_EQ(popped_q.back(), popped_ref.back());
+    }
+    ASSERT_EQ(q.size(), reference.size());
+  }
+  // Drain.
+  while (!q.empty()) {
+    auto fired = q.pop();
+    fired.fn();
+    popped_ref.push_back(reference.begin()->second);
+    reference.erase(reference.begin());
+  }
+  EXPECT_EQ(popped_q, popped_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz, ::testing::Range(1, 6));
+
+TEST(SimulatorFuzzTest, SelfSchedulingChainsAreDeterministic) {
+  const auto run_once = [](std::uint64_t seed) {
+    Simulator sim;
+    util::Rng rng(seed);
+    std::vector<double> fire_times;
+    // A self-perpetuating cascade: each event schedules 0-2 children with
+    // random delays and occasionally cancels a pending sibling.
+    std::vector<EventId> pending;
+    std::function<void()> spawn = [&] {
+      fire_times.push_back(sim.now());
+      if (fire_times.size() > 2000) {
+        return;
+      }
+      const int children = static_cast<int>(rng.index(3));
+      for (int c = 0; c < children; ++c) {
+        pending.push_back(sim.schedule_in(rng.uniform(0.0, 5.0), spawn));
+      }
+      if (!pending.empty() && rng.bernoulli(0.2)) {
+        sim.cancel(pending[rng.index(pending.size())]);
+      }
+    };
+    sim.schedule_at(0.0, spawn);
+    sim.schedule_at(1.0, spawn);
+    sim.schedule_at(2.0, spawn);
+    sim.run_until(500.0);
+    return fire_times;
+  };
+  const auto a = run_once(7);
+  const auto b = run_once(7);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+}
+
+TEST(SimulatorFuzzTest, HeavyCancellationKeepsQueueConsistent) {
+  Simulator sim;
+  util::Rng rng(13);
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.schedule_at(rng.uniform(0.0, 10.0), [&] { ++fired; }));
+  }
+  // Cancel 600 distinct random events.
+  rng.shuffle(ids);
+  int cancelled = 0;
+  for (int i = 0; i < 600; ++i) {
+    cancelled += sim.cancel(ids[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(cancelled, 600);
+  EXPECT_EQ(sim.pending_events(), 400u);
+  sim.run();
+  EXPECT_EQ(fired, 400);
+}
+
+}  // namespace
+}  // namespace manet::sim

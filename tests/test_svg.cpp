@@ -1,0 +1,65 @@
+#include "util/svg.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace manet::util {
+namespace {
+
+TEST(SvgTest, DocumentSkeleton) {
+  SvgDocument svg(200.0, 100.0);
+  const std::string s = svg.to_string();
+  EXPECT_NE(s.find("<?xml"), std::string::npos);
+  EXPECT_NE(s.find("width=\"200\""), std::string::npos);
+  EXPECT_NE(s.find("height=\"100\""), std::string::npos);
+  EXPECT_NE(s.find("</svg>"), std::string::npos);
+  EXPECT_EQ(svg.elements(), 0u);
+}
+
+TEST(SvgTest, Elements) {
+  SvgDocument svg(100.0, 100.0);
+  svg.add_circle(10, 20, 5, "red");
+  svg.add_rect(0, 0, 50, 50, "blue", "black", 2);
+  svg.add_line(0, 0, 100, 100, "#333", 1.5, 0.5);
+  svg.add_text(5, 95, "head", 10);
+  svg.add_circle_outline(50, 50, 30, "green");
+  EXPECT_EQ(svg.elements(), 5u);
+  const std::string s = svg.to_string();
+  EXPECT_NE(s.find("<circle cx=\"10\" cy=\"20\" r=\"5\" fill=\"red\""),
+            std::string::npos);
+  EXPECT_NE(s.find("<rect"), std::string::npos);
+  EXPECT_NE(s.find("stroke-opacity=\"0.5\""), std::string::npos);
+  EXPECT_NE(s.find(">head</text>"), std::string::npos);
+  EXPECT_NE(s.find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(SvgTest, EscapesText) {
+  SvgDocument svg(10.0, 10.0);
+  svg.add_text(0, 0, "a<b & c>d", 8);
+  const std::string s = svg.to_string();
+  EXPECT_NE(s.find("a&lt;b &amp; c&gt;d"), std::string::npos);
+  EXPECT_EQ(s.find("a<b"), std::string::npos);
+}
+
+TEST(SvgTest, PaletteCyclesDeterministically) {
+  EXPECT_EQ(SvgDocument::palette(0), SvgDocument::palette(12));
+  EXPECT_NE(SvgDocument::palette(0), SvgDocument::palette(1));
+  EXPECT_FALSE(SvgDocument::palette(5).empty());
+}
+
+TEST(SvgTest, SaveAndRejects) {
+  SvgDocument svg(10.0, 10.0);
+  svg.add_circle(5, 5, 2, "red");
+  const std::string path = testing::TempDir() + "/manet_test.svg";
+  svg.save(path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open());
+  EXPECT_THROW(svg.save("/nonexistent-dir/x.svg"), CheckError);
+  EXPECT_THROW(SvgDocument(0.0, 10.0), CheckError);
+}
+
+}  // namespace
+}  // namespace manet::util

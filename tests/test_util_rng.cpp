@@ -1,0 +1,168 @@
+#include "util/rng.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace manet::util {
+namespace {
+
+TEST(Mix64Test, AvalanchesAndIsDeterministic) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+  // Neighboring inputs should differ in many bits (weak avalanche check).
+  const std::uint64_t d = mix64(100) ^ mix64(101);
+  EXPECT_GT(__builtin_popcountll(d), 16);
+}
+
+TEST(HashNameTest, DistinguishesNames) {
+  EXPECT_EQ(hash_name("mobility"), hash_name("mobility"));
+  EXPECT_NE(hash_name("mobility"), hash_name("channel"));
+  EXPECT_NE(hash_name(""), hash_name("a"));
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SubstreamsAreIndependentOfDrawOrder) {
+  // Deriving a substream must not consume parent state.
+  Rng a(42);
+  Rng sub1 = a.substream("x");
+  const double first = a.uniform();
+  Rng b(42);
+  const double first_b = b.uniform();
+  Rng sub2 = b.substream("x");
+  EXPECT_DOUBLE_EQ(first, first_b);
+  EXPECT_DOUBLE_EQ(sub1.uniform(), sub2.uniform());
+}
+
+TEST(RngTest, NamedSubstreamsDiffer) {
+  Rng root(1);
+  Rng a = root.substream("alpha");
+  Rng b = root.substream("beta");
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, KeyedSubstreamsDiffer) {
+  Rng root(1);
+  Rng a = root.substream("node", 0);
+  Rng b = root.substream("node", 1);
+  EXPECT_NE(a.uniform(), b.uniform());
+  Rng a2 = root.substream("node", 0);
+  EXPECT_DOUBLE_EQ(a2.uniform(), root.substream("node", 0).uniform());
+}
+
+TEST(RngTest, UniformRanges) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(5.0, 6.5);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.5);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 500 draws
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential_mean(3.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.03);
+  // Degenerate probabilities are exact.
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng(17);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto k = rng.index(4);
+    EXPECT_LT(k, 4u);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) {
+    v[i] = i;
+  }
+  const auto before = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, before);  // astronomically unlikely to be identity
+}
+
+}  // namespace
+}  // namespace manet::util

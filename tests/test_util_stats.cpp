@@ -1,0 +1,233 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace manet::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance_population(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance_sample(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance_population(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance_sample(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance_population(), 4.0);  // classic textbook set
+  EXPECT_NEAR(s.variance_sample(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.stddev_population(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance_population(), all.variance_population(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Var0Test, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(var0({}), 0.0);
+}
+
+TEST(Var0Test, IsMeanOfSquares) {
+  // The paper's eq. (2): var0 = E[x^2], *not* centered at the mean.
+  const std::vector<double> xs = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(var0(xs), (9.0 + 16.0) / 2.0);
+}
+
+TEST(Var0Test, DiffersFromCenteredVariance) {
+  // Identical samples: centered variance is 0 but var0 is x^2 — a node whose
+  // neighbors all recede at the same rate is still mobile.
+  const std::vector<double> xs = {-2.0, -2.0, -2.0};
+  EXPECT_DOUBLE_EQ(var0(xs), 4.0);
+  RunningStats s;
+  for (const double x : xs) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.variance_population(), 0.0);
+}
+
+TEST(Var0Test, ZeroSamplesGiveZero) {
+  const std::vector<double> xs = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(var0(xs), 0.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  const std::vector<double> xs = {1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 7.5);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(PercentileTest, RejectsEmptyAndBadPct) {
+  EXPECT_THROW(percentile({}, 50.0), CheckError);
+  EXPECT_THROW(percentile({1.0}, -1.0), CheckError);
+  EXPECT_THROW(percentile({1.0}, 101.0), CheckError);
+}
+
+TEST(MeanCiTest, EmptyAndSingle) {
+  EXPECT_EQ(mean_ci95({}).n, 0u);
+  const std::vector<double> one = {4.0};
+  const auto ci = mean_ci95(one);
+  EXPECT_DOUBLE_EQ(ci.mean, 4.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(MeanCiTest, KnownTwoSample) {
+  // n=2, mean 1, sample sd sqrt(2); t(df=1) = 12.706.
+  const std::vector<double> xs = {0.0, 2.0};
+  const auto ci = mean_ci95(xs);
+  EXPECT_DOUBLE_EQ(ci.mean, 1.0);
+  EXPECT_NEAR(ci.half_width, 12.706 * std::sqrt(2.0) / std::sqrt(2.0), 1e-9);
+}
+
+TEST(MeanCiTest, ShrinksWithSamples) {
+  std::vector<double> small, large;
+  for (int i = 0; i < 5; ++i) {
+    small.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  for (int i = 0; i < 500; ++i) {
+    large.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  EXPECT_GT(mean_ci95(small).half_width, mean_ci95(large).half_width);
+}
+
+TEST(TimeWeightedMeanTest, PiecewiseConstant) {
+  TimeWeightedMean twm;
+  twm.set(0.0, 10.0);  // 10 for 2 s
+  twm.set(2.0, 0.0);   // 0 for 8 s
+  twm.finish(10.0);
+  EXPECT_DOUBLE_EQ(twm.average(), 2.0);
+  EXPECT_DOUBLE_EQ(twm.duration(), 10.0);
+}
+
+TEST(TimeWeightedMeanTest, RepeatedSetsAtSameTime) {
+  TimeWeightedMean twm;
+  twm.set(0.0, 1.0);
+  twm.set(0.0, 5.0);  // instantaneous override
+  twm.finish(1.0);
+  EXPECT_DOUBLE_EQ(twm.average(), 5.0);
+}
+
+TEST(TimeWeightedMeanTest, DegenerateSpan) {
+  TimeWeightedMean twm;
+  twm.set(3.0, 7.0);
+  twm.finish(3.0);
+  EXPECT_DOUBLE_EQ(twm.average(), 7.0);
+}
+
+TEST(TimeWeightedMeanTest, RejectsMisuse) {
+  TimeWeightedMean twm;
+  EXPECT_THROW(twm.finish(1.0), CheckError);
+  twm.set(5.0, 1.0);
+  EXPECT_THROW(twm.set(4.0, 1.0), CheckError);  // time regression
+  twm.finish(6.0);
+  EXPECT_THROW(twm.set(7.0, 1.0), CheckError);  // set after finish
+  EXPECT_THROW(twm.finish(8.0), CheckError);    // double finish
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps into bin 0
+  h.add(0.5);    // bin 0
+  h.add(3.0);    // bin 1
+  h.add(9.99);   // bin 4
+  h.add(10.0);   // clamps into bin 4
+  h.add(100.0);  // clamps into bin 4
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 0u);
+  EXPECT_EQ(h.bin_count(4), 3u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), CheckError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
+}
+
+TEST(HistogramTest, ToStringRendersAllBins) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string s = h.to_string(10);
+  EXPECT_NE(s.find("[0, 1)"), std::string::npos);
+  EXPECT_NE(s.find("[1, 2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manet::util
