@@ -6,6 +6,7 @@
 // fixed BI = 2 s baseline.
 //
 //   ablation_adaptive_bi [--seeds N] [--time S] [--csv PATH] [--fast]
+//                        [--jobs N] [--progress] [--run-log PATH]
 #include <iostream>
 
 #include "bench_common.h"
@@ -21,6 +22,34 @@ int main(int argc, char** argv) {
             << "(670x670 m, PT 0, Tx 200 m, " << cfg.sim_time << " s, "
             << cfg.seeds << " seeds) ===\n\n";
 
+  const auto variant_factory = [](bool adaptive) {
+    return [adaptive](cluster::ClusterEventSink* sink) {
+      auto o = cluster::mobic_options(sink);
+      o.adaptive_bi = adaptive;
+      o.adaptive_bi_min = 1.0;
+      o.adaptive_bi_max = 4.0;
+      o.adaptive_bi_ref = 10.0;
+      return o;
+    };
+  };
+
+  scenario::SweepSpec spec;
+  spec.base = bench::paper_scenario();
+  spec.base.sim_time = cfg.sim_time;
+  spec.base.tx_range = 200.0;
+  spec.xs = {1.0, 20.0};  // MaxSpeed
+  spec.configure = [](scenario::Scenario& s, double speed) {
+    s.fleet.max_speed = speed;
+  };
+  spec.algorithms = {{"fixed_bi", variant_factory(false)},
+                     {"adaptive_bi", variant_factory(true)}};
+  spec.fields = {{"cs", scenario::field_ch_changes},
+                 {"beacons", scenario::field_beacons_sent},
+                 {"bytes", scenario::field_bytes_sent}};
+  spec.replications = cfg.seeds;
+
+  const auto result = cfg.runner().run(spec);
+
   util::Table table({"MaxSpeed", "variant", "CS", "+-", "beacons sent",
                      "bytes sent"});
   std::optional<util::CsvWriter> csv;
@@ -29,43 +58,20 @@ int main(int argc, char** argv) {
     csv->row({"speed", "variant", "cs", "ci", "beacons", "bytes"});
   }
 
-  struct Variant {
-    std::string name;
-    bool adaptive;
-  };
-  const std::vector<Variant> variants = {{"fixed_bi", false},
-                                         {"adaptive_bi", true}};
-
-  for (const double speed : {1.0, 20.0}) {
-    scenario::Scenario s = bench::paper_scenario();
-    s.sim_time = cfg.sim_time;
-    s.tx_range = 200.0;
-    s.fleet.max_speed = speed;
-    for (const auto& variant : variants) {
-      const bool adaptive = variant.adaptive;
-      const auto factory = [adaptive](cluster::ClusterEventSink* sink) {
-        auto o = cluster::mobic_options(sink);
-        o.adaptive_bi = adaptive;
-        o.adaptive_bi_min = 1.0;
-        o.adaptive_bi_max = 4.0;
-        o.adaptive_bi_ref = 10.0;
-        return o;
-      };
-      const auto runs = scenario::run_replications(s, factory, cfg.seeds);
-      const auto cs = scenario::aggregate(runs, scenario::field_ch_changes);
-      util::RunningStats beacons, bytes;
-      for (const auto& r : runs) {
-        beacons.add(static_cast<double>(r.beacons_sent));
-        bytes.add(static_cast<double>(r.bytes_sent));
-      }
-      table.add(util::Table::fmt(speed, 0), variant.name,
+  for (const auto& point : result.points) {
+    for (const auto& alg : spec.algorithms) {
+      const auto& cell = point.algorithms.at(alg.name);
+      const auto& cs = cell.values.at("cs");
+      const auto& beacons = cell.values.at("beacons");
+      const auto& bytes = cell.values.at("bytes");
+      table.add(util::Table::fmt(point.x, 0), alg.name,
                 util::Table::fmt(cs.mean, 1),
                 util::Table::fmt(cs.half_width, 1),
-                util::Table::fmt(beacons.mean(), 0),
-                util::Table::fmt(bytes.mean(), 0));
+                util::Table::fmt(beacons.mean, 0),
+                util::Table::fmt(bytes.mean, 0));
       if (csv) {
-        csv->row_values(speed, variant.name, cs.mean, cs.half_width,
-                        beacons.mean(), bytes.mean());
+        csv->row_values(point.x, alg.name, cs.mean, cs.half_width,
+                        beacons.mean, bytes.mean);
       }
     }
   }

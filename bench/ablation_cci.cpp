@@ -2,9 +2,11 @@
 // Contention Interval versus the mobility metric itself?
 //
 // Sweeps CCI in {0, 2, 4 (paper), 8} seconds at two transmission ranges,
-// with Lowest-ID (LCC) as the reference line.
+// with Lowest-ID (LCC) as the reference line. One Runner grid covers the
+// whole (Tx x variant x seed) space.
 //
 //   ablation_cci [--seeds N] [--time S] [--csv PATH] [--fast]
+//                [--jobs N] [--progress] [--run-log PATH]
 #include <iostream>
 
 #include "bench_common.h"
@@ -23,6 +25,36 @@ int main(int argc, char** argv) {
             << "20, PT 0, " << cfg.sim_time << " s, " << cfg.seeds
             << " seeds) ===\n\n";
 
+  // One variant per table row family: the Lowest-ID reference plus MOBIC at
+  // each CCI. Unique spec names; display columns carried alongside.
+  struct Variant {
+    std::string display;  // "lowest_id" / "mobic"
+    std::string cci_label;
+    double cci = -1.0;    // CSV value; -1 for the reference
+  };
+  scenario::SweepSpec spec;
+  spec.base = bench::paper_scenario();
+  spec.base.sim_time = cfg.sim_time;
+  spec.xs = ranges;
+  spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
+  spec.fields = {{"cs", scenario::field_ch_changes}};
+  spec.replications = cfg.seeds;
+
+  std::vector<Variant> variants;
+  spec.algorithms.push_back(
+      {"lowest_id", scenario::factory_by_name("lowest_id")});
+  variants.push_back({"lowest_id", "-", -1.0});
+  for (const double cci : ccis) {
+    spec.algorithms.push_back(
+        {"mobic_cci" + util::Table::fmt(cci, 0),
+         [cci](cluster::ClusterEventSink* sink) {
+           return cluster::mobic_options(sink, cci);
+         }});
+    variants.push_back({"mobic", util::Table::fmt(cci, 0), cci});
+  }
+
+  const auto result = cfg.runner().run(spec);
+
   util::Table table({"Tx (m)", "algorithm", "CCI (s)", "CS", "+-"});
   std::optional<util::CsvWriter> csv;
   if (!cfg.csv_path.empty()) {
@@ -31,41 +63,23 @@ int main(int argc, char** argv) {
   }
 
   bool cci_helps_everywhere = true;
-  for (const double tx : ranges) {
-    scenario::Scenario s = bench::paper_scenario();
-    s.sim_time = cfg.sim_time;
-    s.tx_range = tx;
-
-    const auto lid = scenario::aggregate(
-        scenario::run_replications(s, scenario::factory_by_name("lowest_id"),
-                                   cfg.seeds),
-        scenario::field_ch_changes);
-    table.add(util::Table::fmt(tx, 0), "lowest_id", "-",
-              util::Table::fmt(lid.mean, 1),
-              util::Table::fmt(lid.half_width, 1));
-    if (csv) {
-      csv->row_values(tx, "lowest_id", -1.0, lid.mean, lid.half_width);
-    }
-
+  for (const auto& point : result.points) {
     double cs_at_0 = 0.0, cs_at_4 = 0.0;
-    for (const double cci : ccis) {
-      const auto factory = [cci](cluster::ClusterEventSink* sink) {
-        return cluster::mobic_options(sink, cci);
-      };
-      const auto agg = scenario::aggregate(
-          scenario::run_replications(s, factory, cfg.seeds),
-          scenario::field_ch_changes);
-      if (cci == 0.0) {
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const auto& agg =
+          point.algorithms.at(spec.algorithms[v].name).values.at("cs");
+      if (variants[v].cci == 0.0) {
         cs_at_0 = agg.mean;
       }
-      if (cci == 4.0) {
+      if (variants[v].cci == 4.0) {
         cs_at_4 = agg.mean;
       }
-      table.add(util::Table::fmt(tx, 0), "mobic", util::Table::fmt(cci, 0),
-                util::Table::fmt(agg.mean, 1),
+      table.add(util::Table::fmt(point.x, 0), variants[v].display,
+                variants[v].cci_label, util::Table::fmt(agg.mean, 1),
                 util::Table::fmt(agg.half_width, 1));
       if (csv) {
-        csv->row_values(tx, "mobic", cci, agg.mean, agg.half_width);
+        csv->row_values(point.x, variants[v].display, variants[v].cci,
+                        agg.mean, agg.half_width);
       }
     }
     if (cs_at_4 > cs_at_0 * 1.15) {

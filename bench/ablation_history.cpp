@@ -5,6 +5,7 @@
 // alpha = 1 is the published memoryless metric; smaller alpha = more memory.
 //
 //   ablation_history [--seeds N] [--time S] [--csv PATH] [--fast]
+//                    [--jobs N] [--progress] [--run-log PATH]
 #include <iostream>
 
 #include "bench_common.h"
@@ -22,6 +23,25 @@ int main(int argc, char** argv) {
             << "(670x670 m, MaxSpeed 20, PT 0, Tx in {100, 250} m, "
             << cfg.sim_time << " s, " << cfg.seeds << " seeds) ===\n\n";
 
+  scenario::SweepSpec spec;
+  spec.base = bench::paper_scenario();
+  spec.base.sim_time = cfg.sim_time;
+  spec.xs = {100.0, 250.0};
+  spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
+  for (const double alpha : alphas) {
+    spec.algorithms.push_back(
+        {"alpha_" + util::Table::fmt(alpha, 2),
+         [alpha](cluster::ClusterEventSink* sink) {
+           return cluster::mobic_history_options(alpha, sink);
+         }});
+  }
+  spec.fields = {{"cs", scenario::field_ch_changes},
+                 {"reaff", scenario::field_reaffiliations},
+                 {"reign", scenario::field_head_lifetime}};
+  spec.replications = cfg.seeds;
+
+  const auto result = cfg.runner().run(spec);
+
   util::Table table(
       {"Tx (m)", "alpha", "CS", "+-", "reaffiliations", "CH reign (s)"});
   std::optional<util::CsvWriter> csv;
@@ -30,28 +50,20 @@ int main(int argc, char** argv) {
     csv->row({"tx", "alpha", "cs", "ci", "reaffiliations", "reign"});
   }
 
-  for (const double tx : {100.0, 250.0}) {
-    scenario::Scenario s = bench::paper_scenario();
-    s.sim_time = cfg.sim_time;
-    s.tx_range = tx;
-    for (const double alpha : alphas) {
-      const auto factory = [alpha](cluster::ClusterEventSink* sink) {
-        return cluster::mobic_history_options(alpha, sink);
-      };
-      const auto runs = scenario::run_replications(s, factory, cfg.seeds);
-      const auto cs = scenario::aggregate(runs, scenario::field_ch_changes);
-      const auto reaff =
-          scenario::aggregate(runs, scenario::field_reaffiliations);
-      const auto reign =
-          scenario::aggregate(runs, scenario::field_head_lifetime);
-      table.add(util::Table::fmt(tx, 0), util::Table::fmt(alpha, 2),
-                util::Table::fmt(cs.mean, 1),
+  for (const auto& point : result.points) {
+    for (std::size_t a = 0; a < alphas.size(); ++a) {
+      const auto& cell = point.algorithms.at(spec.algorithms[a].name);
+      const auto& cs = cell.values.at("cs");
+      const auto& reaff = cell.values.at("reaff");
+      const auto& reign = cell.values.at("reign");
+      table.add(util::Table::fmt(point.x, 0),
+                util::Table::fmt(alphas[a], 2), util::Table::fmt(cs.mean, 1),
                 util::Table::fmt(cs.half_width, 1),
                 util::Table::fmt(reaff.mean, 0),
                 util::Table::fmt(reign.mean, 1));
       if (csv) {
-        csv->row_values(tx, alpha, cs.mean, cs.half_width, reaff.mean,
-                        reign.mean);
+        csv->row_values(point.x, alphas[a], cs.mean, cs.half_width,
+                        reaff.mean, reign.mean);
       }
     }
   }

@@ -9,6 +9,7 @@
 //   * mobic           — the paper's contribution.
 //
 //   ablation_lcc [--seeds N] [--time S] [--csv PATH] [--fast]
+//                [--jobs N] [--progress] [--run-log PATH]
 #include <iostream>
 
 #include "bench_common.h"
@@ -28,6 +29,22 @@ int main(int argc, char** argv) {
             << "scenario (670x670 m, MaxSpeed 20, PT 0, " << cfg.sim_time
             << " s, " << cfg.seeds << " seeds) ===\n\n";
 
+  scenario::SweepSpec spec;
+  spec.base = bench::paper_scenario();
+  spec.base.sim_time = cfg.sim_time;
+  spec.xs = {100.0, 250.0};
+  spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
+  for (const auto& name : algorithms) {
+    spec.algorithms.push_back({name, scenario::factory_by_name(name)});
+  }
+  spec.fields = {{"cs", scenario::field_ch_changes},
+                 {"reaff", scenario::field_reaffiliations},
+                 {"clusters", scenario::field_avg_clusters},
+                 {"reign", scenario::field_head_lifetime}};
+  spec.replications = cfg.seeds;
+
+  const auto result = cfg.runner().run(spec);
+
   util::Table table({"Tx (m)", "algorithm", "CS", "+-", "reaffiliations",
                      "avg clusters", "CH reign (s)"});
   std::optional<util::CsvWriter> csv;
@@ -38,33 +55,27 @@ int main(int argc, char** argv) {
   }
 
   double cs_plain = 0.0, cs_lcc = 0.0, cs_maxconn = 0.0, cs_mobic = 0.0;
-  for (const double tx : {100.0, 250.0}) {
-    scenario::Scenario s = bench::paper_scenario();
-    s.sim_time = cfg.sim_time;
-    s.tx_range = tx;
+  for (const auto& point : result.points) {
     for (const auto& name : algorithms) {
-      const auto runs = scenario::run_replications(
-          s, scenario::factory_by_name(name), cfg.seeds);
-      const auto cs = scenario::aggregate(runs, scenario::field_ch_changes);
-      const auto reaff =
-          scenario::aggregate(runs, scenario::field_reaffiliations);
-      const auto clusters =
-          scenario::aggregate(runs, scenario::field_avg_clusters);
-      const auto reign =
-          scenario::aggregate(runs, scenario::field_head_lifetime);
-      if (tx == 250.0) {
+      const auto& cell = point.algorithms.at(name);
+      const auto& cs = cell.values.at("cs");
+      const auto& reaff = cell.values.at("reaff");
+      const auto& clusters = cell.values.at("clusters");
+      const auto& reign = cell.values.at("reign");
+      if (point.x == 250.0) {
         if (name == "lowest_id_plain") cs_plain = cs.mean;
         if (name == "lowest_id") cs_lcc = cs.mean;
         if (name == "max_connectivity") cs_maxconn = cs.mean;
         if (name == "mobic") cs_mobic = cs.mean;
       }
-      table.add(util::Table::fmt(tx, 0), name, util::Table::fmt(cs.mean, 1),
+      table.add(util::Table::fmt(point.x, 0), name,
+                util::Table::fmt(cs.mean, 1),
                 util::Table::fmt(cs.half_width, 1),
                 util::Table::fmt(reaff.mean, 0),
                 util::Table::fmt(clusters.mean, 1),
                 util::Table::fmt(reign.mean, 1));
       if (csv) {
-        csv->row_values(tx, name, cs.mean, cs.half_width, reaff.mean,
+        csv->row_values(point.x, name, cs.mean, cs.half_width, reaff.mean,
                         clusters.mean, reign.mean);
       }
     }

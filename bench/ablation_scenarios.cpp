@@ -9,7 +9,10 @@
 //   * highway         — convoys in lanes, opposite directions crossing
 //   * gauss_markov    — smooth individual motion (control)
 //
+// The categorical scenario axis maps onto the sweep's x as an index.
+//
 //   ablation_scenarios [--seeds N] [--time S] [--csv PATH] [--fast]
+//                      [--jobs N] [--progress] [--run-log PATH]
 #include <iostream>
 
 #include "bench_common.h"
@@ -24,17 +27,17 @@ int main(int argc, char** argv) {
   std::cout << "=== Ablation A6: specialized scenarios (§5), N=50, Tx 150 m, "
             << cfg.sim_time << " s, " << cfg.seeds << " seeds ===\n\n";
 
-  util::Table table({"scenario", "algorithm", "CS", "+-", "avg clusters"});
-  std::optional<util::CsvWriter> csv;
-  if (!cfg.csv_path.empty()) {
-    csv.emplace(cfg.csv_path);
-    csv->row({"scenario", "algorithm", "cs", "ci", "clusters"});
-  }
+  const std::vector<mobility::ModelKind> kinds = {
+      mobility::ModelKind::kRandomWaypoint, mobility::ModelKind::kRpgm,
+      mobility::ModelKind::kHighway, mobility::ModelKind::kGaussMarkov};
 
-  const auto make_scenario = [&](mobility::ModelKind kind) {
-    scenario::Scenario s = bench::paper_scenario();
-    s.sim_time = cfg.sim_time;
-    s.tx_range = 150.0;
+  scenario::SweepSpec spec;
+  spec.base = bench::paper_scenario();
+  spec.base.sim_time = cfg.sim_time;
+  spec.base.tx_range = 150.0;
+  spec.xs = {0.0, 1.0, 2.0, 3.0};  // index into `kinds`
+  spec.configure = [&kinds](scenario::Scenario& s, double x) {
+    const auto kind = kinds.at(static_cast<std::size_t>(x));
     s.fleet.kind = kind;
     switch (kind) {
       case mobility::ModelKind::kRpgm:
@@ -58,25 +61,34 @@ int main(int argc, char** argv) {
       default:
         break;
     }
-    return s;
   };
+  spec.algorithms = scenario::paper_algorithms();
+  spec.fields = {{"cs", scenario::field_ch_changes},
+                 {"clusters", scenario::field_avg_clusters}};
+  spec.replications = cfg.seeds;
+
+  const auto result = cfg.runner().run(spec);
+
+  util::Table table({"scenario", "algorithm", "CS", "+-", "avg clusters"});
+  std::optional<util::CsvWriter> csv;
+  if (!cfg.csv_path.empty()) {
+    csv.emplace(cfg.csv_path);
+    csv->row({"scenario", "algorithm", "cs", "ci", "clusters"});
+  }
 
   struct Row {
     mobility::ModelKind kind;
     double gain = 0.0;
   };
   std::vector<Row> rows;
-  for (const auto kind :
-       {mobility::ModelKind::kRandomWaypoint, mobility::ModelKind::kRpgm,
-        mobility::ModelKind::kHighway, mobility::ModelKind::kGaussMarkov}) {
-    const auto s = make_scenario(kind);
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const auto& point = result.points[i];
+    const auto kind = kinds[i];
     double cs_lid = 0.0, cs_mobic = 0.0;
-    for (const auto& alg : scenario::paper_algorithms()) {
-      const auto runs =
-          scenario::run_replications(s, alg.factory, cfg.seeds);
-      const auto cs = scenario::aggregate(runs, scenario::field_ch_changes);
-      const auto clusters =
-          scenario::aggregate(runs, scenario::field_avg_clusters);
+    for (const auto& alg : spec.algorithms) {
+      const auto& cell = point.algorithms.at(alg.name);
+      const auto& cs = cell.values.at("cs");
+      const auto& clusters = cell.values.at("clusters");
       (alg.name == "mobic" ? cs_mobic : cs_lid) = cs.mean;
       table.add(std::string(mobility::model_kind_name(kind)), alg.name,
                 util::Table::fmt(cs.mean, 1),

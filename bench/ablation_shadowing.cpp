@@ -5,6 +5,7 @@
 // untouched — a worst-case stress for the metric.
 //
 //   ablation_shadowing [--seeds N] [--time S] [--csv PATH] [--fast]
+//                      [--jobs N] [--progress] [--run-log PATH]
 #include <iostream>
 
 #include "bench_common.h"
@@ -22,6 +23,24 @@ int main(int argc, char** argv) {
             << "metric (670x670 m, MaxSpeed 20, PT 0, Tx 200 m, "
             << cfg.sim_time << " s, " << cfg.seeds << " seeds) ===\n\n";
 
+  scenario::SweepSpec spec;
+  spec.base = bench::paper_scenario();
+  spec.base.sim_time = cfg.sim_time;
+  spec.base.tx_range = 200.0;
+  spec.xs = sigmas;
+  spec.configure = [](scenario::Scenario& s, double sigma) {
+    if (sigma > 0.0) {
+      s.propagation = "shadowing";
+      s.pathloss_exponent = 2.0;  // keep the free-space slope; add fading
+      s.shadowing_sigma_db = sigma;
+    }
+  };
+  spec.algorithms = scenario::paper_algorithms();
+  spec.fields = {{"cs", scenario::field_ch_changes}};
+  spec.replications = cfg.seeds;
+
+  const auto result = cfg.runner().run(spec);
+
   util::Table table({"sigma (dB)", "algorithm", "CS", "+-"});
   std::optional<util::CsvWriter> csv;
   if (!cfg.csv_path.empty()) {
@@ -29,24 +48,14 @@ int main(int argc, char** argv) {
     csv->row({"sigma", "algorithm", "cs", "ci"});
   }
 
-  for (const double sigma : sigmas) {
-    scenario::Scenario s = bench::paper_scenario();
-    s.sim_time = cfg.sim_time;
-    s.tx_range = 200.0;
-    if (sigma > 0.0) {
-      s.propagation = "shadowing";
-      s.pathloss_exponent = 2.0;  // keep the free-space slope; add fading
-      s.shadowing_sigma_db = sigma;
-    }
-    for (const auto& alg : scenario::paper_algorithms()) {
-      const auto agg = scenario::aggregate(
-          scenario::run_replications(s, alg.factory, cfg.seeds),
-          scenario::field_ch_changes);
-      table.add(util::Table::fmt(sigma, 0), alg.name,
+  for (const auto& point : result.points) {
+    for (const auto& alg : spec.algorithms) {
+      const auto& agg = point.algorithms.at(alg.name).values.at("cs");
+      table.add(util::Table::fmt(point.x, 0), alg.name,
                 util::Table::fmt(agg.mean, 1),
                 util::Table::fmt(agg.half_width, 1));
       if (csv) {
-        csv->row_values(sigma, alg.name, agg.mean, agg.half_width);
+        csv->row_values(point.x, alg.name, agg.mean, agg.half_width);
       }
     }
   }

@@ -1,6 +1,8 @@
-// Shared plumbing for the figure-reproduction benches: paper-default
-// scenario, sweep-table printing (with the MOBIC-vs-baseline gain column the
-// paper's text quotes), and CSV export.
+// Shared plumbing for the figure-reproduction benches: standard flags
+// (seeds, time, CSV export, parallelism, observability) and a configured
+// scenario::Runner. The paper-default scenario and table/CSV reporting
+// helpers live in the library (scenario/reporting.h) and are re-exported
+// here under manet::bench for the benches' convenience.
 #pragma once
 
 #include <iostream>
@@ -8,35 +10,35 @@
 #include <string>
 #include <vector>
 
-#include "scenario/experiment.h"
+#include "scenario/reporting.h"
+#include "scenario/runner.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 namespace manet::bench {
 
-/// Table-1 defaults: 50 RWP nodes, 670x670 m, MaxSpeed 20, PT 0, BI 2 s,
-/// TP 3 s, CCI 4 s, 900 s.
-inline scenario::Scenario paper_scenario() {
-  scenario::Scenario s;
-  s.n_nodes = 50;
-  s.fleet.kind = mobility::ModelKind::kRandomWaypoint;
-  s.fleet.field = geom::Rect(670.0, 670.0);
-  s.fleet.max_speed = 20.0;
-  s.fleet.min_speed = 0.1;
-  s.fleet.pause_time = 0.0;
-  s.tx_range = 250.0;
-  s.sim_time = 900.0;
-  s.warmup = 10.0;
-  return s;
-}
+using scenario::argmax_x;
+using scenario::default_tx_sweep;
+using scenario::paper_scenario;
+using scenario::print_comparison;
 
-/// Standard bench flags: --seeds N (replications), --time S (sim seconds),
-/// --csv PATH (optional export), --fast (3 seeds, 300 s — CI-friendly).
+/// Standard bench flags:
+///   --seeds N      replications per (point, algorithm)
+///   --time S       simulated seconds
+///   --csv PATH     optional CSV export
+///   --fast         3 seeds, 300 s — CI-friendly
+///   --jobs N       parallel runs (0 = auto: $MANET_JOBS, else hardware);
+///                  output is byte-identical for every value of N
+///   --progress     live progress line on stderr
+///   --run-log PATH JSONL log with one line per finished run
 struct BenchConfig {
   int seeds = 5;
   double sim_time = 900.0;
   std::string csv_path;
+  int jobs = 0;
+  bool progress = false;
+  std::string run_log_path;
 
   static BenchConfig from_flags(util::Flags& flags) {
     BenchConfig c;
@@ -44,61 +46,23 @@ struct BenchConfig {
     c.seeds = flags.get_int("seeds", fast ? 3 : 5);
     c.sim_time = flags.get_double("time", fast ? 300.0 : 900.0);
     c.csv_path = flags.get_string("csv", "");
+    c.jobs = flags.get_int("jobs", 0);
+    c.progress = flags.get_bool("progress", false);
+    c.run_log_path = flags.get_string("run-log", "");
     return c;
   }
+
+  scenario::RunnerOptions runner_options() const {
+    scenario::RunnerOptions options;
+    options.jobs = jobs;
+    options.progress = progress ? &std::cerr : nullptr;
+    options.run_log_path = run_log_path;
+    return options;
+  }
+
+  scenario::Runner runner() const {
+    return scenario::Runner(runner_options());
+  }
 };
-
-/// Prints a two-algorithm sweep as a paper-style table:
-///   x | <alg A> (+-ci) | <alg B> (+-ci) | gain%
-/// where gain% = (A - B) / A — positive when B (MOBIC) wins. Also writes
-/// CSV when requested. Returns the per-point gains.
-inline std::vector<double> print_comparison(
-    std::ostream& os, const std::string& x_label,
-    const std::vector<scenario::SweepPoint>& series, const std::string& alg_a,
-    const std::string& alg_b, const std::string& value_label,
-    const std::string& csv_path) {
-  util::Table table({x_label, alg_a, "+-", alg_b, "+-",
-                     "gain% (" + alg_b + " vs " + alg_a + ")"});
-  std::optional<util::CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv.emplace(csv_path);
-    csv->row({x_label, alg_a, alg_a + "_ci", alg_b, alg_b + "_ci", "gain"});
-  }
-  std::vector<double> gains;
-  for (const auto& p : series) {
-    const auto a = p.values.at(alg_a);
-    const auto b = p.values.at(alg_b);
-    const double gain =
-        a.mean > 0.0 ? (a.mean - b.mean) / a.mean * 100.0 : 0.0;
-    gains.push_back(gain);
-    table.add(util::Table::fmt(p.x, 0), util::Table::fmt(a.mean, 1),
-              util::Table::fmt(a.half_width, 1), util::Table::fmt(b.mean, 1),
-              util::Table::fmt(b.half_width, 1), util::Table::fmt(gain, 1));
-    if (csv) {
-      csv->row_values(p.x, a.mean, a.half_width, b.mean, b.half_width, gain);
-    }
-  }
-  table.print(os);
-  os << "(" << value_label << "; mean over seeds, +- = 95% CI half-width)\n";
-  return gains;
-}
-
-/// The transmission-range sweep of Figures 3-5.
-inline std::vector<double> default_tx_sweep() {
-  return {10.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0, 225.0,
-          250.0};
-}
-
-/// x index of the series maximum (for peak-location checks).
-inline std::size_t argmax_x(const std::vector<scenario::SweepPoint>& series,
-                            const std::string& alg) {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < series.size(); ++i) {
-    if (series[i].values.at(alg).mean > series[best].values.at(alg).mean) {
-      best = i;
-    }
-  }
-  return best;
-}
 
 }  // namespace manet::bench

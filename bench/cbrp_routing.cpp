@@ -4,7 +4,7 @@
 // overlay, source-routed data, RERR recovery — and reports what a network
 // operator would measure.
 //
-//   cbrp_routing [--seeds N] [--time S] [--csv PATH] [--fast]
+//   cbrp_routing [--seeds N] [--time S] [--csv PATH] [--fast] [--jobs N]
 #include <iostream>
 
 #include "bench_common.h"
@@ -31,18 +31,31 @@ int main(int argc, char** argv) {
               "latency_ms", "hops"});
   }
 
+  // (algorithm, seed) grid dispatched through the Runner; canonical-order
+  // reduction keeps the table identical to the old serial loop.
+  const auto algorithms = scenario::paper_algorithms();
+  const auto seeds = static_cast<std::size_t>(cfg.seeds);
+  const auto runner = cfg.runner();
+  const auto runs = runner.map<routing::CbrpExperimentResult>(
+      algorithms.size() * seeds, [&](std::size_t idx) {
+        const auto& alg = algorithms[idx / seeds];
+        const auto k = idx % seeds;
+        routing::CbrpExperimentParams params;
+        params.scenario = bench::paper_scenario();
+        params.scenario.sim_time = cfg.sim_time;
+        params.scenario.tx_range = 200.0;
+        params.scenario.seed = 1 + static_cast<std::uint64_t>(k);
+        params.flows = 10;
+        params.data_interval = 5.0;
+        return routing::run_cbrp_experiment(params, alg.factory);
+      });
+
   double delivery_mobic = 0.0, delivery_lid = 0.0;
-  for (const auto& alg : scenario::paper_algorithms()) {
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    const auto& alg = algorithms[a];
     util::RunningStats cs, delivery, ctrl, rreq, rerr, latency, hops;
-    for (int k = 0; k < cfg.seeds; ++k) {
-      routing::CbrpExperimentParams params;
-      params.scenario = bench::paper_scenario();
-      params.scenario.sim_time = cfg.sim_time;
-      params.scenario.tx_range = 200.0;
-      params.scenario.seed = 1 + static_cast<std::uint64_t>(k);
-      params.flows = 10;
-      params.data_interval = 5.0;
-      const auto r = routing::run_cbrp_experiment(params, alg.factory);
+    for (std::size_t k = 0; k < seeds; ++k) {
+      const auto& r = runs[a * seeds + k];
       cs.add(static_cast<double>(r.ch_changes));
       delivery.add(r.delivery_ratio);
       ctrl.add(r.control_per_delivery);

@@ -7,6 +7,7 @@
 // ~33% at 250 m.
 //
 //   fig3_cluster_stability [--seeds N] [--time S] [--csv PATH] [--fast]
+//                          [--jobs N] [--progress] [--run-log PATH]
 #include <iostream>
 
 #include "bench_common.h"
@@ -19,17 +20,20 @@ int main(int argc, char** argv) {
   const auto cfg = bench::BenchConfig::from_flags(flags);
   flags.finish();
 
-  scenario::Scenario base = bench::paper_scenario();
-  base.sim_time = cfg.sim_time;
+  scenario::SweepSpec spec;
+  spec.base = bench::paper_scenario();
+  spec.base.sim_time = cfg.sim_time;
+  spec.xs = bench::default_tx_sweep();
+  spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
+  spec.algorithms = scenario::paper_algorithms();
+  spec.fields = {{"cs", scenario::field_ch_changes}};
+  spec.replications = cfg.seeds;
 
   std::cout << "=== Figure 3: clusterhead changes vs Tx (670x670 m, "
             << "MaxSpeed 20 m/s, PT 0, " << cfg.sim_time << " s, "
             << cfg.seeds << " seeds) ===\n\n";
 
-  const auto series = scenario::sweep(
-      base, bench::default_tx_sweep(),
-      [](scenario::Scenario& s, double tx) { s.tx_range = tx; },
-      scenario::paper_algorithms(), scenario::field_ch_changes, cfg.seeds);
+  const auto series = cfg.runner().run(spec).series("cs");
 
   const auto gains = bench::print_comparison(
       std::cout, "Tx (m)", series, "lowest_id", "mobic",
@@ -51,16 +55,18 @@ int main(int argc, char** argv) {
 
   // Shape checks mirrored from the paper's discussion (§4.2).
   const std::size_t peak_lid = bench::argmax_x(series, "lowest_id");
+  const double gain_250 = gains.back().value_or(0.0);
   std::cout << "\nLowest-ID churn peaks at Tx = " << series[peak_lid].x
             << " m (paper: ~50 m).\n";
-  std::cout << "Gain at Tx = 250 m: " << util::Table::fmt(gains.back(), 1)
+  std::cout << "Gain at Tx = 250 m: "
+            << (gains.back() ? util::Table::fmt(gain_250, 1) : "n/a")
             << "% (paper: ~33%).\n";
 
   // Internal consistency: the peak must not sit at the sweep edges, and
   // MOBIC must win at the largest range.
   const bool peak_interior =
       peak_lid != 0 && peak_lid != series.size() - 1;
-  const bool mobic_wins_at_250 = gains.back() > 0.0;
+  const bool mobic_wins_at_250 = gain_250 > 0.0;
   if (!peak_interior || !mobic_wins_at_250) {
     std::cerr << "FIG3 SHAPE CHECK FAILED: peak_interior=" << peak_interior
               << " mobic_wins_at_250=" << mobic_wins_at_250 << "\n";

@@ -6,6 +6,7 @@
 // the same motion.
 //
 //   fig4_cluster_count [--seeds N] [--time S] [--csv PATH] [--fast]
+//                      [--jobs N] [--progress] [--run-log PATH]
 #include <cmath>
 #include <iostream>
 
@@ -18,17 +19,20 @@ int main(int argc, char** argv) {
   const auto cfg = bench::BenchConfig::from_flags(flags);
   flags.finish();
 
-  scenario::Scenario base = bench::paper_scenario();
-  base.sim_time = cfg.sim_time;
+  scenario::SweepSpec spec;
+  spec.base = bench::paper_scenario();
+  spec.base.sim_time = cfg.sim_time;
+  spec.xs = bench::default_tx_sweep();
+  spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
+  spec.algorithms = scenario::paper_algorithms();
+  spec.fields = {{"clusters", scenario::field_avg_clusters}};
+  spec.replications = cfg.seeds;
 
   std::cout << "=== Figure 4: number of clusters vs Tx (670x670 m, "
             << "MaxSpeed 20 m/s, PT 0, " << cfg.sim_time << " s, "
             << cfg.seeds << " seeds) ===\n\n";
 
-  const auto series = scenario::sweep(
-      base, bench::default_tx_sweep(),
-      [](scenario::Scenario& s, double tx) { s.tx_range = tx; },
-      scenario::paper_algorithms(), scenario::field_avg_clusters, cfg.seeds);
+  const auto series = cfg.runner().run(spec).series("clusters");
 
   bench::print_comparison(std::cout, "Tx (m)", series, "lowest_id", "mobic",
                           "time-average number of clusters", cfg.csv_path);

@@ -11,6 +11,7 @@
 // This bench runs both field sizes and prints the scaling check.
 //
 //   fig5_density [--seeds N] [--time S] [--csv PATH] [--fast]
+//                [--jobs N] [--progress] [--run-log PATH]
 #include <cmath>
 #include <iostream>
 
@@ -102,17 +103,21 @@ int main(int argc, char** argv) {
   const std::vector<double> tx_sweep = {10.0, 25.0, 35.0, 50.0, 60.0, 75.0,
                                         90.0, 100.0, 125.0, 150.0, 175.0,
                                         200.0, 225.0, 250.0};
+  const auto runner = cfg.runner();
   const auto run_field = [&](double side) {
-    scenario::Scenario base = bench::paper_scenario();
-    base.sim_time = cfg.sim_time;
-    base.fleet.field = geom::Rect(side, side);
-    return scenario::sweep_fields(
-        base, tx_sweep,
-        [](scenario::Scenario& s, double tx) { s.tx_range = tx; },
-        scenario::paper_algorithms(),
-        {{"cs", scenario::field_ch_changes},
-         {"clusters", scenario::field_avg_clusters}},
-        cfg.seeds);
+    scenario::SweepSpec spec;
+    spec.base = bench::paper_scenario();
+    spec.base.sim_time = cfg.sim_time;
+    spec.base.fleet.field = geom::Rect(side, side);
+    spec.xs = tx_sweep;
+    spec.configure = [](scenario::Scenario& s, double tx) {
+      s.tx_range = tx;
+    };
+    spec.algorithms = scenario::paper_algorithms();
+    spec.fields = {{"cs", scenario::field_ch_changes},
+                   {"clusters", scenario::field_avg_clusters}};
+    spec.replications = cfg.seeds;
+    return runner.run(spec).multi();
   };
 
   std::cout << "=== Figure 5: clusterhead changes vs Tx at two area "

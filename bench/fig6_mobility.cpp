@@ -4,6 +4,7 @@
 //   (b) with pauses (PT = 30 s): gains slightly reduced but retained.
 //
 //   fig6_mobility [--seeds N] [--time S] [--csv PATH] [--fast]
+//                 [--jobs N] [--progress] [--run-log PATH]
 #include <iostream>
 
 #include "bench_common.h"
@@ -17,15 +18,21 @@ int main(int argc, char** argv) {
 
   const std::vector<double> speeds = {1.0, 20.0, 30.0};
 
+  const auto runner = cfg.runner();
   const auto run_pt = [&](double pause) {
-    scenario::Scenario base = bench::paper_scenario();
-    base.sim_time = cfg.sim_time;
-    base.tx_range = 250.0;
-    base.fleet.pause_time = pause;
-    return scenario::sweep(
-        base, speeds,
-        [](scenario::Scenario& s, double v) { s.fleet.max_speed = v; },
-        scenario::paper_algorithms(), scenario::field_ch_changes, cfg.seeds);
+    scenario::SweepSpec spec;
+    spec.base = bench::paper_scenario();
+    spec.base.sim_time = cfg.sim_time;
+    spec.base.tx_range = 250.0;
+    spec.base.fleet.pause_time = pause;
+    spec.xs = speeds;
+    spec.configure = [](scenario::Scenario& s, double v) {
+      s.fleet.max_speed = v;
+    };
+    spec.algorithms = scenario::paper_algorithms();
+    spec.fields = {{"cs", scenario::field_ch_changes}};
+    spec.replications = cfg.seeds;
+    return runner.run(spec).series("cs");
   };
 
   std::cout << "=== Figure 6: clusterhead changes vs MaxSpeed (Tx 250 m, "

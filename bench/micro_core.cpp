@@ -4,10 +4,13 @@
 // second.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "bench_common.h"
 #include "geom/grid_index.h"
 #include "metrics/aggregate_mobility.h"
 #include "sim/simulator.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -109,6 +112,25 @@ void BM_FullScenarioSecond(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_FullScenarioSecond)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_ThreadPoolSubmit(benchmark::State& state) {
+  // Dispatch overhead of the work-stealing pool that backs
+  // scenario::Runner: submit N trivial jobs, drain, repeat.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::ThreadPool pool;
+  std::atomic<std::size_t> done{0};
+  for (auto _ : state) {
+    done.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(done.load(std::memory_order_relaxed));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ThreadPoolSubmit)->Arg(100)->Arg(10000);
 
 }  // namespace
 

@@ -9,7 +9,7 @@
 //   * route lifetime: how long the discovered route survives node motion —
 //     where clusterhead stability pays off.
 //
-//   routing_overhead [--seeds N] [--time S] [--csv PATH] [--fast]
+//   routing_overhead [--seeds N] [--time S] [--csv PATH] [--fast] [--jobs N]
 #include <iostream>
 
 #include "bench_common.h"
@@ -37,16 +37,29 @@ int main(int argc, char** argv) {
               "del_cluster", "life_flood", "life_cluster", "overlay_churn"});
   }
 
+  // Fan every (algorithm, seed) run out as an independent job; reduce in
+  // canonical order below so the output matches the old serial loop.
+  const auto algorithms = scenario::paper_algorithms();
+  const auto seeds = static_cast<std::size_t>(cfg.seeds);
+  const auto runner = cfg.runner();
+  const auto runs = runner.map<routing::RoutingResult>(
+      algorithms.size() * seeds, [&](std::size_t idx) {
+        const auto& alg = algorithms[idx / seeds];
+        const auto k = idx % seeds;
+        routing::RoutingExperimentParams params;
+        params.scenario = bench::paper_scenario();
+        params.scenario.sim_time = cfg.sim_time;
+        params.scenario.tx_range = 150.0;
+        params.scenario.seed = 1 + static_cast<std::uint64_t>(k);
+        return routing::run_routing_experiment(params, alg.factory);
+      });
+
   double overlay_saving_mobic = 0.0;
-  for (const auto& alg : scenario::paper_algorithms()) {
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    const auto& alg = algorithms[a];
     util::RunningStats cs, txf, txc, delf, delc, lifef, lifec, churn;
-    for (int k = 0; k < cfg.seeds; ++k) {
-      routing::RoutingExperimentParams params;
-      params.scenario = bench::paper_scenario();
-      params.scenario.sim_time = cfg.sim_time;
-      params.scenario.tx_range = 150.0;
-      params.scenario.seed = 1 + static_cast<std::uint64_t>(k);
-      const auto r = routing::run_routing_experiment(params, alg.factory);
+    for (std::size_t k = 0; k < seeds; ++k) {
+      const auto& r = runs[a * seeds + k];
       cs.add(static_cast<double>(r.ch_changes));
       txf.add(r.mean_tx_flood);
       txc.add(r.mean_tx_cluster);

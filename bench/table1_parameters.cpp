@@ -5,6 +5,7 @@
 // that justify calling MaxSpeed=1 "low" and 30 "high" mobility.
 //
 //   table1_parameters [--seeds N] [--time S] [--fast] [--csv PATH]
+//                     [--jobs N]
 #include <iostream>
 
 #include "bench_common.h"
@@ -56,8 +57,15 @@ int main(int argc, char** argv) {
       {670.0, 20.0, 30.0}, {1000.0, 20.0, 0.0},
   };
 
-  double geo_slow = 0.0, geo_fast = 0.0;
-  for (const auto& c : cases) {
+  // Each characterization case is an independent deterministic job
+  // (fixed Rng(1)); the Runner fans them out and returns in case order.
+  struct Row {
+    double geo = 0.0;
+    metrics::LinkStats links;
+  };
+  const auto runner = cfg.runner();
+  const auto rows = runner.map<Row>(cases.size(), [&](std::size_t i) {
+    const auto& c = cases[i];
     mobility::FleetParams fp;
     fp.kind = mobility::ModelKind::kRandomWaypoint;
     fp.field = geom::Rect(c.side, c.side);
@@ -70,22 +78,29 @@ int main(int argc, char** argv) {
     for (auto& m : fleet) {
       tracks.push_back(mobility::record_track(*m, horizon, 1.0));
     }
-    const double geo =
-        metrics::geometric_mobility_metric(tracks, horizon, 5.0);
-    const auto links = metrics::link_stats(tracks, 250.0, horizon, 1.0);
+    Row row;
+    row.geo = metrics::geometric_mobility_metric(tracks, horizon, 5.0);
+    row.links = metrics::link_stats(tracks, 250.0, horizon, 1.0);
+    return row;
+  });
+
+  double geo_slow = 0.0, geo_fast = 0.0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    const auto& row = rows[i];
     if (c.side == 670.0 && c.pause == 0.0 && c.speed == 1.0) {
-      geo_slow = geo;
+      geo_slow = row.geo;
     }
     if (c.side == 670.0 && c.pause == 0.0 && c.speed == 30.0) {
-      geo_fast = geo;
+      geo_fast = row.geo;
     }
     table.add(util::Table::fmt(c.side, 0), util::Table::fmt(c.speed, 0),
-              util::Table::fmt(c.pause, 0), util::Table::fmt(geo, 2),
-              util::Table::fmt(links.mean_degree, 1),
-              util::Table::fmt(links.mean_link_lifetime, 1));
+              util::Table::fmt(c.pause, 0), util::Table::fmt(row.geo, 2),
+              util::Table::fmt(row.links.mean_degree, 1),
+              util::Table::fmt(row.links.mean_link_lifetime, 1));
     if (csv) {
-      csv->row_values(c.side, c.speed, c.pause, geo, links.mean_degree,
-                      links.mean_link_lifetime);
+      csv->row_values(c.side, c.speed, c.pause, row.geo,
+                      row.links.mean_degree, row.links.mean_link_lifetime);
     }
   }
   table.print(std::cout);

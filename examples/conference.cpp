@@ -6,11 +6,12 @@
 // algorithms are driven by the *identical* recorded motion.
 //
 //   ./conference [--groups G] [--group-size S] [--time T] [--seed K]
+//                [--jobs N]
 #include <fstream>
 #include <iostream>
 
 #include "mobility/trace.h"
-#include "scenario/experiment.h"
+#include "scenario/runner.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   const int group_size = flags.get_int("group-size", 10);
   const double time = flags.get_double("time", 600.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int jobs = flags.get_int("jobs", 0);
   flags.finish();
 
   const auto n = static_cast<std::size_t>(groups * group_size);
@@ -44,14 +46,23 @@ int main(int argc, char** argv) {
             << " attendees, 300x300 m hall, walking pace, Tx = 100 m, "
             << time << " s.\n\n";
 
+  // Both algorithms run concurrently (same scenario, same seed); results
+  // come back in algorithm order, so the table is jobs-independent.
+  scenario::RunnerOptions opts;
+  opts.jobs = jobs;
+  const scenario::Runner runner(opts);
+  const auto algorithms = scenario::paper_algorithms();
+  const auto matrix = runner.run_matrix(s, algorithms, 1);
+
   util::Table table({"algorithm", "CH changes", "avg clusters",
                      "avg cluster size", "mean CH reign (s)"});
   double cs_lid = 0.0, cs_mobic = 0.0;
-  for (const auto& alg : scenario::paper_algorithms()) {
-    const auto r = scenario::run_scenario(s, alg.factory);
-    (alg.name == "mobic" ? cs_mobic : cs_lid) =
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    const auto& r = matrix[a][0];
+    (algorithms[a].name == "mobic" ? cs_mobic : cs_lid) =
         static_cast<double>(r.ch_changes);
-    table.add(alg.name, r.ch_changes, util::Table::fmt(r.avg_clusters, 1),
+    table.add(algorithms[a].name, r.ch_changes,
+              util::Table::fmt(r.avg_clusters, 1),
               util::Table::fmt(r.avg_cluster_size, 1),
               util::Table::fmt(r.mean_head_lifetime, 1));
   }

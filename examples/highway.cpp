@@ -4,10 +4,10 @@
 // closing speed. MOBIC should keep clusterheads inside convoys; Lowest-ID
 // anoints whoever has the small id — even a car about to exit.
 //
-//   ./highway [--vehicles N] [--time S] [--range M] [--seed K]
+//   ./highway [--vehicles N] [--time S] [--range M] [--seed K] [--jobs N]
 #include <iostream>
 
-#include "scenario/experiment.h"
+#include "scenario/runner.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const double time = flags.get_double("time", 600.0);
   const double range = flags.get_double("range", 150.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int jobs = flags.get_int("jobs", 0);
   flags.finish();
 
   scenario::Scenario s;
@@ -36,14 +37,20 @@ int main(int argc, char** argv) {
             << "4 lanes, ~25 m/s cruise, Tx = " << range << " m, " << time
             << " s.\n\n";
 
+  scenario::RunnerOptions opts;
+  opts.jobs = jobs;
+  const scenario::Runner runner(opts);
+  const auto algorithms = scenario::paper_algorithms();
+  const auto matrix = runner.run_matrix(s, algorithms, 1);
+
   util::Table table({"algorithm", "CH changes", "avg clusters",
                      "reaffiliations", "mean CH reign (s)"});
   double cs_lid = 0.0, cs_mobic = 0.0;
-  for (const auto& alg : scenario::paper_algorithms()) {
-    const auto r = scenario::run_scenario(s, alg.factory);
-    (alg.name == "mobic" ? cs_mobic : cs_lid) =
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    const auto& r = matrix[a][0];
+    (algorithms[a].name == "mobic" ? cs_mobic : cs_lid) =
         static_cast<double>(r.ch_changes);
-    table.add(alg.name, r.ch_changes,
+    table.add(algorithms[a].name, r.ch_changes,
               util::Table::fmt(r.avg_clusters, 1), r.reaffiliations,
               util::Table::fmt(r.mean_head_lifetime, 1));
   }

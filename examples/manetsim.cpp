@@ -20,7 +20,7 @@
 #include <iostream>
 
 #include "scenario/config.h"
-#include "scenario/experiment.h"
+#include "scenario/runner.h"
 #include "scenario/timeline.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -119,6 +119,7 @@ int main(int argc, char** argv) {
   const std::string events_csv = flags.get_string("events-csv", "");
   const std::string snapshots_csv = flags.get_string("snapshots-csv", "");
   const double snapshot_period = flags.get_double("snapshot-period", 10.0);
+  const int jobs = flags.get_int("jobs", 0);
   flags.finish();
 
   if (!write_config_path.empty()) {
@@ -161,7 +162,20 @@ int main(int argc, char** argv) {
     }
   };
 
-  if (compare) {
+  if (compare && !want_timeline) {
+    // No timeline export: run both algorithms concurrently and report in
+    // algorithm order.
+    scenario::RunnerOptions opts;
+    opts.jobs = jobs;
+    const scenario::Runner runner(opts);
+    const auto algorithms = scenario::paper_algorithms();
+    const auto matrix = runner.run_matrix(s, algorithms, 1);
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      print_report(algorithms[a].name, matrix[a][0]);
+    }
+  } else if (compare) {
+    // TimelineRecorder hooks into the live run, so timeline exports stay
+    // on the serial path.
     for (const auto& alg : scenario::paper_algorithms()) {
       run_one(alg.name);
     }

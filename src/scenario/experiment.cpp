@@ -1,22 +1,9 @@
 #include "scenario/experiment.h"
 
+#include "scenario/runner.h"
 #include "util/assert.h"
 
 namespace manet::scenario {
-
-std::vector<RunResult> run_replications(Scenario scenario,
-                                        const OptionsFactory& factory,
-                                        int replications) {
-  MANET_CHECK(replications > 0, "replications=" << replications);
-  std::vector<RunResult> runs;
-  runs.reserve(static_cast<std::size_t>(replications));
-  const std::uint64_t base_seed = scenario.seed;
-  for (int k = 0; k < replications; ++k) {
-    scenario.seed = base_seed + static_cast<std::uint64_t>(k);
-    runs.push_back(run_scenario(scenario, factory));
-  }
-  return runs;
-}
 
 util::MeanCI aggregate(const std::vector<RunResult>& runs,
                        const FieldFn& field) {
@@ -39,6 +26,12 @@ double field_head_lifetime(const RunResult& r) {
   return r.mean_head_lifetime;
 }
 double field_mean_degree(const RunResult& r) { return r.mean_degree; }
+double field_beacons_sent(const RunResult& r) {
+  return static_cast<double>(r.beacons_sent);
+}
+double field_bytes_sent(const RunResult& r) {
+  return static_cast<double>(r.bytes_sent);
+}
 
 std::vector<AlgorithmSpec> paper_algorithms() {
   return {
@@ -47,32 +40,25 @@ std::vector<AlgorithmSpec> paper_algorithms() {
   };
 }
 
+std::vector<RunResult> run_replications(Scenario scenario,
+                                        const OptionsFactory& factory,
+                                        int replications) {
+  return Runner().replications(scenario, factory, replications);
+}
+
 std::vector<SweepPoint> sweep(
     const Scenario& base, const std::vector<double>& xs,
     const std::function<void(Scenario&, double)>& configure,
     const std::vector<AlgorithmSpec>& algorithms, const FieldFn& field,
     int replications) {
-  MANET_CHECK(!xs.empty(), "empty sweep");
-  MANET_CHECK(!algorithms.empty(), "no algorithms");
-  std::vector<SweepPoint> series;
-  series.reserve(xs.size());
-  for (const double x : xs) {
-    SweepPoint point;
-    point.x = x;
-    Scenario s = base;
-    configure(s, x);
-    for (const auto& alg : algorithms) {
-      const auto runs = run_replications(s, alg.factory, replications);
-      point.values[alg.name] = aggregate(runs, field);
-      auto& raw = point.raw[alg.name];
-      raw.reserve(runs.size());
-      for (const auto& r : runs) {
-        raw.push_back(field(r));
-      }
-    }
-    series.push_back(std::move(point));
-  }
-  return series;
+  SweepSpec spec;
+  spec.base = base;
+  spec.xs = xs;
+  spec.configure = configure;
+  spec.algorithms = algorithms;
+  spec.fields = {{"value", field}};
+  spec.replications = replications;
+  return Runner().run(spec).series("value");
 }
 
 std::vector<MultiSweepPoint> sweep_fields(
@@ -81,25 +67,14 @@ std::vector<MultiSweepPoint> sweep_fields(
     const std::vector<AlgorithmSpec>& algorithms,
     const std::vector<std::pair<std::string, FieldFn>>& fields,
     int replications) {
-  MANET_CHECK(!xs.empty(), "empty sweep");
-  MANET_CHECK(!algorithms.empty(), "no algorithms");
-  MANET_CHECK(!fields.empty(), "no fields");
-  std::vector<MultiSweepPoint> series;
-  series.reserve(xs.size());
-  for (const double x : xs) {
-    MultiSweepPoint point;
-    point.x = x;
-    Scenario s = base;
-    configure(s, x);
-    for (const auto& alg : algorithms) {
-      const auto runs = run_replications(s, alg.factory, replications);
-      for (const auto& [name, field] : fields) {
-        point.values[alg.name][name] = aggregate(runs, field);
-      }
-    }
-    series.push_back(std::move(point));
-  }
-  return series;
+  SweepSpec spec;
+  spec.base = base;
+  spec.xs = xs;
+  spec.configure = configure;
+  spec.algorithms = algorithms;
+  spec.fields = fields;
+  spec.replications = replications;
+  return Runner().run(spec).multi();
 }
 
 }  // namespace manet::scenario

@@ -1,6 +1,9 @@
-// Multi-seed replication and aggregation: the layer between run_scenario()
-// and the figure benches. Handles seed derivation, per-field aggregation
-// with 95% confidence intervals, and paper-style series assembly.
+// Experiment vocabulary shared by the sweep runner and the figure benches:
+// result-field accessors, per-field aggregation with 95% confidence
+// intervals, algorithm specs, and the paper-style series types. The grid
+// execution itself lives in scenario/runner.h (scenario::Runner); the free
+// functions at the bottom of this header are deprecated serial-era shims
+// kept for one release.
 #pragma once
 
 #include <functional>
@@ -12,12 +15,6 @@
 #include "util/stats.h"
 
 namespace manet::scenario {
-
-/// Runs `replications` seeds of `scenario` (seed = scenario.seed + k) and
-/// returns every per-run result.
-std::vector<RunResult> run_replications(Scenario scenario,
-                                        const OptionsFactory& factory,
-                                        int replications);
 
 /// Extracts a field from a RunResult (for aggregation).
 using FieldFn = std::function<double(const RunResult&)>;
@@ -32,6 +29,8 @@ double field_avg_clusters(const RunResult& r);
 double field_reaffiliations(const RunResult& r);
 double field_head_lifetime(const RunResult& r);
 double field_mean_degree(const RunResult& r);
+double field_beacons_sent(const RunResult& r);
+double field_bytes_sent(const RunResult& r);
 
 /// One named clustering configuration in a comparison.
 struct AlgorithmSpec {
@@ -52,8 +51,30 @@ struct SweepPoint {
   std::map<std::string, std::vector<double>> raw;
 };
 
+/// The multi-field analogue of SweepPoint.
+struct MultiSweepPoint {
+  double x = 0.0;
+  /// values[algorithm][field name] -> aggregate.
+  std::map<std::string, std::map<std::string, util::MeanCI>> values;
+};
+
+// ---------------------------------------------------------------------------
+// Deprecated serial-era entry points, kept as thin wrappers over
+// scenario::Runner for one release so out-of-tree callers keep compiling.
+// They honor $MANET_JOBS and produce bit-identical output to their original
+// serial implementations.
+// ---------------------------------------------------------------------------
+
+/// Runs `replications` seeds of `scenario` (seed = scenario.seed + k) and
+/// returns every per-run result.
+[[deprecated("use scenario::Runner::replications()")]]
+std::vector<RunResult> run_replications(Scenario scenario,
+                                        const OptionsFactory& factory,
+                                        int replications);
+
 /// Sweeps `xs`; for each x, `configure` mutates the scenario, then every
 /// algorithm runs `replications` seeds and `field` is aggregated.
+[[deprecated("use scenario::Runner::run() with a SweepSpec")]]
 std::vector<SweepPoint> sweep(
     const Scenario& base, const std::vector<double>& xs,
     const std::function<void(Scenario&, double)>& configure,
@@ -62,12 +83,7 @@ std::vector<SweepPoint> sweep(
 
 /// Like sweep(), but aggregates several result fields from the *same* runs
 /// (no re-simulation per field).
-struct MultiSweepPoint {
-  double x = 0.0;
-  /// values[algorithm][field name] -> aggregate.
-  std::map<std::string, std::map<std::string, util::MeanCI>> values;
-};
-
+[[deprecated("use scenario::Runner::run() with a SweepSpec")]]
 std::vector<MultiSweepPoint> sweep_fields(
     const Scenario& base, const std::vector<double>& xs,
     const std::function<void(Scenario&, double)>& configure,

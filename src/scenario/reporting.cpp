@@ -1,0 +1,78 @@
+#include "scenario/reporting.h"
+
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace manet::scenario {
+
+Scenario paper_scenario() {
+  Scenario s;
+  s.n_nodes = 50;
+  s.fleet.kind = mobility::ModelKind::kRandomWaypoint;
+  s.fleet.field = geom::Rect(670.0, 670.0);
+  s.fleet.max_speed = 20.0;
+  s.fleet.min_speed = 0.1;
+  s.fleet.pause_time = 0.0;
+  s.tx_range = 250.0;
+  s.sim_time = 900.0;
+  s.warmup = 10.0;
+  return s;
+}
+
+std::vector<double> default_tx_sweep() {
+  return {10.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0, 225.0,
+          250.0};
+}
+
+std::vector<std::optional<double>> print_comparison(
+    std::ostream& os, const std::string& x_label,
+    const std::vector<SweepPoint>& series, const std::string& alg_a,
+    const std::string& alg_b, const std::string& value_label,
+    const std::string& csv_path) {
+  util::Table table({x_label, alg_a, "+-", alg_b, "+-",
+                     "gain% (" + alg_b + " vs " + alg_a + ")"});
+  std::optional<util::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv.emplace(csv_path);
+    csv->row({x_label, alg_a, alg_a + "_ci", alg_b, alg_b + "_ci", "gain"});
+  }
+  std::vector<std::optional<double>> gains;
+  gains.reserve(series.size());
+  for (const auto& p : series) {
+    const auto a = p.values.at(alg_a);
+    const auto b = p.values.at(alg_b);
+    // A non-positive baseline mean admits no meaningful relative gain;
+    // reporting would previously claim a misleading 0.
+    const std::optional<double> gain =
+        a.mean > 0.0 ? std::optional<double>((a.mean - b.mean) / a.mean *
+                                             100.0)
+                     : std::nullopt;
+    gains.push_back(gain);
+    table.add(util::Table::fmt(p.x, 0), util::Table::fmt(a.mean, 1),
+              util::Table::fmt(a.half_width, 1), util::Table::fmt(b.mean, 1),
+              util::Table::fmt(b.half_width, 1),
+              gain ? util::Table::fmt(*gain, 1) : "n/a");
+    if (csv) {
+      csv->row_values(p.x, a.mean, a.half_width, b.mean, b.half_width,
+                      gain ? util::CsvWriter::number(*gain) : "");
+    }
+  }
+  table.print(os);
+  os << "(" << value_label << "; mean over seeds, +- = 95% CI half-width)\n";
+  return gains;
+}
+
+std::size_t argmax_x(const std::vector<SweepPoint>& series,
+                     const std::string& alg) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i].values.at(alg).mean > series[best].values.at(alg).mean) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace manet::scenario

@@ -1,0 +1,41 @@
+// Paper-style reporting helpers shared by the figure benches and the
+// manetsim CLI: the Table-1 default scenario, the two-algorithm comparison
+// table (with the MOBIC-vs-baseline gain column the paper's text quotes),
+// the Figures 3-5 transmission-range axis, and series peak location.
+// Formerly inline in bench/bench_common.h; now compiled once here so they
+// are unit-testable and usable outside bench/.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.h"
+
+namespace manet::scenario {
+
+/// Table-1 defaults: 50 RWP nodes, 670x670 m, MaxSpeed 20, PT 0, BI 2 s,
+/// TP 3 s, CCI 4 s, 900 s.
+Scenario paper_scenario();
+
+/// The transmission-range sweep of Figures 3-5.
+std::vector<double> default_tx_sweep();
+
+/// Prints a two-algorithm sweep as a paper-style table:
+///   x | <alg A> (+-ci) | <alg B> (+-ci) | gain%
+/// where gain% = (A - B) / A — positive when B (MOBIC) wins. Also writes
+/// CSV when `csv_path` is non-empty. Returns the per-point gains; a point
+/// whose baseline mean is <= 0 has no meaningful gain and yields
+/// std::nullopt (printed as "n/a", empty CSV cell).
+std::vector<std::optional<double>> print_comparison(
+    std::ostream& os, const std::string& x_label,
+    const std::vector<SweepPoint>& series, const std::string& alg_a,
+    const std::string& alg_b, const std::string& value_label,
+    const std::string& csv_path);
+
+/// x index of the series maximum (for peak-location checks).
+std::size_t argmax_x(const std::vector<SweepPoint>& series,
+                     const std::string& alg);
+
+}  // namespace manet::scenario

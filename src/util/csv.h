@@ -35,6 +35,10 @@ class CsvWriter {
     row(fields);
   }
 
+  /// Formats a double exactly as row_values() would — for callers that mix
+  /// numeric and already-formatted fields in one row.
+  static std::string number(double v) { return format_field(v); }
+
   /// Number of rows written so far.
   std::size_t rows_written() const { return rows_; }
 

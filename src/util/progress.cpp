@@ -1,0 +1,38 @@
+#include "util/progress.h"
+
+namespace manet::util {
+
+void ProgressMeter::start(std::size_t total) {
+  completed_.store(0, std::memory_order_relaxed);
+  total_.store(total, std::memory_order_relaxed);
+  sim_seconds_.store(0.0, std::memory_order_relaxed);
+  run_wall_s_.store(0.0, std::memory_order_relaxed);
+  start_ = std::chrono::steady_clock::now();
+}
+
+void ProgressMeter::atomic_add(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void ProgressMeter::record_run(double sim_seconds, double wall_seconds) {
+  atomic_add(sim_seconds_, sim_seconds);
+  atomic_add(run_wall_s_, wall_seconds);
+  completed_.fetch_add(1, std::memory_order_release);
+}
+
+ProgressSnapshot ProgressMeter::snapshot() const {
+  ProgressSnapshot s;
+  s.completed = completed_.load(std::memory_order_acquire);
+  s.total = total_.load(std::memory_order_relaxed);
+  s.sim_seconds = sim_seconds_.load(std::memory_order_relaxed);
+  s.run_wall_s = run_wall_s_.load(std::memory_order_relaxed);
+  s.wall_elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  return s;
+}
+
+}  // namespace manet::util

@@ -1,0 +1,52 @@
+// Thread-safe progress accounting for long parallel jobs: atomic counters a
+// worker thread bumps per finished run, snapshotted by an observer (a live
+// progress line, a run log, a test). Wall-clock throughput is measured
+// against the meter's start() stamp.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+
+namespace manet::util {
+
+/// A consistent view of a ProgressMeter at one instant.
+struct ProgressSnapshot {
+  std::size_t completed = 0;     // runs finished
+  std::size_t total = 0;         // runs planned (0 when open-ended)
+  double wall_elapsed_s = 0.0;   // since start()
+  double sim_seconds = 0.0;      // simulated seconds completed, summed
+  double run_wall_s = 0.0;       // per-run wall seconds, summed
+
+  /// Simulated seconds per wall second (aggregate throughput); 0 early on.
+  double sim_rate() const {
+    return wall_elapsed_s > 0.0 ? sim_seconds / wall_elapsed_s : 0.0;
+  }
+  /// Mean wall-clock cost of one run; 0 before the first run finishes.
+  double mean_run_wall_s() const {
+    return completed > 0 ? run_wall_s / static_cast<double>(completed) : 0.0;
+  }
+};
+
+class ProgressMeter {
+ public:
+  /// (Re)arms the meter: sets the planned run count and stamps the clock.
+  void start(std::size_t total);
+
+  /// Records one finished run; callable from any thread.
+  void record_run(double sim_seconds, double wall_seconds);
+
+  ProgressSnapshot snapshot() const;
+
+ private:
+  static void atomic_add(std::atomic<double>& target, double delta);
+
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> total_{0};
+  std::atomic<double> sim_seconds_{0.0};
+  std::atomic<double> run_wall_s_{0.0};
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace manet::util

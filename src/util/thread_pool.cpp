@@ -1,0 +1,114 @@
+#include "util/thread_pool.h"
+
+#include "util/assert.h"
+
+namespace manet::util {
+
+namespace {
+// Index of the worker the current thread runs as, or npos for external
+// threads. Lets nested submissions target the submitting worker's own deque.
+constexpr std::size_t kExternal = static_cast<std::size_t>(-1);
+thread_local std::size_t tls_worker_index = kExternal;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? hw : 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MANET_CHECK(task != nullptr, "null task");
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MANET_CHECK(!stop_, "submit() after ThreadPool shutdown");
+    target = tls_worker_index < workers_.size() ? tls_worker_index
+                                                : next_++ % workers_.size();
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::try_pop(std::size_t index, std::function<void()>& task) {
+  // Own deque first (LIFO: newest task, warm caches for nested submits)...
+  {
+    Worker& own = *workers_[index];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // ...then steal the oldest task from a sibling (FIFO).
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    Worker& victim = *workers_[(index + k) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_index = index;
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(index, task)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --queued_;
+      }
+      task();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) {
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queued_ > 0) {
+      continue;  // raced with a submit between the scan and the lock
+    }
+    if (stop_) {
+      return;
+    }
+    work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+  }
+}
+
+}  // namespace manet::util

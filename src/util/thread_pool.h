@@ -1,0 +1,77 @@
+// Work-stealing thread pool for embarrassingly parallel workloads (the MRIP
+// experiment runner fans independent simulation runs out here). External
+// submissions are distributed round-robin across per-worker deques; a worker
+// pops its own deque LIFO (locality for nested submissions) and steals FIFO
+// from its siblings when empty.
+//
+// Determinism note: the pool itself promises nothing about execution order.
+// Callers that need deterministic output must reduce results by task index
+// (see scenario::Runner), never by completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace manet::util {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 means hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains every task already submitted, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not let exceptions escape — use async() when
+  /// a task can throw. Throws CheckError after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future carrying its result; an
+  /// exception thrown by the callable is rethrown by future::get().
+  template <typename F>
+  auto async(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  bool try_pop(std::size_t index, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;  // guards queued_, pending_, stop_ transitions + both CVs
+  std::condition_variable work_cv_;   // workers sleep here
+  std::condition_variable idle_cv_;   // wait_idle() sleeps here
+  std::size_t queued_ = 0;            // tasks sitting in deques
+  std::size_t pending_ = 0;           // tasks submitted but not yet finished
+  bool stop_ = false;
+  std::size_t next_ = 0;  // round-robin cursor for external submissions
+};
+
+}  // namespace manet::util

@@ -4,7 +4,7 @@
 
 #include "cluster/presets.h"
 #include "helpers.h"
-#include "scenario/experiment.h"
+#include "scenario/runner.h"
 
 namespace manet::cluster {
 namespace {
@@ -71,18 +71,20 @@ TEST(CombinedWeightTest, RunsInFullScenario) {
 }
 
 TEST(SweepFieldsTest, AggregatesMultipleFieldsFromSameRuns) {
-  scenario::Scenario base;
-  base.n_nodes = 15;
-  base.fleet.field = geom::Rect(300.0, 300.0);
-  base.tx_range = 100.0;
-  base.sim_time = 60.0;
-  const auto series = scenario::sweep_fields(
-      base, {80.0, 150.0},
-      [](scenario::Scenario& s, double tx) { s.tx_range = tx; },
-      scenario::paper_algorithms(),
-      {{"cs", scenario::field_ch_changes},
-       {"clusters", scenario::field_avg_clusters}},
-      2);
+  scenario::SweepSpec spec;
+  spec.base.n_nodes = 15;
+  spec.base.fleet.field = geom::Rect(300.0, 300.0);
+  spec.base.tx_range = 100.0;
+  spec.base.sim_time = 60.0;
+  spec.xs = {80.0, 150.0};
+  spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
+  spec.algorithms = scenario::paper_algorithms();
+  spec.fields = {{"cs", scenario::field_ch_changes},
+                 {"clusters", scenario::field_avg_clusters}};
+  spec.replications = 2;
+  const auto result = scenario::Runner().run(spec);
+
+  const auto series = result.multi();
   ASSERT_EQ(series.size(), 2u);
   for (const auto& p : series) {
     for (const auto& alg : {"lowest_id", "mobic"}) {
@@ -91,16 +93,17 @@ TEST(SweepFieldsTest, AggregatesMultipleFieldsFromSameRuns) {
       EXPECT_TRUE(p.values.at(alg).count("clusters"));
     }
   }
-  // Clusters shrink with range, consistent with the single-field sweep().
+  // Clusters shrink with range, consistent with the single-field view.
   EXPECT_LT(series[1].values.at("mobic").at("clusters").mean,
             series[0].values.at("mobic").at("clusters").mean);
-  // Cross-check against sweep(): identical runs -> identical aggregates.
-  const auto single = scenario::sweep(
-      base, {80.0, 150.0},
-      [](scenario::Scenario& s, double tx) { s.tx_range = tx; },
-      scenario::paper_algorithms(), scenario::field_avg_clusters, 2);
+  // The single-field projection of the same SweepResult agrees exactly —
+  // both views come from the same runs.
+  const auto single = result.series("clusters");
+  ASSERT_EQ(single.size(), 2u);
   EXPECT_DOUBLE_EQ(single[0].values.at("mobic").mean,
                    series[0].values.at("mobic").at("clusters").mean);
+  EXPECT_DOUBLE_EQ(single[0].values.at("mobic").half_width,
+                   series[0].values.at("mobic").at("clusters").half_width);
 }
 
 }  // namespace

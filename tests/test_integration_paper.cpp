@@ -3,7 +3,7 @@
 // end to end. The full-fidelity versions live in bench/.
 #include <gtest/gtest.h>
 
-#include "scenario/experiment.h"
+#include "scenario/runner.h"
 
 namespace manet::scenario {
 namespace {
@@ -22,7 +22,7 @@ Scenario paper_base(double tx, double sim_time = 300.0) {
 }
 
 double mean_cs(const Scenario& s, const std::string& alg, int seeds) {
-  return aggregate(run_replications(s, factory_by_name(alg), seeds),
+  return aggregate(Runner().replications(s, factory_by_name(alg), seeds),
                    field_ch_changes)
       .mean;
 }
@@ -49,9 +49,9 @@ TEST(PaperIntegrationTest, ClusterCountDecreasesWithRange) {
   // Figure 4, both algorithms.
   for (const auto& alg : {"lowest_id", "mobic"}) {
     const auto clusters = [&](double tx) {
-      return aggregate(
-                 run_replications(paper_base(tx), factory_by_name(alg), 2),
-                 field_avg_clusters)
+      return aggregate(Runner().replications(paper_base(tx),
+                                             factory_by_name(alg), 2),
+                       field_avg_clusters)
           .mean;
     };
     const double c50 = clusters(50.0);

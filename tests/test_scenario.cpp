@@ -2,7 +2,7 @@
 // aggregation, and configuration plumbing.
 #include <gtest/gtest.h>
 
-#include "scenario/experiment.h"
+#include "scenario/runner.h"
 #include "util/assert.h"
 
 namespace manet::scenario {
@@ -90,18 +90,19 @@ TEST(RunScenarioTest, OnStartHookRuns) {
 }
 
 TEST(ReplicationTest, VariesSeedsOnly) {
+  const Runner runner;
   const auto runs =
-      run_replications(small_scenario(), factory_by_name("mobic"), 3);
+      runner.replications(small_scenario(), factory_by_name("mobic"), 3);
   ASSERT_EQ(runs.size(), 3u);
   EXPECT_NE(runs[0].hellos_delivered, runs[1].hellos_delivered);
   // Re-running reproduces the set exactly.
   const auto again =
-      run_replications(small_scenario(), factory_by_name("mobic"), 3);
+      runner.replications(small_scenario(), factory_by_name("mobic"), 3);
   for (int i = 0; i < 3; ++i) {
     EXPECT_EQ(runs[i].ch_changes, again[i].ch_changes);
   }
-  EXPECT_THROW(run_replications(small_scenario(),
-                                factory_by_name("mobic"), 0),
+  EXPECT_THROW(runner.replications(small_scenario(),
+                                   factory_by_name("mobic"), 0),
                util::CheckError);
 }
 
@@ -117,12 +118,15 @@ TEST(AggregateTest, ComputesMeanCi) {
 }
 
 TEST(SweepTest, RunsGridAndLabelsPoints) {
-  auto base = small_scenario();
-  base.sim_time = 60.0;
-  const auto series = sweep(
-      base, {80.0, 160.0},
-      [](Scenario& s, double tx) { s.tx_range = tx; }, paper_algorithms(),
-      field_avg_clusters, 2);
+  SweepSpec spec;
+  spec.base = small_scenario();
+  spec.base.sim_time = 60.0;
+  spec.xs = {80.0, 160.0};
+  spec.configure = [](Scenario& s, double tx) { s.tx_range = tx; };
+  spec.algorithms = paper_algorithms();
+  spec.fields = {{"clusters", field_avg_clusters}};
+  spec.replications = 2;
+  const auto series = Runner().run(spec).series("clusters");
   ASSERT_EQ(series.size(), 2u);
   EXPECT_DOUBLE_EQ(series[0].x, 80.0);
   EXPECT_DOUBLE_EQ(series[1].x, 160.0);
@@ -133,10 +137,57 @@ TEST(SweepTest, RunsGridAndLabelsPoints) {
   // Bigger range -> fewer clusters, for both algorithms.
   EXPECT_LT(series[1].values.at("mobic").mean,
             series[0].values.at("mobic").mean);
-  EXPECT_THROW(sweep(base, {}, [](Scenario&, double) {}, paper_algorithms(),
-                     field_avg_clusters, 1),
-               util::CheckError);
+  auto empty = spec;
+  empty.xs.clear();
+  EXPECT_THROW(Runner().run(empty), util::CheckError);
 }
+
+// The pre-Runner free functions must keep working (as deprecated shims
+// over Runner) and produce the same numbers.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(DeprecatedWrapperTest, MatchesRunner) {
+  auto base = small_scenario();
+  base.sim_time = 60.0;
+
+  const auto wrapped =
+      run_replications(base, factory_by_name("mobic"), 2);
+  const auto direct =
+      Runner().replications(base, factory_by_name("mobic"), 2);
+  ASSERT_EQ(wrapped.size(), direct.size());
+  for (std::size_t i = 0; i < wrapped.size(); ++i) {
+    EXPECT_EQ(wrapped[i].ch_changes, direct[i].ch_changes);
+    EXPECT_EQ(wrapped[i].hellos_delivered, direct[i].hellos_delivered);
+  }
+
+  const auto configure = [](Scenario& s, double tx) { s.tx_range = tx; };
+  const auto series = sweep(base, {80.0, 160.0}, configure,
+                            paper_algorithms(), field_avg_clusters, 2);
+  SweepSpec spec;
+  spec.base = base;
+  spec.xs = {80.0, 160.0};
+  spec.configure = configure;
+  spec.algorithms = paper_algorithms();
+  spec.fields = {{"value", field_avg_clusters}};
+  spec.replications = 2;
+  const auto direct_series = Runner().run(spec).series("value");
+  ASSERT_EQ(series.size(), direct_series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[i].x, direct_series[i].x);
+    for (const auto& [name, agg] : series[i].values) {
+      EXPECT_DOUBLE_EQ(agg.mean, direct_series[i].values.at(name).mean);
+    }
+  }
+
+  const auto multi =
+      sweep_fields(base, {80.0}, configure, paper_algorithms(),
+                   {{"clusters", field_avg_clusters}}, 2);
+  ASSERT_EQ(multi.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      multi[0].values.at("mobic").at("clusters").mean,
+      direct_series[0].values.at("mobic").mean);
+}
+#pragma GCC diagnostic pop
 
 TEST(FieldFnTest, Accessors) {
   RunResult r;
@@ -145,11 +196,15 @@ TEST(FieldFnTest, Accessors) {
   r.reaffiliations = 11;
   r.mean_head_lifetime = 42.0;
   r.mean_degree = 3.25;
+  r.beacons_sent = 17;
+  r.bytes_sent = 1234;
   EXPECT_DOUBLE_EQ(field_ch_changes(r), 5.0);
   EXPECT_DOUBLE_EQ(field_avg_clusters(r), 7.5);
   EXPECT_DOUBLE_EQ(field_reaffiliations(r), 11.0);
   EXPECT_DOUBLE_EQ(field_head_lifetime(r), 42.0);
   EXPECT_DOUBLE_EQ(field_mean_degree(r), 3.25);
+  EXPECT_DOUBLE_EQ(field_beacons_sent(r), 17.0);
+  EXPECT_DOUBLE_EQ(field_bytes_sent(r), 1234.0);
 }
 
 }  // namespace

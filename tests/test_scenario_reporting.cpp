@@ -1,0 +1,99 @@
+// The paper-style reporting helpers that moved out of bench/bench_common.h:
+// Table-1 scenario defaults, the Figures 3-5 x axis, peak location, and the
+// comparison table — including the n/a path for a zero baseline, where the
+// old code printed a misleading 0% gain.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/reporting.h"
+
+namespace manet::scenario {
+namespace {
+
+SweepPoint make_point(double x, double mean_a, double mean_b) {
+  SweepPoint p;
+  p.x = x;
+  p.values["lowest_id"] = {mean_a, 1.0, 5};
+  p.values["mobic"] = {mean_b, 1.0, 5};
+  return p;
+}
+
+TEST(ReportingTest, PaperScenarioMatchesTableOne) {
+  const auto s = paper_scenario();
+  EXPECT_EQ(s.n_nodes, 50u);
+  EXPECT_DOUBLE_EQ(s.fleet.field.width, 670.0);
+  EXPECT_DOUBLE_EQ(s.fleet.field.height, 670.0);
+  EXPECT_DOUBLE_EQ(s.fleet.max_speed, 20.0);
+  EXPECT_DOUBLE_EQ(s.fleet.pause_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.sim_time, 900.0);
+  EXPECT_DOUBLE_EQ(s.net.broadcast_interval, 2.0);
+  EXPECT_DOUBLE_EQ(s.net.neighbor_timeout, 3.0);
+}
+
+TEST(ReportingTest, DefaultTxSweepCoversFigureAxis) {
+  const auto xs = default_tx_sweep();
+  ASSERT_EQ(xs.size(), 11u);
+  EXPECT_DOUBLE_EQ(xs.front(), 10.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 250.0);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_GT(xs[i], xs[i - 1]);
+  }
+}
+
+TEST(ReportingTest, ArgmaxFindsThePeak) {
+  std::vector<SweepPoint> series = {make_point(10.0, 5.0, 1.0),
+                                    make_point(50.0, 9.0, 2.0),
+                                    make_point(100.0, 3.0, 8.0)};
+  EXPECT_EQ(argmax_x(series, "lowest_id"), 1u);
+  EXPECT_EQ(argmax_x(series, "mobic"), 2u);
+}
+
+TEST(ReportingTest, PrintComparisonComputesGains) {
+  const std::vector<SweepPoint> series = {make_point(100.0, 20.0, 15.0),
+                                          make_point(250.0, 10.0, 4.0)};
+  std::ostringstream os;
+  const auto gains = print_comparison(os, "Tx (m)", series, "lowest_id",
+                                      "mobic", "CS", "");
+  ASSERT_EQ(gains.size(), 2u);
+  ASSERT_TRUE(gains[0].has_value());
+  ASSERT_TRUE(gains[1].has_value());
+  EXPECT_NEAR(*gains[0], 25.0, 1e-9);
+  EXPECT_NEAR(*gains[1], 60.0, 1e-9);
+  EXPECT_NE(os.str().find("lowest_id"), std::string::npos);
+  EXPECT_NE(os.str().find("25.0"), std::string::npos);
+}
+
+TEST(ReportingTest, PrintComparisonZeroBaselineIsNa) {
+  // Baseline mean 0 at x = 10 (a disconnected scattering can produce this):
+  // the gain is undefined, not 0%.
+  const std::vector<SweepPoint> series = {make_point(10.0, 0.0, 0.0),
+                                          make_point(250.0, 10.0, 5.0)};
+  const std::string csv = "reporting_test_gain.csv";
+  std::remove(csv.c_str());
+  std::ostringstream os;
+  const auto gains =
+      print_comparison(os, "Tx (m)", series, "lowest_id", "mobic", "CS", csv);
+  ASSERT_EQ(gains.size(), 2u);
+  EXPECT_FALSE(gains[0].has_value());
+  ASSERT_TRUE(gains[1].has_value());
+  EXPECT_NEAR(*gains[1], 50.0, 1e-9);
+  EXPECT_NE(os.str().find("n/a"), std::string::npos);
+
+  // The CSV mirrors it as an *empty* cell, not a fake number.
+  std::ifstream in(csv);
+  ASSERT_TRUE(in.good());
+  std::string header, row0, row1;
+  std::getline(in, header);
+  std::getline(in, row0);
+  std::getline(in, row1);
+  EXPECT_EQ(row0.back(), ',');                        // trailing empty cell
+  EXPECT_NE(row1.back(), ',');                        // real gain present
+  EXPECT_NE(row1.find("50"), std::string::npos);
+  std::remove(csv.c_str());
+}
+
+}  // namespace
+}  // namespace manet::scenario

@@ -1,0 +1,91 @@
+// The work-stealing thread pool behind scenario::Runner: completion,
+// futures, exception plumbing, nested submission, and shutdown drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace manet::util {
+namespace {
+
+TEST(ThreadPoolTest, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  ThreadPool automatic(0);
+  EXPECT_GE(automatic.size(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, AsyncDeliversResultsByIndex) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.async([i] { return i * i; }));
+  }
+  // Futures identify jobs regardless of which worker ran them when.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, AsyncPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.async([] { return 7; });
+  auto bad = pool.async([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto after = pool.async([] { return 1; });
+  EXPECT_EQ(after.get(), 1);
+}
+
+TEST(ThreadPoolTest, WorkersCanSubmitNestedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&pool, &count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      pool.submit(
+          [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit(
+          [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool must run everything already submitted
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing queued: must not hang
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  pool.wait_idle();  // idempotent
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace manet::util
