@@ -13,6 +13,9 @@ std::string ValidationReport::to_string() const {
       << " members_beyond_head_range=" << members_beyond_head_range
       << " members_of_non_head=" << members_of_non_head
       << " connected_nodes=" << connected_nodes;
+  if (dead_nodes > 0) {
+    oss << " dead_nodes=" << dead_nodes;
+  }
   return oss.str();
 }
 
@@ -25,9 +28,22 @@ ValidationReport validate_clusters(
   ValidationReport report;
   const auto adj = network.true_adjacency(t);
 
+  // Fault-injection runs crash and churn nodes; a dead node neither beacons
+  // nor holds a role, so the invariants are evaluated over the survivors and
+  // links between them. A dead clusterhead makes its members violators until
+  // they re-affiliate — that is exactly the disruption the monitor measures.
+  const auto alive = [&](net::NodeId id) { return network.node(id).alive(); };
+
   for (std::size_t i = 0; i < agents.size(); ++i) {
-    if (!adj[i].empty()) {
-      ++report.connected_nodes;
+    if (!alive(static_cast<net::NodeId>(i))) {
+      ++report.dead_nodes;
+      continue;
+    }
+    for (const net::NodeId j : adj[i]) {
+      if (alive(j)) {
+        ++report.connected_nodes;
+        break;
+      }
     }
     const auto* a = agents[i];
     switch (a->role()) {
@@ -36,7 +52,7 @@ ValidationReport validate_clusters(
         break;
       case Role::kHead:
         for (const net::NodeId j : adj[i]) {
-          if (j > i && agents[j]->role() == Role::kHead) {
+          if (j > i && alive(j) && agents[j]->role() == Role::kHead) {
             ++report.head_pairs_in_range;
           }
         }
@@ -44,13 +60,13 @@ ValidationReport validate_clusters(
       case Role::kMember: {
         const net::NodeId head = a->cluster_head();
         MANET_ASSERT(head != net::kInvalidNode, "member without head");
-        if (agents[head]->role() != Role::kHead) {
+        if (!alive(head) || agents[head]->role() != Role::kHead) {
           ++report.members_of_non_head;
         }
         bool in_range = false;
         for (const net::NodeId j : adj[i]) {
           if (j == head) {
-            in_range = true;
+            in_range = alive(head);
             break;
           }
         }

@@ -15,17 +15,20 @@
 namespace manet::cluster {
 
 struct ValidationReport {
-  /// Nodes still Cluster_Undecided.
+  /// Nodes still Cluster_Undecided (alive only).
   std::size_t undecided = 0;
   /// Pairs of clusterheads within range of each other.
   std::size_t head_pairs_in_range = 0;
   /// Members whose clusterhead is not within range (diameter > 2 witness).
   std::size_t members_beyond_head_range = 0;
-  /// Members affiliated with a node that is not currently a head.
+  /// Members affiliated with a node that is not currently an alive head.
   std::size_t members_of_non_head = 0;
   /// Nodes with at least one in-range neighbor, total (context for the
   /// counts above; isolated nodes legitimately self-elect).
   std::size_t connected_nodes = 0;
+  /// Dead (failed / churned-out) nodes, excluded from every count above —
+  /// fault-injection runs measure the health of the survivors.
+  std::size_t dead_nodes = 0;
 
   bool clean() const {
     return undecided == 0 && head_pairs_in_range == 0 &&
@@ -34,8 +37,10 @@ struct ValidationReport {
   std::string to_string() const;
 };
 
-/// Evaluates the invariants at time `t`. `agents[i]` must correspond to
-/// node i of the network.
+/// Evaluates the invariants at time `t` over the alive nodes. `agents[i]`
+/// must correspond to node i of the network. Dead nodes contribute no
+/// links, are skipped entirely, and a member whose clusterhead has died
+/// counts as members_of_non_head until it re-homes.
 ValidationReport validate_clusters(
     net::Network& network,
     const std::vector<const WeightedClusterAgent*>& agents, sim::Time t);

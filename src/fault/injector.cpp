@@ -1,0 +1,116 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace manet::fault {
+
+Injector::Injector(net::Network& network, Schedule schedule)
+    : network_(network), schedule_(std::move(schedule)) {
+  schedule_.validate(network_.size());
+  timeline_.reserve(schedule_.size());
+}
+
+void Injector::set_on_fault(std::function<void(const FaultEvent&)> on_fault) {
+  on_fault_ = std::move(on_fault);
+}
+
+void Injector::arm() {
+  MANET_CHECK(!armed_, "injector armed twice");
+  armed_ = true;
+  network_.add_loss_layer(this);
+  sim::Simulator& sim = network_.simulator();
+  for (std::size_t i = 0; i < schedule_.events.size(); ++i) {
+    const FaultEvent& e = schedule_.events[i];
+    sim.schedule_at(e.at, [this, i] { activate(i); });
+    if (is_window(e.kind)) {
+      sim.schedule_at(e.until, [this, i] { deactivate(i); });
+    }
+  }
+}
+
+void Injector::activate(std::size_t index) {
+  const FaultEvent& e = schedule_.events[index];
+  bool applied = true;
+  switch (e.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kChurnLeave: {
+      net::Node& node = network_.node(e.node);
+      applied = node.alive();
+      if (applied) {
+        node.fail();
+      }
+      break;
+    }
+    case FaultKind::kRecover:
+    case FaultKind::kChurnJoin: {
+      net::Node& node = network_.node(e.node);
+      applied = !node.alive();
+      if (applied) {
+        node.recover();
+      }
+      break;
+    }
+    case FaultKind::kLossBurst:
+    case FaultKind::kJam:
+    case FaultKind::kPartition:
+      active_.push_back(index);
+      break;
+  }
+  timeline_.push_back({e, applied});
+  if (on_fault_ != nullptr) {
+    on_fault_(e);
+  }
+}
+
+void Injector::deactivate(std::size_t index) {
+  active_.erase(std::remove(active_.begin(), active_.end(), index),
+                active_.end());
+}
+
+double Injector::drop_probability(const net::LinkContext& link) const {
+  if (active_.empty()) {
+    return 0.0;
+  }
+  double survive = 1.0;
+  for (const std::size_t index : active_) {
+    const FaultEvent& e = schedule_.events[index];
+    double p = 0.0;
+    switch (e.kind) {
+      case FaultKind::kLossBurst: {
+        const bool touches_node = e.node == net::kInvalidNode ||
+                                  e.node == link.src || e.node == link.dst;
+        const bool touches_peer = e.peer == net::kInvalidNode ||
+                                  e.peer == link.src || e.peer == link.dst;
+        if (touches_node && touches_peer) {
+          p = e.probability;
+        }
+        break;
+      }
+      case FaultKind::kJam:
+        // Receiver-side suppression: a jammed receiver hears nothing.
+        if (geom::distance(link.dst_pos, e.center) <= e.radius) {
+          p = e.probability;
+        }
+        break;
+      case FaultKind::kPartition: {
+        const double a = e.vertical ? link.src_pos.x : link.src_pos.y;
+        const double b = e.vertical ? link.dst_pos.x : link.dst_pos.y;
+        if ((a < e.boundary) != (b < e.boundary)) {
+          p = 1.0;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    survive *= 1.0 - p;
+    if (survive <= 0.0) {
+      return 1.0;
+    }
+  }
+  return 1.0 - survive;
+}
+
+}  // namespace manet::fault

@@ -1,0 +1,28 @@
+#include "net/loss.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace manet::net {
+
+BernoulliLossLayer::BernoulliLossLayer(double p) : p_(p) {
+  MANET_CHECK(p >= 0.0 && p <= 1.0, "loss probability " << p);
+}
+
+double combined_drop_probability(
+    const std::vector<const LossLayer*>& layers, const LinkContext& link) {
+  double survive = 1.0;
+  for (const LossLayer* layer : layers) {
+    const double p = layer->drop_probability(link);
+    MANET_ASSERT(p >= 0.0 && p <= 1.0,
+                 "layer drop probability " << p << " out of range");
+    survive *= 1.0 - p;
+    if (survive <= 0.0) {
+      return 1.0;
+    }
+  }
+  return std::clamp(1.0 - survive, 0.0, 1.0);
+}
+
+}  // namespace manet::net

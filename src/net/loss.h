@@ -1,0 +1,58 @@
+// Composable reception-loss model.
+//
+// Every reception attempt (Hello broadcast or protocol Message) is evaluated
+// against a stack of LossLayers; each layer returns an independent drop
+// probability for the concrete link at the concrete time, and the packet
+// survives only if it survives every layer. The legacy global
+// NetworkParams::packet_loss knob is layer zero of the stack; fault
+// injection (per-link loss bursts, jamming zones, geometric partitions)
+// registers further layers at run time.
+//
+// Layers must be deterministic pure functions of the LinkContext — the
+// single Bernoulli draw against the combined probability is taken from the
+// sender's RNG substream, which keeps runs bit-reproducible and leaves the
+// draw sequence untouched whenever every layer reports 0.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+#include "net/types.h"
+#include "sim/event_queue.h"
+
+namespace manet::net {
+
+/// One directed delivery attempt, as seen by loss layers.
+struct LinkContext {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  sim::Time time = 0.0;
+  geom::Vec2 src_pos{};
+  geom::Vec2 dst_pos{};
+};
+
+class LossLayer {
+ public:
+  virtual ~LossLayer() = default;
+
+  /// Probability in [0, 1] that this layer destroys the packet. Must be
+  /// deterministic in `link` (no internal randomness, no mutation).
+  virtual double drop_probability(const LinkContext& link) const = 0;
+};
+
+/// Layer zero: link-independent Bernoulli loss (the legacy packet_loss knob).
+class BernoulliLossLayer final : public LossLayer {
+ public:
+  explicit BernoulliLossLayer(double p);
+  double drop_probability(const LinkContext&) const override { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Survival-product combination of independent layers:
+/// p = 1 - prod_i (1 - p_i), clamped to [0, 1].
+double combined_drop_probability(
+    const std::vector<const LossLayer*>& layers, const LinkContext& link);
+
+}  // namespace manet::net

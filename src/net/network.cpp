@@ -25,6 +25,12 @@ Network::Network(sim::Simulator& sim, radio::Medium medium, geom::Rect field,
       field_(field),
       params_(params),
       rng_(std::move(rng)),
+      // Out-of-range packet_loss is rejected by the MANET_CHECK below; the
+      // clamp here only keeps the layer constructor from pre-empting it with
+      // a less specific message.
+      base_loss_(params.packet_loss >= 0.0 && params.packet_loss <= 1.0
+                     ? params.packet_loss
+                     : 0.0),
       grid_(field, grid_cell_size(field)) {
   MANET_CHECK(params_.broadcast_interval > 0.0);
   MANET_CHECK(params_.neighbor_timeout > 0.0);
@@ -35,6 +41,14 @@ Network::Network(sim::Simulator& sim, radio::Medium medium, geom::Rect field,
   MANET_CHECK(params_.delivery_delay >= 0.0);
   MANET_CHECK(params_.speed_bound >= 0.0);
   MANET_CHECK(params_.grid_refresh > 0.0);
+  if (params_.packet_loss > 0.0) {
+    loss_layers_.push_back(&base_loss_);
+  }
+}
+
+void Network::add_loss_layer(const LossLayer* layer) {
+  MANET_CHECK(layer != nullptr);
+  loss_layers_.push_back(layer);
 }
 
 Node& Network::add_node(std::unique_ptr<Node> node) {
@@ -114,7 +128,8 @@ void Network::broadcast(Node& sender, const HelloPacket& pkt) {
     if (receiver.id() == sender.id() || !receiver.alive()) {
       continue;
     }
-    const double dist = geom::distance(sender_pos, receiver.position(now));
+    const geom::Vec2 receiver_pos = receiver.position(now);
+    const double dist = geom::distance(sender_pos, receiver_pos);
     if (dist > medium_.max_delivery_range_m()) {
       continue;
     }
@@ -123,7 +138,11 @@ void Network::broadcast(Node& sender, const HelloPacket& pkt) {
       ++stats_.hellos_lost;
       continue;
     }
-    if (params_.packet_loss > 0.0 && fading.bernoulli(params_.packet_loss)) {
+    const double p_drop = drop_probability(
+        {sender.id(), receiver.id(), now, sender_pos, receiver_pos});
+    // p >= 1 drops without an RNG draw so that deterministic faults
+    // (partitions, full jam) do not perturb the sender's draw sequence.
+    if (p_drop >= 1.0 || (p_drop > 0.0 && fading.bernoulli(p_drop))) {
       ++stats_.hellos_lost;
       continue;
     }
@@ -156,13 +175,18 @@ std::size_t Network::send(Node& sender, Message msg) {
     if (!receiver.alive()) {
       return false;
     }
-    const double dist = geom::distance(sender_pos, receiver.position(now));
+    const geom::Vec2 receiver_pos = receiver.position(now);
+    const double dist = geom::distance(sender_pos, receiver_pos);
     if (dist > medium_.max_delivery_range_m()) {
       return false;
     }
     const auto reception = medium_.try_receive(dist, fading);
-    if (!reception.delivered ||
-        (params_.packet_loss > 0.0 && fading.bernoulli(params_.packet_loss))) {
+    if (!reception.delivered) {
+      return false;
+    }
+    const double p_drop = drop_probability(
+        {sender.id(), receiver.id(), now, sender_pos, receiver_pos});
+    if (p_drop >= 1.0 || (p_drop > 0.0 && fading.bernoulli(p_drop))) {
       return false;
     }
     ++stats_.messages_delivered;

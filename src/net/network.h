@@ -4,8 +4,9 @@
 // Delivery model: on each Hello broadcast the channel computes the exact
 // sender/receiver positions, evaluates the propagation model, and delivers
 // to every node whose received power clears the calibrated threshold
-// (optionally after a fading draw and/or a Bernoulli loss — failure
-// injection). A spatial grid over a recent position snapshot bounds the
+// (optionally after a fading draw and/or a loss-stack draw — the composable
+// failure-injection layers of net/loss.h, with the global packet_loss knob
+// as layer zero). A spatial grid over a recent position snapshot bounds the
 // candidate set; candidates are then re-checked with exact geometry, so the
 // grid is a pure optimization (padding covers node motion since the
 // snapshot).
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "geom/grid_index.h"
+#include "net/loss.h"
 #include "net/node.h"
 #include "radio/medium.h"
 #include "sim/simulator.h"
@@ -100,6 +102,19 @@ class Network {
   /// Books a collision-model loss (called by receiving nodes).
   void note_collision() { ++stats_.hellos_collided; }
 
+  /// Registers a reception-loss layer (see net/loss.h). The layer is not
+  /// owned and must outlive the network; layers may be added before or
+  /// during the run (fault injectors register theirs at arm time). The
+  /// legacy params.packet_loss knob is pre-registered as layer zero.
+  void add_loss_layer(const LossLayer* layer);
+
+  /// Combined drop probability of the current loss stack for one delivery
+  /// attempt (exposed for tests and validators).
+  double drop_probability(const LinkContext& link) const {
+    return loss_layers_.empty() ? 0.0
+                                : combined_drop_probability(loss_layers_, link);
+  }
+
   /// Sends a protocol Message from `sender` (msg.src is overwritten).
   /// Broadcast (msg.dst == kInvalidNode): delivered to every alive node in
   /// range; returns the receiver count. Unicast: delivered to msg.dst iff
@@ -124,6 +139,9 @@ class Network {
   util::Rng rng_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
+
+  BernoulliLossLayer base_loss_;  // params.packet_loss as a stack layer
+  std::vector<const LossLayer*> loss_layers_;
 
   geom::GridIndex grid_;
   std::vector<geom::Vec2> snapshot_;

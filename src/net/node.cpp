@@ -74,6 +74,7 @@ void Node::beacon() {
   if (!alive_) {
     return;
   }
+  util::ScopedSimNode failure_context(id_);
   const sim::Time now = simulator().now();
   table_.purge(now, network_->params().neighbor_timeout);
 
@@ -103,6 +104,7 @@ void Node::receive(const HelloPacket& pkt, double rx_power_w) {
   if (!alive_) {
     return;
   }
+  util::ScopedSimNode failure_context(id_);
   const sim::Time now = simulator().now();
   // Simplified MAC collision model: an arrival overlapping the previous
   // one (within the collision window) is destroyed. The first frame is
@@ -124,6 +126,7 @@ void Node::receive_message(const Message& msg) {
   if (!alive_) {
     return;
   }
+  util::ScopedSimNode failure_context(id_);
   // Messages share the medium with Hellos: the same collision window
   // applies to their arrivals.
   const sim::Time now = simulator().now();

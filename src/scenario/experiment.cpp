@@ -32,6 +32,20 @@ double field_beacons_sent(const RunResult& r) {
 double field_bytes_sent(const RunResult& r) {
   return static_cast<double>(r.bytes_sent);
 }
+double field_mean_recovery(const RunResult& r) { return r.mean_recovery_s; }
+double field_max_recovery(const RunResult& r) { return r.max_recovery_s; }
+double field_orphaned_member_seconds(const RunResult& r) {
+  return r.orphaned_member_seconds;
+}
+double field_unrecovered(const RunResult& r) {
+  return static_cast<double>(r.unrecovered_disruptions);
+}
+double field_violation_fraction(const RunResult& r) {
+  return r.convergence_samples == 0
+             ? 0.0
+             : static_cast<double>(r.violation_samples) /
+                   static_cast<double>(r.convergence_samples);
+}
 
 std::vector<AlgorithmSpec> paper_algorithms() {
   return {

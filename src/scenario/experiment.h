@@ -32,6 +32,15 @@ double field_mean_degree(const RunResult& r);
 double field_beacons_sent(const RunResult& r);
 double field_bytes_sent(const RunResult& r);
 
+/// Resilience fields (meaningful only on fault-injection runs).
+double field_mean_recovery(const RunResult& r);
+double field_max_recovery(const RunResult& r);
+double field_orphaned_member_seconds(const RunResult& r);
+double field_unrecovered(const RunResult& r);
+/// Fraction of convergence samples that violated an invariant (0 when the
+/// monitor never ran).
+double field_violation_fraction(const RunResult& r);
+
 /// One named clustering configuration in a comparison.
 struct AlgorithmSpec {
   std::string name;          // label in tables/CSV

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <thread>
 
+#include "fault/fault.h"
 #include "util/assert.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -26,12 +27,28 @@ std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
     }
-    out.push_back(c);
   }
   return out;
+}
+
+std::string describe_exception(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
 }
 
 // Serialized observability side of a grid execution: progress line, JSONL
@@ -61,12 +78,30 @@ class Reporter {
       log_ << "{\"point\":" << record->point_index << ",\"x\":" << record->x
            << ",\"algorithm\":\"" << json_escape(record->algorithm)
            << "\",\"replicate\":" << record->replicate
-           << ",\"seed\":" << record->seed << ",\"wall_s\":" << wall_seconds
-           << ",\"sim_s\":" << sim_seconds
+           << ",\"seed\":" << record->seed << ",\"status\":\"ok\""
+           << ",\"wall_s\":" << wall_seconds << ",\"sim_s\":" << sim_seconds
            << ",\"ch_changes\":" << r.ch_changes
            << ",\"reaffiliations\":" << r.reaffiliations
            << ",\"avg_clusters\":" << r.avg_clusters
-           << ",\"mean_degree\":" << r.mean_degree << "}\n";
+           << ",\"mean_degree\":" << r.mean_degree;
+      if (!r.fault_timeline.empty()) {
+        log_ << ",\"faults_injected\":" << r.faults_injected
+             << ",\"recoveries\":" << r.recoveries
+             << ",\"mean_recovery_s\":" << r.mean_recovery_s
+             << ",\"max_recovery_s\":" << r.max_recovery_s
+             << ",\"unrecovered\":" << r.unrecovered_disruptions
+             << ",\"orphaned_member_s\":" << r.orphaned_member_seconds
+             << ",\"violation_samples\":" << r.violation_samples
+             << ",\"faults\":[";
+        for (std::size_t i = 0; i < r.fault_timeline.size(); ++i) {
+          if (i > 0) {
+            log_ << ",";
+          }
+          log_ << fault::to_json(r.fault_timeline[i]);
+        }
+        log_ << "]";
+      }
+      log_ << "}\n";
     }
     if (options_.on_run != nullptr && record != nullptr) {
       options_.on_run(*record);
@@ -77,6 +112,22 @@ class Reporter {
                          << s.sim_rate() << " sim-s/s, mean run "
                          << s.mean_run_wall_s() << " s" << std::flush;
       printed_ = true;
+    }
+  }
+
+  /// A run that threw: still counted for progress, logged with
+  /// status=error. The exception itself is rethrown by the Runner, so this
+  /// only records *which* run died and why.
+  void finish_error(const RunRecord& record, double wall_seconds) {
+    meter_.record_run(0.0, wall_seconds);
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (log_.is_open()) {
+      log_ << "{\"point\":" << record.point_index << ",\"x\":" << record.x
+           << ",\"algorithm\":\"" << json_escape(record.algorithm)
+           << "\",\"replicate\":" << record.replicate
+           << ",\"seed\":" << record.seed << ",\"status\":\"error\""
+           << ",\"wall_s\":" << wall_seconds << ",\"error\":\""
+           << json_escape(record.error) << "\"}\n";
     }
   }
 
@@ -188,22 +239,26 @@ void Runner::execute(std::vector<Job>& jobs) const {
       return;
     }
     Job& job = jobs[i];
+    RunRecord record;
+    record.point_index = job.point_index;
+    record.x = job.x;
+    record.algorithm = job.algorithm;
+    record.replicate = job.replicate;
+    record.seed = job.scenario.seed;
+    const auto t0 = std::chrono::steady_clock::now();
     try {
-      const auto t0 = std::chrono::steady_clock::now();
       job.result = run_scenario(job.scenario, *job.factory);
       job.wall_seconds = seconds_since(t0);
-      RunRecord record;
-      record.point_index = job.point_index;
-      record.x = job.x;
-      record.algorithm = job.algorithm;
-      record.replicate = job.replicate;
-      record.seed = job.scenario.seed;
       record.wall_seconds = job.wall_seconds;
       record.result = &job.result;
       reporter.finish_run(&record, job.scenario.sim_time, job.wall_seconds);
     } catch (...) {
       errors[i] = std::current_exception();
       abort.store(true, std::memory_order_relaxed);
+      record.status = "error";
+      record.error = describe_exception(errors[i]);
+      record.wall_seconds = seconds_since(t0);
+      reporter.finish_error(record, record.wall_seconds);
     }
   };
   if (pool_ == nullptr) {

@@ -56,6 +56,10 @@ struct RunRecord {
   int replicate = 0;        // seed offset k
   std::uint64_t seed = 0;   // the actual per-run seed
   double wall_seconds = 0.0;
+  /// "ok", or "error" when the run threw (the exception is still rethrown
+  /// to the caller after the grid drains; the log line is observability).
+  std::string status = "ok";
+  std::string error;                  // what() of a failed run
   const RunResult* result = nullptr;  // valid only during the callback
 };
 

@@ -1,5 +1,9 @@
 #include "scenario/scenario.h"
 
+#include <memory>
+
+#include "cluster/convergence.h"
+#include "fault/injector.h"
 #include "radio/medium.h"
 #include "sim/simulator.h"
 #include "util/assert.h"
@@ -63,9 +67,37 @@ RunResult run_scenario(const Scenario& scenario,
   cluster::ClusterSampler sampler(sim, agents);
   sampler.start(scenario.warmup, scenario.sample_period, scenario.sim_time);
 
+  // The fault machinery is only instantiated when the scenario asks for it:
+  // a fault-free run draws no "faults" substream, registers no loss layer
+  // and schedules no monitor ticks, so its event trace and RNG consumption
+  // are bit-identical to pre-fault-subsystem builds.
+  std::unique_ptr<fault::Injector> injector;
+  std::unique_ptr<cluster::ConvergenceMonitor> monitor;
+  if (!scenario.faults.empty()) {
+    fault::ScheduleSpec fault_spec = scenario.faults;
+    if (fault_spec.begin == 0.0 && fault_spec.end == 0.0) {
+      fault_spec.begin = scenario.warmup;
+      fault_spec.end = scenario.sim_time;
+    }
+    injector = std::make_unique<fault::Injector>(
+        network, fault::make_schedule(fault_spec, scenario.n_nodes, field,
+                                      root.substream("faults")));
+    monitor = std::make_unique<cluster::ConvergenceMonitor>(sim, network,
+                                                            agents);
+    injector->set_on_fault([mon = monitor.get()](const fault::FaultEvent& e) {
+      mon->note_fault(e.at);
+    });
+    injector->arm();
+    monitor->start(scenario.warmup, scenario.sample_period,
+                   scenario.sim_time);
+  }
+
   network.start();
+  // The context must outlive the whole run, not just the hook call: hooks
+  // routinely schedule events that capture it by reference and fire from
+  // run_until (timeline recorder, routing probes, test instrumentation).
+  LiveContext ctx{sim, network, agents};
   if (on_start != nullptr) {
-    LiveContext ctx{sim, network, agents};
     on_start(ctx);
   }
   sim.run_until(scenario.sim_time);
@@ -87,6 +119,24 @@ RunResult run_scenario(const Scenario& scenario,
   result.bytes_sent = network.stats().bytes_sent;
   result.final_validation =
       cluster::validate_clusters(network, agents, scenario.sim_time);
+  if (monitor != nullptr) {
+    const cluster::ConvergenceMonitor::Summary s =
+        monitor->finish(scenario.sim_time);
+    result.faults_injected = s.faults_observed;
+    result.recoveries = s.recovery.count();
+    result.mean_recovery_s = s.recovery.mean();
+    result.max_recovery_s = s.recovery.empty() ? 0.0 : s.recovery.max();
+    result.unrecovered_disruptions = s.unrecovered_disruptions;
+    result.orphaned_member_seconds = s.orphaned_member_seconds;
+    result.convergence_samples = s.samples;
+    result.violation_samples = s.violation_samples;
+  }
+  if (injector != nullptr) {
+    result.fault_timeline.reserve(injector->timeline().size());
+    for (const auto& applied : injector->timeline()) {
+      result.fault_timeline.push_back(applied.event);
+    }
+  }
   return result;
 }
 

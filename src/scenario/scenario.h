@@ -10,6 +10,7 @@
 #include "cluster/presets.h"
 #include "cluster/stats.h"
 #include "cluster/validation.h"
+#include "fault/fault.h"
 #include "mobility/factory.h"
 #include "net/network.h"
 
@@ -41,6 +42,14 @@ struct Scenario {
   double warmup = 10.0;
   /// Role-distribution sampling period.
   double sample_period = 1.0;
+
+  /// Fault workload (crashes, churn, loss bursts, jamming, partitions).
+  /// Empty (the default) runs fault-free and is bit-identical to a build
+  /// without the fault subsystem. When set, run_scenario() compiles it with
+  /// the run seed's "faults" substream, arms a fault::Injector and attaches
+  /// a cluster::ConvergenceMonitor; a [begin, end) of [0, 0) defaults to
+  /// [warmup, sim_time).
+  fault::ScheduleSpec faults{};
 };
 
 /// Everything a run measures; aggregated across seeds by the experiment
@@ -67,6 +76,20 @@ struct RunResult {
 
   // Invariant check at simulation end (ground truth).
   cluster::ValidationReport final_validation;
+
+  // Resilience metrics (all zero on fault-free runs). A "disruption" spans
+  // from the first fault observed while the clustering is clean to the first
+  // clean convergence sample afterwards.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t recoveries = 0;
+  double mean_recovery_s = 0.0;
+  double max_recovery_s = 0.0;
+  std::uint64_t unrecovered_disruptions = 0;
+  double orphaned_member_seconds = 0.0;
+  std::uint64_t convergence_samples = 0;
+  std::uint64_t violation_samples = 0;
+  /// The injected timeline, in activation order (echoed to the run log).
+  std::vector<fault::FaultEvent> fault_timeline;
 };
 
 /// Builds the cluster options for a run; receives the per-run stats sink.

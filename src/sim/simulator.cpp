@@ -28,6 +28,9 @@ bool Simulator::step() {
   MANET_ASSERT(fired.time >= now_, "event time regressed");
   now_ = fired.time;
   ++executed_;
+  // Any check failing inside the handler surfaces as util::SimError stamped
+  // with the current simulated time (and node id, if a node handler adds it).
+  util::ScopedSimTime failure_context(now_);
   fired.fn();
   return true;
 }

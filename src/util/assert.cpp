@@ -1,6 +1,13 @@
 #include "util/assert.h"
 
-namespace manet::util::detail {
+namespace manet::util {
+
+SimContext& sim_context() {
+  thread_local SimContext ctx;
+  return ctx;
+}
+
+namespace detail {
 
 void fail_check(const char* expr, const char* file, int line,
                 const std::string& message) {
@@ -9,7 +16,18 @@ void fail_check(const char* expr, const char* file, int line,
   if (!message.empty()) {
     oss << " — " << message;
   }
+  const SimContext& ctx = sim_context();
+  if (ctx.in_event) {
+    oss << " [sim t=" << ctx.sim_time << " s";
+    if (ctx.has_node) {
+      oss << ", node " << ctx.node;
+    }
+    oss << "]";
+    throw SimError(oss.str(), ctx.sim_time,
+                   ctx.has_node ? ctx.node : SimError::kNoNode);
+  }
   throw CheckError(oss.str());
 }
 
-}  // namespace manet::util::detail
+}  // namespace detail
+}  // namespace manet::util

@@ -1,0 +1,104 @@
+// ConvergenceMonitor tests: a clusterhead crash on the Figure-1 static
+// topology must register a disruption, accumulate orphaned member-seconds
+// while the survivors re-elect, and record one recovery when the Theorem-1
+// validators come back clean; a fault-free run must record nothing.
+#include <gtest/gtest.h>
+
+#include "cluster/convergence.h"
+#include "cluster/presets.h"
+#include "cluster/validation.h"
+#include "helpers.h"
+#include "scenario/scenario.h"
+#include "util/assert.h"
+
+namespace manet {
+namespace {
+
+TEST(ConvergenceMonitorTest, HeadCrashRecordsDisruptionAndRecovery) {
+  auto w = test::make_static_world(test::figure1_positions(), 100.0,
+                                   cluster::lowest_id_lcc_options());
+  w->run(10.0);  // initial election settles
+  ASSERT_EQ(w->agent(0).role(), cluster::Role::kHead);
+
+  cluster::ConvergenceMonitor monitor(w->sim, *w->network,
+                                      w->const_agents());
+  monitor.start(10.25, 0.5, 60.0);
+  w->run(2.0);  // a few clean samples first
+
+  w->network->node(0).fail();
+  monitor.note_fault(w->sim.now());
+  w->run(30.0);  // survivors re-elect and settle
+
+  const auto s = monitor.finish(w->sim.now());
+  EXPECT_EQ(s.faults_observed, 1u);
+  EXPECT_GT(s.samples, 10u);
+  EXPECT_GT(s.violation_samples, 0u);
+  ASSERT_EQ(s.recovery.count(), 1u);
+  EXPECT_GT(s.recovery.mean(), 0.0);
+  EXPECT_LT(s.recovery.mean(), 30.0);
+  EXPECT_GT(s.orphaned_member_seconds, 0.0);
+  EXPECT_EQ(s.unrecovered_disruptions, 0u);
+
+  // Alive-aware validation: the dead head is excluded, the survivors are
+  // clean again.
+  const auto report = cluster::validate_clusters(
+      *w->network, w->const_agents(), w->sim.now());
+  EXPECT_EQ(report.dead_nodes, 1u);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(ConvergenceMonitorTest, CleanRunRecordsNoDisruption) {
+  auto w = test::make_static_world(test::figure1_positions(), 100.0,
+                                   cluster::lowest_id_lcc_options());
+  w->run(10.0);
+  cluster::ConvergenceMonitor monitor(w->sim, *w->network,
+                                      w->const_agents());
+  monitor.start(10.25, 0.5, 40.0);
+  w->run(25.0);
+
+  const auto s = monitor.finish(w->sim.now());
+  EXPECT_EQ(s.faults_observed, 0u);
+  EXPECT_GT(s.samples, 10u);
+  EXPECT_EQ(s.violation_samples, 0u);
+  EXPECT_EQ(s.recovery.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.orphaned_member_seconds, 0.0);
+  EXPECT_EQ(s.unrecovered_disruptions, 0u);
+}
+
+TEST(ConvergenceMonitorTest, RejectsNonPositivePeriod) {
+  auto w = test::make_static_world(test::figure1_positions(), 100.0,
+                                   cluster::lowest_id_lcc_options());
+  cluster::ConvergenceMonitor monitor(w->sim, *w->network,
+                                      w->const_agents());
+  EXPECT_THROW(monitor.start(1.0, 0.0, 10.0), util::CheckError);
+}
+
+TEST(ConvergenceScenarioTest, FaultFreeRunHasZeroResilienceFields) {
+  scenario::Scenario s;
+  s.n_nodes = 10;
+  s.sim_time = 40.0;
+  const auto r =
+      scenario::run_scenario(s, scenario::factory_by_name("lowest_id"));
+  EXPECT_EQ(r.faults_injected, 0u);
+  EXPECT_EQ(r.recoveries, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_recovery_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.orphaned_member_seconds, 0.0);
+  EXPECT_EQ(r.convergence_samples, 0u);
+  EXPECT_TRUE(r.fault_timeline.empty());
+}
+
+TEST(ConvergenceScenarioTest, FaultedRunPopulatesResilienceFields) {
+  scenario::Scenario s;
+  s.n_nodes = 15;
+  s.sim_time = 80.0;
+  s.faults.crash_rate = 0.05;
+  s.faults.mean_downtime = 15.0;
+  const auto r =
+      scenario::run_scenario(s, scenario::factory_by_name("lowest_id"));
+  EXPECT_GT(r.faults_injected, 0u);
+  EXPECT_GT(r.convergence_samples, 0u);
+  EXPECT_EQ(r.fault_timeline.size(), r.faults_injected);
+}
+
+}  // namespace
+}  // namespace manet

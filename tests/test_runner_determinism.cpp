@@ -185,9 +185,47 @@ TEST(RunnerDeterminismTest, RunLogHasOneLinePerRun) {
     EXPECT_EQ(line.back(), '}');
     EXPECT_NE(line.find("\"algorithm\""), std::string::npos);
     EXPECT_NE(line.find("\"seed\""), std::string::npos);
+    EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
   }
   EXPECT_EQ(lines, spec.xs.size() * spec.algorithms.size() *
                        static_cast<std::size_t>(spec.replications));
+  std::remove(path.c_str());
+}
+
+TEST(RunnerDeterminismTest, RunLogRecordsErrorStatus) {
+  const std::string path = "runner_determinism_error_log.jsonl";
+  std::remove(path.c_str());
+  auto spec = small_spec();
+  spec.algorithms.push_back(
+      {"broken", [](cluster::ClusterEventSink*) -> cluster::ClusterOptions {
+         throw std::runtime_error("factory exploded");
+       }});
+  {
+    // jobs=1 executes in canonical order, so the real algorithms of the
+    // first point log "ok" lines before the appended broken one aborts.
+    RunnerOptions opts;
+    opts.jobs = 1;
+    opts.run_log_path = path;
+    EXPECT_THROW(Runner(opts).run(spec), std::runtime_error);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::size_t ok = 0;
+  std::size_t error = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.find("\"status\":\"error\"") != std::string::npos) {
+      ++error;
+      EXPECT_NE(line.find("\"algorithm\":\"broken\""), std::string::npos);
+      EXPECT_NE(line.find("factory exploded"), std::string::npos);
+    } else {
+      EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+      ++ok;
+    }
+  }
+  EXPECT_GT(error, 0u);
+  EXPECT_GT(ok, 0u);
   std::remove(path.c_str());
 }
 

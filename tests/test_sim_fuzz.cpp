@@ -1,11 +1,16 @@
 // Randomized stress tests of the event queue against a simple reference
-// model, plus determinism under interleaved schedule/cancel workloads.
+// model, determinism under interleaved schedule/cancel workloads, and a
+// chaos fuzz: full simulations under randomized (but fixed-seed) fault
+// schedules with structural invariants checked every beacon round.
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "cluster/agent.h"
+#include "scenario/scenario.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -120,6 +125,88 @@ TEST(SimulatorFuzzTest, HeavyCancellationKeepsQueueConsistent) {
   sim.run();
   EXPECT_EQ(fired, 400);
 }
+
+// ---------------------------------------------------------------------------
+// Chaos fuzz: whole simulations under randomized fault workloads. Each
+// parameter seeds both the scenario and the workload intensities, so every
+// failure is replayable. An in-simulation probe checks structural agent
+// invariants every beacon round; the run must neither throw nor violate
+// them, and a repeat run must be bit-identical.
+// ---------------------------------------------------------------------------
+
+class ChaosFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosFuzz, RandomFaultWorkloadsKeepStructuralInvariants) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  util::Rng knobs(seed * 7919 + 17);
+
+  scenario::Scenario s;
+  s.n_nodes = 12 + knobs.index(10);  // 12-21 nodes
+  s.sim_time = 90.0;
+  s.seed = seed;
+  s.faults.crash_rate = knobs.uniform(0.0, 0.08);
+  s.faults.mean_downtime = knobs.uniform(5.0, 25.0);
+  s.faults.churn_rate = knobs.uniform(0.0, 0.04);
+  s.faults.loss_burst_rate = knobs.uniform(0.0, 0.08);
+  s.faults.loss_burst_probability = knobs.uniform(0.5, 1.0);
+  s.faults.jam_rate = knobs.uniform(0.0, 0.03);
+  s.faults.partitions = static_cast<int>(knobs.index(3));
+  // Quiet tail: the last 20 s are fault-free so the clustering can heal.
+  s.faults.begin = s.warmup;
+  s.faults.end = s.sim_time - 20.0;
+
+  // Self-rescheduling beacon-round probe. Both the tick functor and the
+  // LiveContext it captures outlive run_scenario (the context lives for the
+  // whole run; the functor lives at test scope), so plain reference
+  // captures are safe and nothing leaks.
+  std::uint64_t invariant_checks = 0;
+  std::function<void()> tick;
+  const std::function<void(scenario::LiveContext&)> probe =
+      [&tick, &invariant_checks](scenario::LiveContext& ctx) {
+        tick = [&ctx, &tick, &invariant_checks] {
+          for (std::size_t i = 0; i < ctx.agents.size(); ++i) {
+            if (!ctx.network.node(static_cast<net::NodeId>(i)).alive()) {
+              continue;
+            }
+            const auto* a = ctx.agents[i];
+            switch (a->role()) {
+              case cluster::Role::kUndecided:
+                break;
+              case cluster::Role::kHead:
+                ASSERT_EQ(a->cluster_head(), static_cast<net::NodeId>(i))
+                    << "head " << i << " affiliated elsewhere";
+                break;
+              case cluster::Role::kMember:
+                ASSERT_NE(a->cluster_head(), net::kInvalidNode)
+                    << "member " << i << " without a head";
+                ASSERT_LT(a->cluster_head(), ctx.agents.size());
+                break;
+            }
+          }
+          ++invariant_checks;
+          ctx.sim.schedule_in(2.0, tick);
+        };
+        ctx.sim.schedule_at(10.0, tick);
+      };
+
+  const auto factory = scenario::factory_by_name(
+      knobs.bernoulli(0.5) ? "mobic" : "lowest_id");
+  const auto a = scenario::run_scenario(s, factory, probe);
+  EXPECT_GT(invariant_checks, 30u);
+
+  // Replay determinism: the identical scenario (without the probe, which
+  // only reads state) must reproduce the fault timeline and every metric.
+  const auto b = scenario::run_scenario(s, factory);
+  EXPECT_EQ(a.fault_timeline, b.fault_timeline);
+  EXPECT_EQ(a.ch_changes, b.ch_changes);
+  EXPECT_EQ(a.reaffiliations, b.reaffiliations);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.violation_samples, b.violation_samples);
+  EXPECT_DOUBLE_EQ(a.orphaned_member_seconds, b.orphaned_member_seconds);
+  EXPECT_EQ(a.final_validation.dead_nodes, b.final_validation.dead_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzz, ::testing::Range(1, 7));
 
 }  // namespace
 }  // namespace manet::sim
