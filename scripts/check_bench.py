@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a perf_suite run against a checked-in baseline.
+
+Usage:
+    check_bench.py --baseline bench/BENCH_core.quick.json \
+                   --current BENCH_core.json [--tolerance 0.2]
+
+Exit status is non-zero when any workload regresses:
+
+  * throughput (events_per_sec; sim_s_per_s where meaningful) below
+    (1 - tolerance) x baseline — wall-clock-derived, so the tolerance
+    absorbs machine noise (default 20%, the CI gate);
+  * allocs_per_event above the baseline by more than an epsilon —
+    allocation counts are deterministic, so any real increase means the
+    zero-allocation work is eroding.
+
+Absolute wall_ms and RSS are reported but never gated: they say more
+about the machine than the code.
+"""
+
+import argparse
+import json
+import sys
+
+# Deterministic metrics get a tiny epsilon (counter jitter from the runtime
+# is possible on the scenario workloads); throughput uses --tolerance.
+ALLOC_EPSILON = 0.05
+
+THROUGHPUT_KEYS = ("events_per_sec", "sim_s_per_s")
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "workloads" not in doc and "after" in doc:
+        doc = doc["after"]  # before/after document: gate on the after side
+    schema = doc.get("schema", "")
+    if schema and not schema.startswith("manet-perf-core/"):
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    return {w["name"]: w for w in doc["workloads"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional throughput drop (default 0.2)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+
+        for key in THROUGHPUT_KEYS:
+            b, c = base.get(key, 0.0), cur.get(key, 0.0)
+            if b <= 0.0:
+                continue  # not meaningful for this workload
+            floor = (1.0 - args.tolerance) * b
+            verdict = "FAIL" if c < floor else "ok"
+            print(f"{name:22s} {key:16s} {b:12.4g} -> {c:12.4g}  "
+                  f"({c / b:6.2%} of baseline) {verdict}")
+            if c < floor:
+                failures.append(
+                    f"{name}: {key} {c:.4g} below floor {floor:.4g} "
+                    f"(baseline {b:.4g}, tolerance {args.tolerance:.0%})")
+
+        b_alloc = base.get("allocs_per_event", 0.0)
+        c_alloc = cur.get("allocs_per_event", 0.0)
+        alloc_ok = c_alloc <= b_alloc + ALLOC_EPSILON
+        print(f"{name:22s} {'allocs_per_event':16s} {b_alloc:12.4g} -> "
+              f"{c_alloc:12.4g}  {'ok' if alloc_ok else 'FAIL'}")
+        if not alloc_ok:
+            failures.append(
+                f"{name}: allocs_per_event rose {b_alloc:.4g} -> {c_alloc:.4g}")
+
+        print(f"{name:22s} {'wall_ms (info)':16s} "
+              f"{base.get('wall_ms', 0.0):12.4g} -> "
+              f"{cur.get('wall_ms', 0.0):12.4g}")
+
+    if failures:
+        print("\nPerformance regressions detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nAll workloads within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

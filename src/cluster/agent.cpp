@@ -78,14 +78,14 @@ void WeightedClusterAgent::refresh_metric(net::Node& node) {
 }
 
 const net::NeighborEntry* WeightedClusterAgent::best_head(
-    const std::vector<const net::NeighborEntry*>& entries) const {
+    const std::vector<net::NeighborEntry>& entries) const {
   const net::NeighborEntry* best = nullptr;
-  for (const auto* e : entries) {
-    if (e->role != net::AdvertRole::kHead) {
+  for (const net::NeighborEntry& e : entries) {
+    if (e.role != net::AdvertRole::kHead) {
       continue;
     }
-    if (best == nullptr || neighbor_weight(*e) < neighbor_weight(*best)) {
-      best = e;
+    if (best == nullptr || neighbor_weight(e) < neighbor_weight(*best)) {
+      best = &e;
     }
   }
   return best;
@@ -125,7 +125,7 @@ void WeightedClusterAgent::become_undecided(sim::Time t) {
 }
 
 void WeightedClusterAgent::decide_plain(
-    net::Node& node, const std::vector<const net::NeighborEntry*>& entries) {
+    net::Node& node, const std::vector<net::NeighborEntry>& entries) {
   // Original Lowest-ID [4, 5]: every round, the lowest weight in the closed
   // neighborhood is the clusterhead; everyone else attaches to the best
   // advertised head. No damping — this is the churn LCC was invented to fix.
@@ -135,8 +135,8 @@ void WeightedClusterAgent::decide_plain(
   const sim::Time now = node.simulator().now();
   const Weight mine = weight();
   bool lowest = true;
-  for (const auto* e : entries) {
-    if (neighbor_weight(*e) < mine) {
+  for (const net::NeighborEntry& e : entries) {
+    if (neighbor_weight(e) < mine) {
       lowest = false;
       break;
     }
@@ -161,11 +161,13 @@ void WeightedClusterAgent::decide_plain(
 void WeightedClusterAgent::decide(net::Node& node) {
   ++decisions_;
   const sim::Time now = node.simulator().now();
-  const auto entries = node.table().entries_by_id();
+  // Iterates the table's flat entry array directly (already ascending by
+  // id). Every path below only reads the table, so the reference is stable.
+  const std::vector<net::NeighborEntry>& entries = node.table().entries();
 
   std::size_t heads_in_range = 0;
-  for (const auto* e : entries) {
-    if (e->role == net::AdvertRole::kHead) {
+  for (const net::NeighborEntry& e : entries) {
+    if (e.role == net::AdvertRole::kHead) {
       ++heads_in_range;
     }
   }
@@ -216,9 +218,9 @@ void WeightedClusterAgent::decide(net::Node& node) {
         // the local order (mutually-stale adverts can briefly make two
         // nodes each believe the other is lower).
         bool lower_undecided = false;
-        for (const auto* e : entries) {
-          if (e->role == net::AdvertRole::kUndecided &&
-              neighbor_weight(*e) < mine) {
+        for (const net::NeighborEntry& e : entries) {
+          if (e.role == net::AdvertRole::kUndecided &&
+              neighbor_weight(e) < mine) {
             lower_undecided = true;
             break;
           }
@@ -234,9 +236,9 @@ void WeightedClusterAgent::decide(net::Node& node) {
         // Track continuous contact with rival clusterheads; resolve those
         // whose contact has outlasted the CCI (paper §3.2: deferral allows
         // "incidental contacts between passing nodes" to pass by).
-        for (const auto* e : entries) {
-          if (e->role == net::AdvertRole::kHead) {
-            contention_.try_emplace(e->id, now);
+        for (const net::NeighborEntry& e : entries) {
+          if (e.role == net::AdvertRole::kHead) {
+            contention_.try_emplace(e.id, now);
           }
         }
         // Forget rivals that left range or stopped being heads.

@@ -93,12 +93,12 @@ class WeightedClusterAgent final : public net::Agent {
   void refresh_metric(net::Node& node);
   void decide(net::Node& node);
   void decide_plain(net::Node& node,
-                    const std::vector<const net::NeighborEntry*>& entries);
+                    const std::vector<net::NeighborEntry>& entries);
 
   /// Returns the lowest-weight neighbor currently advertising Head, or
   /// nullptr.
   const net::NeighborEntry* best_head(
-      const std::vector<const net::NeighborEntry*>& entries) const;
+      const std::vector<net::NeighborEntry>& entries) const;
 
   // State transitions; emit sink events when state actually changes.
   void become_head(sim::Time t);

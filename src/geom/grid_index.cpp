@@ -38,10 +38,23 @@ void GridIndex::rebuild(std::span<const Vec2> points) {
     cell_start_[c + 1] += cell_start_[c];
   }
   order_.resize(points_.size());
-  std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    order_[cursor[cell_of(points_[i])]++] = i;
+    order_[cursor_[cell_of(points_[i])]++] = i;
   }
+}
+
+bool GridIndex::update_positions(std::span<const Vec2> points) {
+  if (points.size() != points_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (cell_of(points[i]) != cell_of(points_[i])) {
+      return false;
+    }
+  }
+  std::copy(points.begin(), points.end(), points_.begin());
+  return true;
 }
 
 void GridIndex::query_radius(Vec2 center, double radius,

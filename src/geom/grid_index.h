@@ -23,6 +23,13 @@ class GridIndex {
   /// distance test).
   void rebuild(std::span<const Vec2> points);
 
+  /// Fast path for a moved-but-not-rebinned point set: when every point
+  /// still maps to the cell it is currently indexed under, updates the
+  /// stored exact positions in place (the CSR layout stays valid) and
+  /// returns true. Returns false — leaving the index untouched — when the
+  /// point count or any cell assignment changed; callers then rebuild().
+  bool update_positions(std::span<const Vec2> points);
+
   std::size_t size() const { return points_.size(); }
 
   /// Appends the indices of all points within `radius` of `center`
@@ -50,6 +57,7 @@ class GridIndex {
   // CSR-style layout: cell_start_[c]..cell_start_[c+1] indexes into order_.
   std::vector<std::size_t> cell_start_;
   std::vector<std::size_t> order_;
+  std::vector<std::size_t> cursor_;  // rebuild scratch (capacity reused)
 };
 
 }  // namespace manet::geom

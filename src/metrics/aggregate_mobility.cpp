@@ -20,8 +20,8 @@ AggregateMobilityEstimator::AggregateMobilityEstimator(
 
 double AggregateMobilityEstimator::update(const net::NeighborTable& table,
                                           sim::Time now) {
-  scratch_ = collect_relative_mobility(table, now, config_.successive_max_gap,
-                                       config_.neighbor_timeout);
+  collect_relative_mobility_into(table, now, config_.successive_max_gap,
+                                 config_.neighbor_timeout, scratch_);
   last_sample_count_ = scratch_.size();
 
   if (scratch_.empty()) {

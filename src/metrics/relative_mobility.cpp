@@ -13,20 +13,27 @@ double relative_mobility_db(double rx_new_w, double rx_old_w) {
   return 10.0 * std::log10(rx_new_w / rx_old_w);
 }
 
+void collect_relative_mobility_into(const net::NeighborTable& table,
+                                    sim::Time now, double max_gap,
+                                    double timeout, std::vector<double>& out) {
+  out.clear();
+  for (const net::NeighborEntry& e : table.entries()) {
+    if (e.last_heard < now - timeout) {
+      continue;  // effectively gone; purge will drop it
+    }
+    if (!e.has_successive_pair(max_gap)) {
+      continue;  // missed a beacon in the window: excluded (paper §3.1)
+    }
+    out.push_back(relative_mobility_db(e.last_rx_w, e.prev_rx_w));
+  }
+}
+
 std::vector<double> collect_relative_mobility(const net::NeighborTable& table,
                                               sim::Time now, double max_gap,
                                               double timeout) {
   std::vector<double> samples;
   samples.reserve(table.size());
-  for (const net::NeighborEntry* e : table.entries_by_id()) {
-    if (e->last_heard < now - timeout) {
-      continue;  // effectively gone; purge will drop it
-    }
-    if (!e->has_successive_pair(max_gap)) {
-      continue;  // missed a beacon in the window: excluded (paper §3.1)
-    }
-    samples.push_back(relative_mobility_db(e->last_rx_w, e->prev_rx_w));
-  }
+  collect_relative_mobility_into(table, now, max_gap, timeout, samples);
   return samples;
 }
 

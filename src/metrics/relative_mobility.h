@@ -19,12 +19,18 @@ namespace manet::metrics {
 /// Eq. (1). Both powers must be positive.
 double relative_mobility_db(double rx_new_w, double rx_old_w);
 
-/// Extracts one eq.-(1) sample per eligible neighbor from a neighbor table.
-/// Eligible = still alive at `now` (heard within `timeout`) and with two
-/// successive receptions no further than `max_gap` apart — the paper's
-/// heuristic that excludes nodes which did not participate in two
-/// successive transmissions during the window. Samples are ordered by
-/// neighbor id (deterministic).
+/// Extracts one eq.-(1) sample per eligible neighbor from a neighbor table
+/// into `out` (overwritten; capacity reused — the allocation-free variant
+/// used by the per-beacon estimator). Eligible = still alive at `now`
+/// (heard within `timeout`) and with two successive receptions no further
+/// than `max_gap` apart — the paper's heuristic that excludes nodes which
+/// did not participate in two successive transmissions during the window.
+/// Samples are ordered by neighbor id (deterministic).
+void collect_relative_mobility_into(const net::NeighborTable& table,
+                                    sim::Time now, double max_gap,
+                                    double timeout, std::vector<double>& out);
+
+/// Convenience wrapper returning a fresh vector.
 std::vector<double> collect_relative_mobility(const net::NeighborTable& table,
                                               sim::Time now, double max_gap,
                                               double timeout);

@@ -6,69 +6,91 @@
 
 namespace manet::net {
 
+namespace {
+
+// First entry with id >= `id` in a vector sorted by id.
+std::vector<NeighborEntry>::iterator lower_bound_id(
+    std::vector<NeighborEntry>& entries, NodeId id) {
+  return std::lower_bound(entries.begin(), entries.end(), id,
+                          [](const NeighborEntry& e, NodeId target) {
+                            return e.id < target;
+                          });
+}
+
+}  // namespace
+
 void NeighborTable::on_hello(sim::Time t, const HelloPacket& pkt,
                              double rx_w) {
   MANET_CHECK(pkt.sender != kInvalidNode, "hello without sender");
   MANET_CHECK(rx_w > 0.0, "non-positive rx power");
-  NeighborEntry& e = entries_[pkt.sender];
-  if (e.id == kInvalidNode) {
-    e.id = pkt.sender;
+  auto it = lower_bound_id(entries_, pkt.sender);
+  if (it == entries_.end() || it->id != pkt.sender) {
+    it = entries_.insert(it, NeighborEntry{});
+    it->id = pkt.sender;
   } else {
-    MANET_ASSERT(t >= e.last_heard, "hello from the past");
-    e.prev_heard = e.last_heard;
-    e.prev_rx_w = e.last_rx_w;
-    e.has_prev = true;
+    MANET_ASSERT(t >= it->last_heard, "hello from the past");
+    it->prev_heard = it->last_heard;
+    it->prev_rx_w = it->last_rx_w;
+    it->has_prev = true;
   }
-  e.last_heard = t;
-  e.last_rx_w = rx_w;
-  e.last_seq = pkt.seq;
-  e.weight = pkt.weight;
-  e.role = pkt.role;
-  e.cluster_head = pkt.cluster_head;
-  e.degree = static_cast<std::uint16_t>(
+  it->last_heard = t;
+  it->last_rx_w = rx_w;
+  it->last_seq = pkt.seq;
+  it->weight = pkt.weight;
+  it->role = pkt.role;
+  it->cluster_head = pkt.cluster_head;
+  it->degree = static_cast<std::uint16_t>(
       std::min<std::size_t>(pkt.neighbors.size(), 0xFFFF));
 }
 
 std::size_t NeighborTable::purge(sim::Time t, double timeout) {
-  std::size_t dropped = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.last_heard < t - timeout) {
-      it = entries_.erase(it);
-      ++dropped;
-    } else {
-      ++it;
-    }
-  }
+  const auto stale = [t, timeout](const NeighborEntry& e) {
+    return e.last_heard < t - timeout;
+  };
+  const auto first = std::remove_if(entries_.begin(), entries_.end(), stale);
+  const auto dropped = static_cast<std::size_t>(entries_.end() - first);
+  entries_.erase(first, entries_.end());
   return dropped;
 }
 
-bool NeighborTable::erase(NodeId id) { return entries_.erase(id) > 0; }
+bool NeighborTable::erase(NodeId id) {
+  const auto it = lower_bound_id(entries_, id);
+  if (it == entries_.end() || it->id != id) {
+    return false;
+  }
+  entries_.erase(it);
+  return true;
+}
 
 const NeighborEntry* NeighborTable::find(NodeId id) const {
-  const auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : &it->second;
+  return const_cast<NeighborTable*>(this)->find_mutable(id);
+}
+
+NeighborEntry* NeighborTable::find_mutable(NodeId id) {
+  const auto it = lower_bound_id(entries_, id);
+  return (it == entries_.end() || it->id != id) ? nullptr : &*it;
 }
 
 std::vector<const NeighborEntry*> NeighborTable::entries_by_id() const {
   std::vector<const NeighborEntry*> out;
   out.reserve(entries_.size());
-  for (const auto& [_, e] : entries_) {
+  for (const NeighborEntry& e : entries_) {
     out.push_back(&e);
   }
-  std::sort(out.begin(), out.end(),
-            [](const NeighborEntry* a, const NeighborEntry* b) {
-              return a->id < b->id;
-            });
   return out;
+}
+
+void NeighborTable::ids_into(std::vector<NodeId>& out) const {
+  out.clear();
+  for (const NeighborEntry& e : entries_) {
+    out.push_back(e.id);
+  }
 }
 
 std::vector<NodeId> NeighborTable::ids() const {
   std::vector<NodeId> out;
   out.reserve(entries_.size());
-  for (const auto& [id, _] : entries_) {
-    out.push_back(id);
-  }
-  std::sort(out.begin(), out.end());
+  ids_into(out);
   return out;
 }
 

@@ -5,10 +5,16 @@
 // times (to enforce the "two *successive* transmissions" rule), and the
 // neighbor's advertised clustering state. Entries expire after the timeout
 // period TP.
+//
+// Storage is a flat vector kept sorted by neighbor id. Tables hold a
+// handful of entries (the paper's densities top out around 30 neighbors),
+// so binary search + shifting inserts beat a hash table on every axis that
+// matters here: lookups are cache-friendly, iteration is the deterministic
+// ascending-id order the protocols need with no sort or pointer vector,
+// and the steady-state hot path (on_hello on a known neighbor, purge with
+// nothing to drop) never allocates.
 #pragma once
 
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/hello.h"
@@ -44,6 +50,10 @@ struct NeighborEntry {
 
 class NeighborTable {
  public:
+  /// Pre-sizes the entry array (networks reserve the node count, the hard
+  /// upper bound on neighbors, so steady-state inserts never reallocate).
+  void reserve(std::size_t capacity) { entries_.reserve(capacity); }
+
   /// Records a Hello from `pkt.sender` heard at time `t` with power `rx_w`.
   void on_hello(sim::Time t, const HelloPacket& pkt, double rx_w);
 
@@ -56,17 +66,27 @@ class NeighborTable {
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
-  bool contains(NodeId id) const { return entries_.count(id) > 0; }
+  bool contains(NodeId id) const { return find(id) != nullptr; }
   const NeighborEntry* find(NodeId id) const;
 
-  /// Stable iteration: ascending neighbor id (deterministic across runs).
+  /// The entries themselves, ascending by neighbor id (deterministic
+  /// across runs). The reference is invalidated by any mutation.
+  const std::vector<NeighborEntry>& entries() const { return entries_; }
+
+  /// Legacy pointer view, ascending id (kept for tests; allocates).
   std::vector<const NeighborEntry*> entries_by_id() const;
 
-  /// Neighbor ids, ascending.
+  /// Overwrites `out` with the neighbor ids, ascending. Reuses `out`'s
+  /// capacity — the allocation-free variant of ids().
+  void ids_into(std::vector<NodeId>& out) const;
+
+  /// Neighbor ids, ascending (allocates; prefer ids_into on hot paths).
   std::vector<NodeId> ids() const;
 
  private:
-  std::unordered_map<NodeId, NeighborEntry> entries_;
+  NeighborEntry* find_mutable(NodeId id);
+
+  std::vector<NeighborEntry> entries_;  // sorted by id
 };
 
 }  // namespace manet::net

@@ -74,6 +74,21 @@ void Network::start() {
   MANET_CHECK(!started_, "network started twice");
   MANET_CHECK(!nodes_.empty(), "network with no nodes");
   started_ = true;
+  // Pre-size every per-node and shared buffer to its population bound so
+  // the steady-state loop never crosses a new capacity high-water mark
+  // (the zero-allocation contract of tests/test_zero_alloc.cpp).
+  const std::size_t n = nodes_.size();
+  query_buf_.reserve(n);
+  immediate_buf_.reserve(n);
+  snapshot_.reserve(n);
+  // Steady event population: one beacon timer + at most one jittered
+  // broadcast + one delivery batch per node, plus slack for protocol
+  // timers and fault machinery.
+  sim_.reserve_events(4 * n + 64);
+  for (auto& node : nodes_) {
+    node->table_.reserve(n - 1);
+    node->scratch_pkt_.neighbors.reserve(n - 1);
+  }
   util::Rng phase_rng = rng_.substream("phase");
   for (auto& node : nodes_) {
     // Stagger initial beacons uniformly across the first interval.
@@ -100,9 +115,42 @@ void Network::refresh_grid_if_stale() {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     snapshot_[i] = nodes_[i]->position(now);
   }
-  grid_.rebuild(snapshot_);
+  // In-place update when no node changed grid cell (common at short refresh
+  // periods); the CSR structure stays valid and only the stored exact
+  // positions — which query_radius distance-checks against — move.
+  if (!snapshot_valid_ || !grid_.update_positions(snapshot_)) {
+    grid_.rebuild(snapshot_);
+  }
   snapshot_time_ = now;
   snapshot_valid_ = true;
+}
+
+Network::DeliveryBatch* Network::acquire_batch() {
+  if (!free_batches_.empty()) {
+    DeliveryBatch* batch = free_batches_.back();
+    free_batches_.pop_back();
+    return batch;
+  }
+  batches_.push_back(std::make_unique<DeliveryBatch>());
+  DeliveryBatch* batch = batches_.back().get();
+  batch->receivers.reserve(nodes_.size());
+  batch->pkt.neighbors.reserve(nodes_.size());
+  return batch;
+}
+
+void Network::release_batch(DeliveryBatch* batch) {
+  batch->receivers.clear();
+  free_batches_.push_back(batch);
+}
+
+void Network::deliver_batch(DeliveryBatch* batch) {
+  // Same receiver order as the candidate scan; Node::receive re-checks
+  // liveness, so receivers that died during the delivery delay drop out
+  // exactly as they did with per-receiver events.
+  for (const DeliveryBatch::Rx& rx : batch->receivers) {
+    rx.node->receive(batch->pkt, rx.rx_power_w);
+  }
+  release_batch(batch);
 }
 
 void Network::broadcast(Node& sender, const HelloPacket& pkt) {
@@ -123,6 +171,8 @@ void Network::broadcast(Node& sender, const HelloPacket& pkt) {
 
   std::uint32_t delivered = 0;
   util::Rng& fading = sender.rng();
+  DeliveryBatch* batch = nullptr;
+  immediate_buf_.clear();
   for (const std::size_t idx : query_buf_) {
     Node& receiver = *nodes_[idx];
     if (receiver.id() == sender.id() || !receiver.alive()) {
@@ -149,14 +199,30 @@ void Network::broadcast(Node& sender, const HelloPacket& pkt) {
     ++delivered;
     ++stats_.hellos_delivered;
     if (params_.delivery_delay > 0.0) {
-      auto shared = std::make_shared<HelloPacket>(pkt);
-      Node* rx = &receiver;
-      const double rx_w = reception.rx_power_w;
-      sim_.schedule_in(params_.delivery_delay,
-                       [rx, shared, rx_w] { rx->receive(*shared, rx_w); });
+      if (batch == nullptr) {
+        batch = acquire_batch();
+        batch->pkt = pkt;  // one copy per broadcast, capacity reused
+      }
+      batch->receivers.push_back({&receiver, reception.rx_power_w});
     } else {
-      receiver.receive(pkt, reception.rx_power_w);
+      immediate_buf_.push_back({&receiver, reception.rx_power_w});
     }
+  }
+  // The per-receiver delivery events all carried the identical timestamp
+  // and were pushed contiguously, so folding them into one batch event
+  // preserves the (time, insertion-seq) FIFO order against every other
+  // event in the queue.
+  if (batch != nullptr) {
+    sim_.schedule_in(params_.delivery_delay,
+                     [this, batch] { deliver_batch(batch); });
+  }
+  // Zero-delay deliveries run after the scan: a receiving agent that
+  // transmits in its handler may refresh the grid and reuse query_buf_,
+  // which previously mutated the container mid-iteration. Indexed loop: a
+  // reentrant broadcast() clears the buffer, which simply ends this pass.
+  for (std::size_t i = 0; i < immediate_buf_.size(); ++i) {
+    const DeliveryBatch::Rx rx = immediate_buf_[i];
+    rx.node->receive(pkt, rx.rx_power_w);
   }
   stats_.sum_degree_samples += delivered;
   ++stats_.degree_samples;
@@ -170,6 +236,11 @@ std::size_t Network::send(Node& sender, Message msg) {
 
   util::Rng& fading = sender.rng();
   const geom::Vec2 sender_pos = sender.position(now);
+
+  // The payload is shared by every receiver of this send: allocated once,
+  // lazily (only if somebody actually receives), instead of one copy per
+  // delivery.
+  std::shared_ptr<const Message> shared;
 
   const auto try_deliver = [&](Node& receiver) -> bool {
     if (!receiver.alive()) {
@@ -190,8 +261,10 @@ std::size_t Network::send(Node& sender, Message msg) {
       return false;
     }
     ++stats_.messages_delivered;
+    if (shared == nullptr) {
+      shared = std::make_shared<const Message>(msg);
+    }
     Node* rx = &receiver;
-    auto shared = std::make_shared<const Message>(msg);
     sim_.schedule_in(params_.delivery_delay,
                      [rx, shared] { rx->receive_message(*shared); });
     return true;

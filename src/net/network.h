@@ -127,8 +127,26 @@ class Network {
  private:
   friend class Node;
 
+  /// One scheduled Hello delivery batch: the packet stored once by value
+  /// plus every receiver that passed the propagation/loss checks. Batches
+  /// are pooled and reused (packet neighbor list and receiver vector keep
+  /// their capacity), so steady-state delivery performs no allocations and
+  /// schedules a single event per broadcast instead of one per receiver.
+  struct DeliveryBatch {
+    struct Rx {
+      Node* node;
+      double rx_power_w;
+    };
+    HelloPacket pkt;
+    std::vector<Rx> receivers;
+  };
+
   /// Called by a node when its beacon timer fires.
   void broadcast(Node& sender, const HelloPacket& pkt);
+
+  DeliveryBatch* acquire_batch();
+  void release_batch(DeliveryBatch* batch);
+  void deliver_batch(DeliveryBatch* batch);
 
   void refresh_grid_if_stale();
 
@@ -148,6 +166,16 @@ class Network {
   sim::Time snapshot_time_ = -1.0;
   bool snapshot_valid_ = false;
   std::vector<std::size_t> query_buf_;
+
+  // Delivery-batch pool: batches_ owns (stable addresses for the scheduled
+  // closures), free_batches_ recycles. In-flight batches are bounded by
+  // senders per delivery-delay window, so the pool stays tiny.
+  std::vector<std::unique_ptr<DeliveryBatch>> batches_;
+  std::vector<DeliveryBatch*> free_batches_;
+  // Scratch receiver list for the zero-delay path: deliveries happen after
+  // the candidate scan so a receiving agent that transmits cannot clobber
+  // query_buf_ mid-iteration.
+  std::vector<DeliveryBatch::Rx> immediate_buf_;
 
   NetworkStats stats_;
 };

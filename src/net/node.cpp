@@ -78,25 +78,49 @@ void Node::beacon() {
   const sim::Time now = simulator().now();
   table_.purge(now, network_->params().neighbor_timeout);
 
-  HelloPacket pkt;
-  pkt.sender = id_;
-  pkt.seq = ++seq_;
-  pkt.neighbors = table_.ids();
-  agent_->on_beacon(*this, pkt);
+  // The previous jittered broadcast still pending means the beacon period
+  // has been pushed below the jitter window; fall back to a one-off packet
+  // so the in-flight one is not overwritten. Never taken at sane configs.
+  if (beacon_in_flight_) {
+    HelloPacket pkt;
+    pkt.sender = id_;
+    pkt.seq = ++seq_;
+    pkt.neighbors = table_.ids();
+    agent_->on_beacon(*this, pkt);
+    auto delayed = std::make_shared<HelloPacket>(std::move(pkt));
+    simulator().schedule_in(
+        rng_.uniform(0.0, network_->params().per_beacon_jitter),
+        [this, delayed]() {
+          if (alive_) {
+            network_->broadcast(*this, *delayed);
+          }
+        });
+    return;
+  }
+
+  // Steady-state path: reuse the scratch packet (same field values a fresh
+  // HelloPacket would carry; the agent overwrites its advertisement).
+  scratch_pkt_.sender = id_;
+  scratch_pkt_.seq = ++seq_;
+  scratch_pkt_.weight = 0.0;
+  scratch_pkt_.role = AdvertRole::kUndecided;
+  scratch_pkt_.cluster_head = kInvalidNode;
+  table_.ids_into(scratch_pkt_.neighbors);
+  agent_->on_beacon(*this, scratch_pkt_);
 
   // Small per-beacon jitter desynchronizes beacons that drifted into phase
   // (the stagger is fixed at start; this models clock wobble).
   const double jitter = network_->params().per_beacon_jitter;
   if (jitter > 0.0) {
-    auto delayed = std::make_shared<HelloPacket>(std::move(pkt));
-    simulator().schedule_in(rng_.uniform(0.0, jitter),
-                            [this, delayed]() {
-                              if (alive_) {
-                                network_->broadcast(*this, *delayed);
-                              }
-                            });
+    beacon_in_flight_ = true;
+    simulator().schedule_in(rng_.uniform(0.0, jitter), [this]() {
+      beacon_in_flight_ = false;
+      if (alive_) {
+        network_->broadcast(*this, scratch_pkt_);
+      }
+    });
   } else {
-    network_->broadcast(*this, pkt);
+    network_->broadcast(*this, scratch_pkt_);
   }
 }
 

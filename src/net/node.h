@@ -73,6 +73,13 @@ class Node {
   std::unique_ptr<Agent> agent_;
   Network* network_ = nullptr;
   std::unique_ptr<sim::PeriodicTimer> beacon_timer_;
+  // Reused outgoing-Hello buffer: the neighbor list keeps its capacity
+  // across beacons, so the steady-state beacon path never allocates. The
+  // jittered broadcast is scheduled within params.per_beacon_jitter (a few
+  // ms) while beacons are at least an interval apart, so one buffer
+  // suffices; `beacon_in_flight_` guards the degenerate overlap.
+  HelloPacket scratch_pkt_;
+  bool beacon_in_flight_ = false;
   std::uint32_t seq_ = 0;
   std::uint32_t hellos_received_ = 0;
   bool alive_ = false;

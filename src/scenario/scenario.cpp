@@ -117,6 +117,7 @@ RunResult run_scenario(const Scenario& scenario,
   result.beacons_sent = network.stats().beacons_sent;
   result.hellos_delivered = network.stats().hellos_delivered;
   result.bytes_sent = network.stats().bytes_sent;
+  result.events_executed = sim.events_executed();
   result.final_validation =
       cluster::validate_clusters(network, agents, scenario.sim_time);
   if (monitor != nullptr) {

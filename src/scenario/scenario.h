@@ -73,6 +73,7 @@ struct RunResult {
   std::uint64_t beacons_sent = 0;
   std::uint64_t hellos_delivered = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t events_executed = 0;  // simulator events fired over the run
 
   // Invariant check at simulation end (ground truth).
   cluster::ValidationReport final_validation;

@@ -1,48 +1,124 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace manet::sim {
 
+void EventQueue::reserve(std::size_t capacity) {
+  slots_.reserve(capacity);
+  free_slots_.reserve(capacity);
+  heap_.reserve(2 * capacity);  // live records + lazy-deletion residue
+}
+
 EventId EventQueue::push(Time t, EventFn fn) {
   MANET_CHECK(fn != nullptr, "scheduling a null event handler");
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push_back(HeapRecord{t, next_seq_, slot, s.generation});
+  sift_up(heap_.size() - 1);
+  ++next_seq_;
+  ++live_;
+  return make_id(s.generation, slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  // Cancellation is lazy: the heap entry stays behind and is skipped when it
-  // reaches the front. `pending_` is the source of truth for liveness.
-  if (pending_.erase(id) == 0) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size() ||
+      slots_[slot].generation != generation_of(id)) {
     return false;
   }
+  // O(1): disarm the slot and recycle it. The heap record stays behind and
+  // is skipped when it surfaces (its generation no longer matches).
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  ++s.generation;
+  free_slots_.push_back(slot);
   ++cancelled_count_;
+  --live_;
   return true;
 }
 
-void EventQueue::drop_cancelled_front() {
-  while (!heap_.empty() && pending_.count(heap_.top().id) == 0) {
-    heap_.pop();
+void EventQueue::drop_dead_front() {
+  while (!heap_.empty() && !record_live(heap_.front())) {
+    remove_root();
   }
 }
 
 Time EventQueue::next_time() const {
   auto* self = const_cast<EventQueue*>(this);
-  self->drop_cancelled_front();
+  self->drop_dead_front();
   MANET_CHECK(!heap_.empty(), "next_time() on empty queue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled_front();
+  drop_dead_front();
   MANET_CHECK(!heap_.empty(), "pop() on empty queue");
-  const Entry& top = heap_.top();
-  Fired fired{top.time, top.id, std::move(top.fn)};
-  heap_.pop();
-  pending_.erase(fired.id);
+  const HeapRecord rec = heap_.front();
+  Slot& s = slots_[rec.slot];
+  Fired fired{rec.time, make_id(rec.generation, rec.slot), std::move(s.fn)};
+  // Disarm and recycle exactly as cancel() does (the moved-from slot fn is
+  // already empty).
+  ++s.generation;
+  free_slots_.push_back(rec.slot);
+  --live_;
+  remove_root();
   return fired;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapRecord rec = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(rec, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = rec;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapRecord rec = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) {
+      break;
+    }
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!before(heap_[best], rec)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = rec;
+}
+
+void EventQueue::remove_root() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    sift_down(0);
+  }
 }
 
 }  // namespace manet::sim

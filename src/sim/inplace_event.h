@@ -1,0 +1,150 @@
+// Small-buffer-optimized callback for the event queue.
+//
+// `std::function<void()>` heap-allocates for captures larger than its
+// (implementation-defined) inline buffer and drags in RTTI/copyability
+// machinery the simulator never uses. Every hot-path callback in this
+// codebase is a small lambda ([this], [this, i], a couple of POD values),
+// so InplaceEvent stores the callable directly in a 48-byte inline buffer
+// and only falls back to the heap for oversized or alignment-exotic
+// captures. It is move-only with a noexcept move (required so the event
+// queue's slab can grow by relocation), which also removes the accidental
+// capture-copying that std::function permits.
+//
+// The per-type behavior lives in a static Ops table (invoke / relocate /
+// destroy) instead of a virtual base, keeping the object two pointers of
+// overhead and the dispatch a single indirect call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace manet::sim {
+
+class InplaceEvent {
+ public:
+  // Inline capacity. 48 bytes fits every production callback (the largest
+  // is a [this + a few scalars] capture) with the whole object at 64 bytes.
+  static constexpr std::size_t kCapacity = 48;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  InplaceEvent() noexcept = default;
+  InplaceEvent(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  // Wraps any void() callable. Lvalues are copied in, rvalues moved in;
+  // the callable lands in the inline buffer when it fits and has a
+  // noexcept move, on the heap otherwise.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceEvent> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InplaceEvent(F&& f) {  // NOLINT(runtime/explicit)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InplaceEvent(InplaceEvent&& other) noexcept { move_from(other); }
+
+  InplaceEvent& operator=(InplaceEvent&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InplaceEvent& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InplaceEvent(const InplaceEvent&) = delete;
+  InplaceEvent& operator=(const InplaceEvent&) = delete;
+
+  ~InplaceEvent() { reset(); }
+
+  /// Invokes the stored callable. Undefined when empty (checked by the
+  /// queue at push time).
+  void operator()() { ops_->invoke(buffer_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  friend bool operator==(const InplaceEvent& e, std::nullptr_t) noexcept {
+    return e.ops_ == nullptr;
+  }
+  friend bool operator==(std::nullptr_t, const InplaceEvent& e) noexcept {
+    return e.ops_ == nullptr;
+  }
+  friend bool operator!=(const InplaceEvent& e, std::nullptr_t) noexcept {
+    return e.ops_ != nullptr;
+  }
+  friend bool operator!=(std::nullptr_t, const InplaceEvent& e) noexcept {
+    return e.ops_ != nullptr;
+  }
+
+  /// Destroys the stored callable, leaving the event empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs the payload from `src` storage into `dst` storage and
+    // destroys the source. Must not throw (slab relocation relies on it).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kCapacity && alignof(D) <= kAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/[](void* s) { (*static_cast<D*>(s))(); },
+      /*relocate=*/
+      [](void* dst, void* src) noexcept {
+        D* from = static_cast<D*>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      /*destroy=*/[](void* s) noexcept { static_cast<D*>(s)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/[](void* s) { (**static_cast<D**>(s))(); },
+      /*relocate=*/
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      /*destroy=*/[](void* s) noexcept { delete *static_cast<D**>(s); },
+  };
+
+  void move_from(InplaceEvent& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(kAlign) unsigned char buffer_[kCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace manet::sim

@@ -19,6 +19,10 @@ class Simulator {
   /// Current simulated time (seconds). 0 before the first event fires.
   Time now() const { return now_; }
 
+  /// Pre-sizes the event queue for `capacity` concurrent events (see
+  /// EventQueue::reserve).
+  void reserve_events(std::size_t capacity) { queue_.reserve(capacity); }
+
   /// Schedules `fn` at absolute time `t` (>= now). Returns a handle usable
   /// with cancel().
   EventId schedule_at(Time t, EventFn fn) {

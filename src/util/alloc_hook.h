@@ -1,0 +1,36 @@
+// Test-only heap-allocation counters.
+//
+// The counters are fed by replacement global operator new/delete defined in
+// alloc_hook.cpp. That translation unit is intentionally NOT part of
+// manet_util: only binaries that explicitly compile it in (perf_suite, the
+// zero-allocation tests) observe counted allocation; everything else keeps
+// the stock allocator. alloc_hook_active() reports which situation a binary
+// is in, so shared code can skip alloc assertions when the hook is absent.
+#pragma once
+
+#include <cstdint>
+
+namespace manet::util {
+
+/// Number of heap allocations (any global operator new flavor) so far.
+/// Always 0 when the hook is not linked in.
+std::uint64_t heap_alloc_count();
+
+/// Number of heap deallocations so far. Always 0 without the hook.
+std::uint64_t heap_free_count();
+
+/// True when the counting operator new/delete replacement is linked into
+/// this binary.
+bool alloc_hook_active();
+
+/// Convenience RAII window: how many allocations happened in a scope.
+class AllocWindow {
+ public:
+  AllocWindow() : start_(heap_alloc_count()) {}
+  std::uint64_t allocs() const { return heap_alloc_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace manet::util

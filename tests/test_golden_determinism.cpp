@@ -1,0 +1,150 @@
+// Golden determinism guard for the simulator core.
+//
+// Runs a fixed-seed Figure-3-style sweep and a resilience-churn slice
+// through the parallel Runner with a JSONL run log, canonicalizes the log
+// (wall-clock stripped, lines sorted — completion order is scheduling-
+// dependent under jobs > 1) and hashes it. The hashes must be
+//   (a) identical for --jobs 1 and --jobs 8, and
+//   (b) equal to the golden constants below, which were recorded from the
+//       pre-slab-queue implementation — any change to event ordering, RNG
+//       draw sequences, or delivery semantics shows up here.
+//
+// If a hash changes, that is bit-visible behavior drift: do not rebaseline
+// without understanding exactly which contract moved.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/reporting.h"
+#include "scenario/runner.h"
+#include "util/rng.h"
+
+namespace manet {
+namespace {
+
+// Golden hashes recorded from the seed implementation (priority_queue +
+// unordered_set + per-receiver delivery events); see file comment.
+constexpr std::uint64_t kFig3GoldenHash = 0x84e98c714541ed06ULL;
+constexpr std::uint64_t kChurnGoldenHash = 0x2cbb627caae77921ULL;
+
+std::string temp_log_path(const std::string& tag) {
+  return testing::TempDir() + "golden_" + tag + ".jsonl";
+}
+
+// Removes the volatile wall-clock field from one JSONL record.
+std::string strip_wall(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line.compare(i, 9, "\"wall_s\":") == 0) {
+      i += 9;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        ++i;
+      }
+      if (i < line.size() && line[i] == ',') {
+        ++i;  // drop the trailing comma too
+      }
+      continue;
+    }
+    out.push_back(line[i]);
+    ++i;
+  }
+  return out;
+}
+
+std::uint64_t canonical_log_hash(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(strip_wall(line));
+  }
+  EXPECT_FALSE(lines.empty()) << path;
+  std::sort(lines.begin(), lines.end());
+  std::string canon;
+  for (const std::string& l : lines) {
+    canon += l;
+    canon.push_back('\n');
+  }
+  return util::hash_name(canon);
+}
+
+scenario::SweepSpec fig3_spec() {
+  scenario::SweepSpec spec;
+  spec.base = scenario::paper_scenario();
+  spec.base.sim_time = 60.0;
+  spec.xs = {100.0, 250.0};
+  spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
+  spec.algorithms = scenario::paper_algorithms();
+  spec.fields = {{"cs", scenario::field_ch_changes}};
+  spec.replications = 2;
+  return spec;
+}
+
+scenario::SweepSpec churn_spec() {
+  scenario::SweepSpec spec;
+  spec.base = scenario::paper_scenario();
+  spec.base.sim_time = 120.0;
+  spec.xs = {1.0, 3.0};
+  spec.configure = [](scenario::Scenario& s, double crashes_per_100s) {
+    s.faults.begin = 30.0;
+    s.faults.end = 90.0;
+    s.faults.crash_rate = crashes_per_100s / 100.0;
+    s.faults.mean_downtime = 30.0;
+    s.faults.loss_burst_rate = 0.02;
+    s.faults.loss_burst_duration = 8.0;
+    s.faults.loss_burst_probability = 0.9;
+  };
+  spec.algorithms = scenario::paper_algorithms();
+  spec.fields = {{"recovery", scenario::field_mean_recovery},
+                 {"cs", scenario::field_ch_changes}};
+  spec.replications = 2;
+  return spec;
+}
+
+// Runs `spec` with the given jobs count, logging to a JSONL file; returns
+// the canonical hash of the log.
+std::uint64_t run_and_hash(const scenario::SweepSpec& spec, int jobs,
+                           const std::string& tag) {
+  scenario::RunnerOptions options;
+  options.jobs = jobs;
+  options.run_log_path = temp_log_path(tag);
+  scenario::Runner runner(options);
+  const scenario::SweepResult result = runner.run(spec);
+  EXPECT_EQ(result.points.size(), spec.xs.size());
+  return canonical_log_hash(options.run_log_path);
+}
+
+TEST(GoldenDeterminism, Fig3RunLogStableAcrossJobsAndRefactors) {
+  const std::uint64_t h1 = run_and_hash(fig3_spec(), 1, "fig3_j1");
+  const std::uint64_t h8 = run_and_hash(fig3_spec(), 8, "fig3_j8");
+  EXPECT_EQ(h1, h8) << "fig3 run log differs between --jobs 1 and --jobs 8";
+  EXPECT_EQ(h1, kFig3GoldenHash)
+      << "fig3 golden hash moved: actual 0x" << std::hex << h1;
+}
+
+TEST(GoldenDeterminism, ResilienceChurnRunLogStableAcrossJobsAndRefactors) {
+  const std::uint64_t h1 = run_and_hash(churn_spec(), 1, "churn_j1");
+  const std::uint64_t h8 = run_and_hash(churn_spec(), 8, "churn_j8");
+  EXPECT_EQ(h1, h8) << "churn run log differs between --jobs 1 and --jobs 8";
+  EXPECT_EQ(h1, kChurnGoldenHash)
+      << "churn golden hash moved: actual 0x" << std::hex << h1;
+}
+
+// Same-seed scenarios must also be bit-identical when run twice in one
+// process (no hidden global state in the core).
+TEST(GoldenDeterminism, RepeatedRunsShareOneHash) {
+  const std::uint64_t a = run_and_hash(fig3_spec(), 1, "fig3_rep_a");
+  const std::uint64_t b = run_and_hash(fig3_spec(), 1, "fig3_rep_b");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,272 @@
+// Randomized EventQueue stress test against a reference model.
+//
+// The model is deliberately naive: a vector of {time, seq, id, live}
+// records, popped by linear scan with (time, seq) ordering. The real queue
+// (generation-tagged slab + 4-ary heap) must agree with it on every
+// observable: pop order (including FIFO ties), pending()/size(), cancel
+// results, and the lifetime counters. Slot recycling means handle reuse is
+// constant under churn, so stale-handle (ABA) behavior is exercised heavily:
+// cancelling or querying an id whose slot has been recycled must be a no-op.
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace manet::sim {
+namespace {
+
+struct ModelEvent {
+  Time time = 0.0;
+  std::uint64_t seq = 0;  // insertion order, FIFO tiebreak
+  int payload = 0;
+  bool live = true;
+};
+
+class ReferenceModel {
+ public:
+  std::size_t push(Time t, int payload) {
+    events_.push_back({t, next_seq_++, payload, true});
+    return events_.size() - 1;  // model handle: index into events_
+  }
+
+  bool cancel(std::size_t h) {
+    if (h >= events_.size() || !events_[h].live) {
+      return false;
+    }
+    events_[h].live = false;
+    ++cancelled_;
+    return true;
+  }
+
+  bool pending(std::size_t h) const {
+    return h < events_.size() && events_[h].live;
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      n += e.live ? 1 : 0;
+    }
+    return n;
+  }
+
+  // Pops the earliest live event by (time, seq); returns its payload.
+  int pop() {
+    std::size_t best = events_.size();
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (!events_[i].live) {
+        continue;
+      }
+      if (best == events_.size() ||
+          events_[i].time < events_[best].time ||
+          (events_[i].time == events_[best].time &&
+           events_[i].seq < events_[best].seq)) {
+        best = i;
+      }
+    }
+    EXPECT_LT(best, events_.size()) << "model pop on empty";
+    events_[best].live = false;
+    return events_[best].payload;
+  }
+
+  Time next_time() const {
+    std::size_t best = events_.size();
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (!events_[i].live) {
+        continue;
+      }
+      if (best == events_.size() || events_[i].time < events_[best].time ||
+          (events_[i].time == events_[best].time &&
+           events_[i].seq < events_[best].seq)) {
+        best = i;
+      }
+    }
+    return events_[best].time;
+  }
+
+  std::uint64_t scheduled() const { return next_seq_; }
+  std::uint64_t cancelled() const { return cancelled_; }
+
+ private:
+  std::vector<ModelEvent> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t cancelled_ = 0;
+};
+
+// One randomized episode: interleaved push/cancel/pop, checked op by op.
+void run_episode(std::uint64_t seed, int ops, double time_range,
+                 int distinct_times) {
+  util::Rng rng(seed);
+  EventQueue queue;
+  ReferenceModel model;
+
+  struct LivePair {
+    EventId real;
+    std::size_t model;
+  };
+  std::vector<LivePair> handles;       // possibly stale — kept on purpose
+  std::vector<int> popped_real;
+  std::vector<int> popped_model;
+  int next_payload = 0;
+
+  for (int op = 0; op < ops; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.5) {
+      // Push. Times are drawn from a small set so FIFO ties are common.
+      const double t =
+          time_range *
+          static_cast<double>(rng.uniform_int(0, distinct_times - 1)) /
+          static_cast<double>(distinct_times);
+      const int payload = next_payload++;
+      const EventId real = queue.push(t, [] {});
+      const std::size_t m = model.push(t, payload);
+      // Payload equality is checked through pop order; remember the pair.
+      handles.push_back({real, m});
+      ASSERT_TRUE(queue.pending(real));
+    } else if (dice < 0.75) {
+      // Cancel a handle — current or stale (exercises slot reuse / ABA).
+      if (!handles.empty()) {
+        const std::size_t pick = rng.index(handles.size());
+        const bool r = queue.cancel(handles[pick].real);
+        const bool m = model.cancel(handles[pick].model);
+        ASSERT_EQ(r, m) << "cancel disagreement at op " << op;
+        ASSERT_FALSE(queue.pending(handles[pick].real));
+      }
+    } else {
+      // Pop.
+      ASSERT_EQ(queue.empty(), model.size() == 0);
+      if (!queue.empty()) {
+        ASSERT_DOUBLE_EQ(queue.next_time(), model.next_time());
+        const auto fired = queue.pop();
+        // Identify the popped real event through the model's pop: queue and
+        // model must agree on *which* event fired, which we check by
+        // popping both and comparing the event's scheduled time plus the
+        // FIFO position encoded in the payload sequence below.
+        popped_model.push_back(model.pop());
+        popped_real.push_back(-1);  // placeholder, patched via handle scan
+        // Find which handle this id belonged to (ids are unique).
+        for (const auto& h : handles) {
+          if (h.real == fired.id) {
+            popped_real.back() = static_cast<int>(h.model);
+            break;
+          }
+        }
+        ASSERT_NE(popped_real.back(), -1) << "unknown id popped";
+        ASSERT_FALSE(queue.pending(fired.id));
+        ASSERT_FALSE(queue.cancel(fired.id)) << "cancel-after-fire must fail";
+      }
+    }
+    ASSERT_EQ(queue.size(), model.size()) << "size drift at op " << op;
+  }
+
+  // Drain both completely; order must match exactly.
+  while (!queue.empty()) {
+    const auto fired = queue.pop();
+    popped_model.push_back(model.pop());
+    popped_real.push_back(-1);
+    for (const auto& h : handles) {
+      if (h.real == fired.id) {
+        popped_real.back() = static_cast<int>(h.model);
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(model.size(), 0u);
+
+  // The model handle doubles as its payload index: model.pop() returned
+  // payloads in model order, and popped_real recorded which model event the
+  // real queue popped at each step. They must be the same sequence.
+  ASSERT_EQ(popped_real.size(), popped_model.size());
+  for (std::size_t i = 0; i < popped_real.size(); ++i) {
+    EXPECT_EQ(popped_real[i], popped_model[i])
+        << "pop order diverged at pop " << i;
+  }
+
+  EXPECT_EQ(queue.total_scheduled(), model.scheduled());
+  EXPECT_EQ(queue.total_cancelled(), model.cancelled());
+}
+
+TEST(EventQueueStress, RandomizedAgainstReferenceModel) {
+  // Several mixes: tie-heavy (few distinct times), cancel-heavy reuse
+  // (small episodes repeated), and a long episode.
+  run_episode(/*seed=*/1, /*ops=*/4000, /*time_range=*/10.0,
+              /*distinct_times=*/5);
+  run_episode(/*seed=*/2, /*ops=*/4000, /*time_range=*/1000.0,
+              /*distinct_times=*/997);
+  run_episode(/*seed=*/3, /*ops=*/20000, /*time_range=*/50.0,
+              /*distinct_times=*/25);
+}
+
+TEST(EventQueueStress, SameSeedReplaysIdentically) {
+  // Two queues driven by identical op sequences must pop identical id
+  // sequences (handles are deterministic, not address-dependent).
+  for (const std::uint64_t seed : {7ULL, 8ULL}) {
+    util::Rng rng_a(seed);
+    util::Rng rng_b(seed);
+    EventQueue a;
+    EventQueue b;
+    std::vector<EventId> ids_a;
+    std::vector<EventId> ids_b;
+    std::vector<EventId> popped_a;
+    std::vector<EventId> popped_b;
+    const auto drive = [](util::Rng& rng, EventQueue& q,
+                          std::vector<EventId>& ids,
+                          std::vector<EventId>& popped) {
+      for (int op = 0; op < 3000; ++op) {
+        const double dice = rng.uniform();
+        if (dice < 0.55) {
+          ids.push_back(q.push(rng.uniform(0.0, 100.0), [] {}));
+        } else if (dice < 0.8) {
+          if (!ids.empty()) {
+            q.cancel(ids[rng.index(ids.size())]);
+          }
+        } else if (!q.empty()) {
+          popped.push_back(q.pop().id);
+        }
+      }
+    };
+    drive(rng_a, a, ids_a, popped_a);
+    drive(rng_b, b, ids_b, popped_b);
+    EXPECT_EQ(ids_a, ids_b);
+    EXPECT_EQ(popped_a, popped_b);
+  }
+}
+
+TEST(EventQueueStress, HandleChurnStaysBounded) {
+  // Steady-state churn must recycle storage: after warm-up, size() stays
+  // flat while millions of (push, pop) cycles stream through. This guards
+  // the slab free list (and, pre-slab, the lazy-deletion compaction).
+  EventQueue q;
+  util::Rng rng(99);
+  double now = 0.0;
+  std::deque<EventId> live;
+  for (int i = 0; i < 64; ++i) {
+    live.push_back(q.push(now + rng.uniform(0.0, 4.0), [] {}));
+  }
+  for (int cycle = 0; cycle < 200000; ++cycle) {
+    const auto fired = q.pop();
+    now = fired.time;
+    // Cancel one survivor now and then, then top the queue back up.
+    if (cycle % 7 == 0 && !live.empty()) {
+      // The oldest handle may already have fired; only replace the event if
+      // the cancel actually removed one.
+      if (q.cancel(live.front())) {
+        live.push_back(q.push(now + rng.uniform(0.0, 4.0), [] {}));
+      }
+      live.pop_front();
+    }
+    live.push_back(q.push(now + rng.uniform(0.0, 4.0), [] {}));
+    while (live.size() > 128) {
+      live.pop_front();
+    }
+    ASSERT_LE(q.size(), 160u);
+  }
+}
+
+}  // namespace
+}  // namespace manet::sim
