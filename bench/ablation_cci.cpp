@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   scenario::SweepSpec spec;
   spec.base = bench::paper_scenario();
   spec.base.sim_time = cfg.sim_time;
+  cfg.apply_obs(spec.base);
   spec.xs = ranges;
   spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
   spec.fields = {{"cs", scenario::field_ch_changes}};

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   scenario::SweepSpec spec;
   spec.base = bench::paper_scenario();
   spec.base.sim_time = cfg.sim_time;
+  cfg.apply_obs(spec.base);
   spec.xs = {100.0, 250.0};
   spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
   for (const double alpha : alphas) {

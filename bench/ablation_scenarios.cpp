@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   scenario::SweepSpec spec;
   spec.base = bench::paper_scenario();
   spec.base.sim_time = cfg.sim_time;
+  cfg.apply_obs(spec.base);
   spec.base.tx_range = 150.0;
   spec.xs = {0.0, 1.0, 2.0, 3.0};  // index into `kinds`
   spec.configure = [&kinds](scenario::Scenario& s, double x) {

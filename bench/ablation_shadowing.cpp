@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   scenario::SweepSpec spec;
   spec.base = bench::paper_scenario();
   spec.base.sim_time = cfg.sim_time;
+  cfg.apply_obs(spec.base);
   spec.base.tx_range = 200.0;
   spec.xs = sigmas;
   spec.configure = [](scenario::Scenario& s, double sigma) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "scenario/reporting.h"
 #include "scenario/runner.h"
 #include "util/csv.h"
@@ -32,6 +33,12 @@ using scenario::print_comparison;
 ///                  output is byte-identical for every value of N
 ///   --progress     live progress line on stderr
 ///   --run-log PATH JSONL log with one line per finished run
+///   --metrics-out PATH  per-run obs::Snapshot JSONL, canonical order
+///                       (byte-identical for every --jobs value)
+///   --trace-out PATH    Chrome-trace JSON per run; include "{tag}" or
+///                       "{seed}" so concurrent runs write distinct files
+///   --trace-level L     off | spans | full (default spans when
+///                       --trace-out is set)
 struct BenchConfig {
   int seeds = 5;
   double sim_time = 900.0;
@@ -39,6 +46,9 @@ struct BenchConfig {
   int jobs = 0;
   bool progress = false;
   std::string run_log_path;
+  std::string metrics_out;
+  std::string trace_out;
+  obs::TraceLevel trace_level = obs::TraceLevel::kOff;
 
   static BenchConfig from_flags(util::Flags& flags) {
     BenchConfig c;
@@ -49,7 +59,19 @@ struct BenchConfig {
     c.jobs = flags.get_int("jobs", 0);
     c.progress = flags.get_bool("progress", false);
     c.run_log_path = flags.get_string("run-log", "");
+    c.metrics_out = flags.get_string("metrics-out", "");
+    c.trace_out = flags.get_string("trace-out", "");
+    if (flags.has("trace-level")) {
+      c.trace_level =
+          obs::parse_trace_level(flags.get_string("trace-level", "spans"));
+    }
     return c;
+  }
+
+  /// Applies the observability flags to the scenario every run clones.
+  void apply_obs(scenario::Scenario& s) const {
+    s.obs.trace_path = trace_out;
+    s.obs.trace = trace_level;
   }
 
   scenario::RunnerOptions runner_options() const {
@@ -57,6 +79,7 @@ struct BenchConfig {
     options.jobs = jobs;
     options.progress = progress ? &std::cerr : nullptr;
     options.run_log_path = run_log_path;
+    options.metrics_log_path = metrics_out;
     return options;
   }
 

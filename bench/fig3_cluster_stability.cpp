@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   scenario::SweepSpec spec;
   spec.base = bench::paper_scenario();
   spec.base.sim_time = cfg.sim_time;
+  cfg.apply_obs(spec.base);
   spec.xs = bench::default_tx_sweep();
   spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
   spec.algorithms = scenario::paper_algorithms();

@@ -108,6 +108,7 @@ int main(int argc, char** argv) {
     scenario::SweepSpec spec;
     spec.base = bench::paper_scenario();
     spec.base.sim_time = cfg.sim_time;
+    cfg.apply_obs(spec.base);
     spec.base.fleet.field = geom::Rect(side, side);
     spec.xs = tx_sweep;
     spec.configure = [](scenario::Scenario& s, double tx) {

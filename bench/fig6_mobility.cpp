@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     scenario::SweepSpec spec;
     spec.base = bench::paper_scenario();
     spec.base.sim_time = cfg.sim_time;
+    cfg.apply_obs(spec.base);
     spec.base.tx_range = 250.0;
     spec.base.fleet.pause_time = pause;
     spec.xs = speeds;

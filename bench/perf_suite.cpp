@@ -9,9 +9,14 @@
 //                        like Hello traffic (periodic reschedule + timeout
 //                        cancellations)
 //   fig3_full_run      — one full paper Figure-3 scenario run (50 nodes,
-//                        Tx = 250 m, MOBIC)
+//                        Tx = 250 m, MOBIC), observability compiled in but
+//                        disabled — the uninstrumented reference
+//   fig3_obs_run       — the identical run with the metrics registry live
+//                        (tracing off); check_bench.py gates the pair's
+//                        throughput ratio, keeping counter overhead bounded
 //   resilience_slice   — one cell of the PR-2 resilience grid (crashes +
-//                        loss bursts, both algorithms)
+//                        loss bursts, both algorithms; metrics live, so the
+//                        fault/convergence hook path is in the gate too)
 //
 // Each workload reports wall-clock (best of --reps), throughput
 // (events/sec and simulated-sec/sec where applicable), heap allocation
@@ -135,12 +140,15 @@ std::pair<std::uint64_t, double> event_queue_churn(std::uint64_t target_ops) {
   return {ops, 0.0};
 }
 
-std::pair<std::uint64_t, double> fig3_full_run(double sim_time) {
+std::pair<std::uint64_t, double> fig3_full_run(double sim_time,
+                                               bool obs_metrics) {
   scenario::Scenario s = bench::paper_scenario();
   s.sim_time = sim_time;
+  s.obs.metrics = obs_metrics;
   const scenario::RunResult r =
       scenario::run_scenario(s, scenario::factory_by_name("mobic"));
   MANET_CHECK(r.beacons_sent > 0, "empty fig3 run");
+  MANET_CHECK(r.metrics.empty() != obs_metrics, "obs config ignored");
   return {r.events_executed, sim_time};
 }
 
@@ -211,7 +219,10 @@ int main(int argc, char** argv) {
     return event_queue_churn(churn_ops);
   }));
   results.push_back(run_workload("fig3_full_run", reps, [&] {
-    return fig3_full_run(fig3_time);
+    return fig3_full_run(fig3_time, /*obs_metrics=*/false);
+  }));
+  results.push_back(run_workload("fig3_obs_run", reps, [&] {
+    return fig3_full_run(fig3_time, /*obs_metrics=*/true);
   }));
   results.push_back(run_workload("resilience_slice", reps, [&] {
     return resilience_slice(slice_time);

@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
     scenario::SweepSpec spec;
     spec.base = bench::paper_scenario();
     spec.base.sim_time = cfg.sim_time;
+    cfg.apply_obs(spec.base);
     spec.xs = crash_rates;
     spec.configure = [&](scenario::Scenario& s, double crashes_per_100s) {
       s.faults.begin = fault_begin;

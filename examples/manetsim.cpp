@@ -16,8 +16,14 @@
 //   # full timeline export for visualization
 //   ./manetsim --algorithm mobic --snapshots-csv snap.csv \
 //              --events-csv events.csv --snapshot-period 5
+//
+//   # Chrome-trace export (load in Perfetto / chrome://tracing) + metrics
+//   ./manetsim --algorithm mobic --trace-out trace.json \
+//              --trace-level full --metrics-out metrics.jsonl
 #include <fstream>
 #include <iostream>
+
+#include "obs/trace.h"
 
 #include "scenario/config.h"
 #include "scenario/runner.h"
@@ -80,6 +86,17 @@ scenario::Scenario scenario_from_flags(util::Flags& flags) {
   if (flags.has("sigma")) {
     s.shadowing_sigma_db = flags.get_double("sigma", 4.0);
   }
+  // Observability: --trace-out writes a Chrome-trace JSON ("{seed}" and
+  // "{tag}" placeholders expand per run — use them under --compare so the
+  // algorithms don't clobber one file); --trace-level full adds sampled
+  // counter tracks.
+  if (flags.has("trace-out")) {
+    s.obs.trace_path = flags.get_string("trace-out", "");
+  }
+  if (flags.has("trace-level")) {
+    s.obs.trace =
+        obs::parse_trace_level(flags.get_string("trace-level", "spans"));
+  }
   return s;
 }
 
@@ -120,7 +137,25 @@ int main(int argc, char** argv) {
   const std::string snapshots_csv = flags.get_string("snapshots-csv", "");
   const double snapshot_period = flags.get_double("snapshot-period", 10.0);
   const int jobs = flags.get_int("jobs", 0);
+  const std::string metrics_out = flags.get_string("metrics-out", "");
   flags.finish();
+
+  std::ofstream metrics_stream;
+  if (!metrics_out.empty()) {
+    metrics_stream.open(metrics_out, std::ios::trunc);
+    if (!metrics_stream.is_open()) {
+      std::cerr << "cannot open " << metrics_out << "\n";
+      return 1;
+    }
+  }
+  const auto write_metrics = [&](const std::string& alg,
+                                 const scenario::RunResult& r) {
+    if (metrics_stream.is_open()) {
+      metrics_stream << "{\"algorithm\":\"" << alg << "\",\"seed\":" << s.seed
+                     << ",\"final_heads\":" << r.final_heads
+                     << ",\"metrics\":" << r.metrics.to_json() << "}\n";
+    }
+  };
 
   if (!write_config_path.empty()) {
     std::ofstream out(write_config_path);
@@ -147,6 +182,11 @@ int main(int argc, char** argv) {
         run_scenario(s, scenario::factory_by_name(alg), on_start,
                      want_timeline ? &recorder : nullptr);
     print_report(alg, result);
+    write_metrics(alg, result);
+    if (!s.obs.trace_path.empty()) {
+      std::cout << "Wrote trace (" << obs::trace_level_name(s.obs.trace)
+                << ") to " << s.obs.trace_path << "\n";
+    }
     if (!events_csv.empty()) {
       std::ofstream out(events_csv);
       recorder.write_events_csv(out);
@@ -172,6 +212,7 @@ int main(int argc, char** argv) {
     const auto matrix = runner.run_matrix(s, algorithms, 1);
     for (std::size_t a = 0; a < algorithms.size(); ++a) {
       print_report(algorithms[a].name, matrix[a][0]);
+      write_metrics(algorithms[a].name, matrix[a][0]);
     }
   } else if (compare) {
     // TimelineRecorder hooks into the live run, so timeline exports stay

@@ -12,7 +12,12 @@ Exit status is non-zero when any workload regresses:
     absorbs machine noise (default 20%, the CI gate);
   * allocs_per_event above the baseline by more than an epsilon —
     allocation counts are deterministic, so any real increase means the
-    zero-allocation work is eroding.
+    zero-allocation work is eroding;
+  * observability overhead: when the current run carries the
+    fig3_full_run (metrics off) / fig3_obs_run (metrics on) pair, the
+    instrumented run must keep at least (1 - OBS_OVERHEAD_LIMIT) of the
+    uninstrumented throughput. This is an intra-run ratio — same machine,
+    same moment — so its limit is much tighter than --tolerance.
 
 Absolute wall_ms and RSS are reported but never gated: they say more
 about the machine than the code.
@@ -25,6 +30,11 @@ import sys
 # Deterministic metrics get a tiny epsilon (counter jitter from the runtime
 # is possible on the scenario workloads); throughput uses --tolerance.
 ALLOC_EPSILON = 0.05
+
+# Target for the metrics layer is < 3% (tests/test_zero_alloc.cpp and the
+# design doc); the CI gate allows 5% to absorb scheduler noise within a run.
+OBS_OVERHEAD_LIMIT = 0.05
+OBS_PAIR = ("fig3_full_run", "fig3_obs_run")
 
 THROUGHPUT_KEYS = ("events_per_sec", "sim_s_per_s")
 
@@ -83,6 +93,19 @@ def main():
         print(f"{name:22s} {'wall_ms (info)':16s} "
               f"{base.get('wall_ms', 0.0):12.4g} -> "
               f"{cur.get('wall_ms', 0.0):12.4g}")
+
+    off, on = (current.get(name) for name in OBS_PAIR)
+    if off and on and off.get("events_per_sec", 0.0) > 0.0:
+        ratio = on["events_per_sec"] / off["events_per_sec"]
+        overhead = 1.0 - ratio
+        verdict = "FAIL" if overhead > OBS_OVERHEAD_LIMIT else "ok"
+        print(f"{'obs_overhead':22s} {'events_per_sec':16s} "
+              f"{off['events_per_sec']:12.4g} -> {on['events_per_sec']:12.4g}  "
+              f"({overhead:6.2%} overhead) {verdict}")
+        if overhead > OBS_OVERHEAD_LIMIT:
+            failures.append(
+                f"obs overhead {overhead:.2%} exceeds "
+                f"{OBS_OVERHEAD_LIMIT:.0%} ({OBS_PAIR[1]} vs {OBS_PAIR[0]})")
 
     if failures:
         print("\nPerformance regressions detected:", file=sys.stderr)

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -245,6 +247,14 @@ void WeightedClusterAgent::decide(net::Node& node) {
         for (auto it = contention_.begin(); it != contention_.end();) {
           const net::NeighborEntry* e = node.table().find(it->first);
           if (e == nullptr || e->role != net::AdvertRole::kHead) {
+            // An incidental contact that passed by without maturing — the
+            // case the CCI exists for. Trace it as a closed window.
+            if (options_.obs != nullptr && options_.obs->trace != nullptr) {
+              options_.obs->trace->complete(obs::TraceSink::kNodePid,
+                                            static_cast<int>(self_),
+                                            "cci.window", it->second, now,
+                                            "rival", it->first);
+            }
             it = contention_.erase(it);
           } else {
             ++it;
@@ -261,6 +271,11 @@ void WeightedClusterAgent::decide(net::Node& node) {
         const net::NeighborEntry* winner = nullptr;
         for (const auto& [id, since] : contention_) {
           if (now - since + 1e-9 < options_.cci) {
+            // Head-vs-head contact tolerated because the CCI has not
+            // expired (one deferral per rival per decision round).
+            if (options_.obs != nullptr) {
+              options_.obs->cci_deferral->inc();
+            }
             continue;  // still within the contention interval
           }
           const net::NeighborEntry* e = node.table().find(id);
@@ -275,6 +290,19 @@ void WeightedClusterAgent::decide(net::Node& node) {
           }
         }
         if (winner != nullptr) {
+          if (options_.obs != nullptr) {
+            options_.obs->cci_resolved->inc();
+            if (options_.obs->trace != nullptr) {
+              // Close every open window: become_member clears them all.
+              // The one that matured into this resignation is named apart.
+              for (const auto& [id, since] : contention_) {
+                options_.obs->trace->complete(
+                    obs::TraceSink::kNodePid, static_cast<int>(self_),
+                    id == winner->id ? "cci.resigned" : "cci.window", since,
+                    now, "rival", id);
+              }
+            }
+          }
           become_member(now, winner->id);
         }
         break;

@@ -23,6 +23,7 @@
 #include "metrics/aggregate_mobility.h"
 #include "net/agent.h"
 #include "net/node.h"
+#include "obs/hooks.h"
 
 namespace manet::cluster {
 
@@ -56,6 +57,11 @@ struct ClusterOptions {
 
   /// Event observer (not owned; may be nullptr).
   ClusterEventSink* sink = nullptr;
+
+  /// Agent-internal observability (not owned; may be nullptr). When set,
+  /// the counter fields must all be resolved; `obs->trace` may still be
+  /// null (counters without spans).
+  const obs::AgentHooks* obs = nullptr;
 
   /// §5 extension: scale the beacon interval with local mobility — mobile
   /// neighborhoods beacon faster, static ones slower.

@@ -1,0 +1,107 @@
+#include "cluster/obs_sink.h"
+
+#include "util/assert.h"
+
+namespace manet::cluster {
+
+namespace {
+
+constexpr sim::Time kNoReign = -1.0;
+
+// Tenure buckets (seconds): sub-interval churn up to whole-run reigns.
+std::vector<double> tenure_bounds() {
+  return {2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0};
+}
+
+// Cascade-depth buckets (number of coupled clusterhead changes).
+std::vector<double> cascade_bounds() {
+  return {1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0};
+}
+
+}  // namespace
+
+ObsClusterSink::ObsClusterSink(obs::Registry& registry, double warmup,
+                               double cascade_window, obs::TraceSink* trace)
+    : warmup_(warmup),
+      cascade_window_(cascade_window),
+      elected_(registry.counter("ch.elected")),
+      resigned_(registry.counter("ch.resigned")),
+      changed_(registry.counter("ch.changed")),
+      reaffiliation_(registry.counter("reaffiliation")),
+      tenure_(registry.histogram("ch.tenure", tenure_bounds())),
+      cascade_(registry.histogram("recluster.cascade_depth",
+                                  cascade_bounds())),
+      trace_(trace) {
+  MANET_CHECK(warmup_ >= 0.0, "warmup=" << warmup_);
+  MANET_CHECK(cascade_window_ > 0.0, "cascade_window=" << cascade_window_);
+}
+
+void ObsClusterSink::note_cascade_event(sim::Time t) {
+  if (cascade_depth_ > 0 && t - cascade_last_ > cascade_window_) {
+    flush_cascade();
+  }
+  ++cascade_depth_;
+  cascade_last_ = t;
+}
+
+void ObsClusterSink::flush_cascade() {
+  if (cascade_depth_ > 0) {
+    cascade_->record(static_cast<double>(cascade_depth_));
+    cascade_depth_ = 0;
+  }
+}
+
+void ObsClusterSink::reserve_nodes(std::size_t n) {
+  reign_since_.reserve(n);
+}
+
+void ObsClusterSink::close_reign(net::NodeId node, sim::Time end) {
+  const sim::Time since = reign_since_[node];
+  MANET_ASSERT(since >= 0.0, "closing a reign that never opened");
+  reign_since_[node] = kNoReign;
+  tenure_->record(end - since);
+  if (trace_ != nullptr) {
+    trace_->complete(obs::TraceSink::kNodePid, static_cast<int>(node),
+                     "head", since, end);
+  }
+}
+
+void ObsClusterSink::on_role_change(sim::Time t, net::NodeId node,
+                                    Role old_role, Role new_role) {
+  if (node >= reign_since_.size()) {
+    reign_since_.resize(node + 1, kNoReign);
+  }
+  if (new_role == Role::kHead) {
+    elected_->inc();
+    reign_since_[node] = t;
+  } else if (old_role == Role::kHead) {
+    resigned_->inc();
+    close_reign(node, t);
+  }
+  if (new_role == Role::kHead || old_role == Role::kHead) {
+    if (t >= warmup_) {
+      changed_->inc();
+    }
+    note_cascade_event(t);
+  }
+}
+
+void ObsClusterSink::on_affiliation_change(sim::Time t, net::NodeId node,
+                                           net::NodeId old_head,
+                                           net::NodeId new_head) {
+  if (t >= warmup_ && old_head != net::kInvalidNode &&
+      new_head != net::kInvalidNode && old_head != node && new_head != node) {
+    reaffiliation_->inc();
+  }
+}
+
+void ObsClusterSink::finish(sim::Time end) {
+  for (std::size_t node = 0; node < reign_since_.size(); ++node) {
+    if (reign_since_[node] >= 0.0) {
+      close_reign(static_cast<net::NodeId>(node), end);
+    }
+  }
+  flush_cascade();
+}
+
+}  // namespace manet::cluster

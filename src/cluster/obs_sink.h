@@ -1,0 +1,69 @@
+// ClusterEventSink that feeds the observability layer: clusterhead
+// election/resignation counters, the CS replica, tenure histograms, and
+// per-node tenure spans on the trace.
+//
+// Deliberately independent of cluster::ClusterStats even where they count
+// the same thing — the differential test (tests/test_obs_differential.cpp)
+// uses one as the oracle for the other, which only works if neither shares
+// the other's code path.
+#pragma once
+
+#include <vector>
+
+#include "cluster/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace manet::cluster {
+
+class ObsClusterSink final : public ClusterEventSink {
+ public:
+  /// Registers its metrics in `registry` (which must outlive the sink).
+  /// `warmup` gates the CS-replica counters ("ch.changed",
+  /// "reaffiliation") exactly like ClusterStats; the all-time counters
+  /// ("ch.elected", "ch.resigned") are not gated, so
+  ///   ch.elected - ch.resigned == number of clusterheads at run end
+  /// holds at any instant. `cascade_window` (seconds) couples consecutive
+  /// clusterhead changes into one reclustering cascade — changes arriving
+  /// within the window extend the cascade, a longer gap closes it and
+  /// records its depth (number of changes) in "recluster.cascade_depth".
+  /// A window of ~1.25 broadcast intervals links changes that can causally
+  /// see each other through Hellos. `trace` may be null.
+  ObsClusterSink(obs::Registry& registry, double warmup,
+                 double cascade_window, obs::TraceSink* trace = nullptr);
+
+  /// Pre-sizes the per-node reign table (zero-allocation steady state).
+  void reserve_nodes(std::size_t n);
+
+  void on_role_change(sim::Time t, net::NodeId node, Role old_role,
+                      Role new_role) override;
+  void on_affiliation_change(sim::Time t, net::NodeId node,
+                             net::NodeId old_head,
+                             net::NodeId new_head) override;
+
+  /// Closes open reigns at simulation end: censored tenures go to the
+  /// histogram and the trace, no counter moves. Idempotent per run.
+  void finish(sim::Time end);
+
+ private:
+  void close_reign(net::NodeId node, sim::Time end);
+  void note_cascade_event(sim::Time t);
+  void flush_cascade();
+
+  double warmup_;
+  double cascade_window_;
+  obs::Counter* elected_;        // "ch.elected"
+  obs::Counter* resigned_;       // "ch.resigned"
+  obs::Counter* changed_;        // "ch.changed" (post-warmup CS replica)
+  obs::Counter* reaffiliation_;  // "reaffiliation"
+  obs::Histogram* tenure_;       // "ch.tenure" (seconds)
+  obs::Histogram* cascade_;      // "recluster.cascade_depth"
+  obs::TraceSink* trace_;
+  /// reign_since_[node] — start of the node's current reign, < 0 if none.
+  std::vector<sim::Time> reign_since_;
+  /// Open reclustering cascade: last change time and depth so far.
+  sim::Time cascade_last_ = -1.0;
+  std::uint64_t cascade_depth_ = 0;
+};
+
+}  // namespace manet::cluster

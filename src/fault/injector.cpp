@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace manet::fault {
@@ -59,7 +61,28 @@ void Injector::activate(std::size_t index) {
       break;
   }
   timeline_.push_back({e, applied});
-  if (on_fault_ != nullptr) {
+  if (hooks_ != nullptr) {
+    (applied ? hooks_->activated : hooks_->moot)->inc();
+    if (hooks_->trace != nullptr && applied) {
+      if (is_window(e.kind)) {
+        // Both endpoints are known up front, so the whole window goes out
+        // as one span on the fault track.
+        hooks_->trace->complete(obs::TraceSink::kFaultPid,
+                                static_cast<int>(index), kind_name(e.kind),
+                                e.at, e.until, "node",
+                                static_cast<std::int64_t>(e.node));
+      } else {
+        hooks_->trace->instant(obs::TraceSink::kNodePid,
+                               static_cast<int>(e.node), kind_name(e.kind),
+                               e.at);
+      }
+    }
+  }
+  // Moot activations (e.g. crashing an already-dead node) are recorded on
+  // the timeline but not reported: observers such as the convergence
+  // monitor would otherwise book a disruption for a fault that changed
+  // nothing and could never produce a matching recovery.
+  if (applied && on_fault_ != nullptr) {
     on_fault_(e);
   }
 }
@@ -67,6 +90,9 @@ void Injector::activate(std::size_t index) {
 void Injector::deactivate(std::size_t index) {
   active_.erase(std::remove(active_.begin(), active_.end(), index),
                 active_.end());
+  if (hooks_ != nullptr) {
+    hooks_->window_expired->inc();
+  }
 }
 
 double Injector::drop_probability(const net::LinkContext& link) const {

@@ -18,6 +18,7 @@
 
 #include "fault/fault.h"
 #include "net/network.h"
+#include "obs/hooks.h"
 
 namespace manet::fault {
 
@@ -37,9 +38,15 @@ class Injector final : public net::LossLayer {
   Injector(const Injector&) = delete;
   Injector& operator=(const Injector&) = delete;
 
-  /// Called as each fault activates (window expiries are not reported).
-  /// Set before arm().
+  /// Called as each fault that *had effect* activates (window expiries and
+  /// moot activations — crashing an already-dead node — are not reported;
+  /// moot ones still land on the timeline with applied=false). Set before
+  /// arm().
   void set_on_fault(std::function<void(const FaultEvent&)> on_fault);
+
+  /// Observability hooks; may be null. When set, all counter fields must
+  /// be resolved; `hooks->trace` may still be null.
+  void set_hooks(const obs::FaultHooks* hooks) { hooks_ = hooks; }
 
   /// Registers this injector on the network's loss stack and schedules
   /// every fault on the simulator. Call exactly once, before or right after
@@ -60,6 +67,7 @@ class Injector final : public net::LossLayer {
   net::Network& network_;
   Schedule schedule_;
   std::function<void(const FaultEvent&)> on_fault_;
+  const obs::FaultHooks* hooks_ = nullptr;
   bool armed_ = false;
   std::vector<std::size_t> active_;  // indices into schedule_.events
   std::vector<Applied> timeline_;

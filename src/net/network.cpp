@@ -157,6 +157,9 @@ void Network::broadcast(Node& sender, const HelloPacket& pkt) {
   const sim::Time now = sim_.now();
   ++stats_.beacons_sent;
   stats_.bytes_sent += pkt.serialized_bytes();
+  if (hooks_ != nullptr) {
+    hooks_->beacon_sent->inc();
+  }
 
   refresh_grid_if_stale();
 
@@ -183,9 +186,18 @@ void Network::broadcast(Node& sender, const HelloPacket& pkt) {
     if (dist > medium_.max_delivery_range_m()) {
       continue;
     }
+    // From here on this candidate is a delivery attempt: exactly one of
+    // hello.delivered / hello.dropped.fading / hello.dropped.loss follows,
+    // the identity test_obs_differential.cpp checks against hello.sent.
+    if (hooks_ != nullptr) {
+      hooks_->hello_sent->inc();
+    }
     const auto reception = medium_.try_receive(dist, fading);
     if (!reception.delivered) {
       ++stats_.hellos_lost;
+      if (hooks_ != nullptr) {
+        hooks_->hello_dropped_fading->inc();
+      }
       continue;
     }
     const double p_drop = drop_probability(
@@ -194,10 +206,16 @@ void Network::broadcast(Node& sender, const HelloPacket& pkt) {
     // (partitions, full jam) do not perturb the sender's draw sequence.
     if (p_drop >= 1.0 || (p_drop > 0.0 && fading.bernoulli(p_drop))) {
       ++stats_.hellos_lost;
+      if (hooks_ != nullptr) {
+        hooks_->hello_dropped_loss->inc();
+      }
       continue;
     }
     ++delivered;
     ++stats_.hellos_delivered;
+    if (hooks_ != nullptr) {
+      hooks_->hello_delivered->inc();
+    }
     if (params_.delivery_delay > 0.0) {
       if (batch == nullptr) {
         batch = acquire_batch();
@@ -233,6 +251,9 @@ std::size_t Network::send(Node& sender, Message msg) {
   msg.src = sender.id();
   ++stats_.messages_sent;
   stats_.message_bytes += msg.bytes;
+  if (hooks_ != nullptr) {
+    hooks_->msg_sent->inc();
+  }
 
   util::Rng& fading = sender.rng();
   const geom::Vec2 sender_pos = sender.position(now);
@@ -261,6 +282,9 @@ std::size_t Network::send(Node& sender, Message msg) {
       return false;
     }
     ++stats_.messages_delivered;
+    if (hooks_ != nullptr) {
+      hooks_->msg_delivered->inc();
+    }
     if (shared == nullptr) {
       shared = std::make_shared<const Message>(msg);
     }

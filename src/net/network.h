@@ -18,6 +18,8 @@
 #include "geom/grid_index.h"
 #include "net/loss.h"
 #include "net/node.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
 #include "radio/medium.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -100,7 +102,25 @@ class Network {
   double distance(NodeId a, NodeId b, sim::Time t);
 
   /// Books a collision-model loss (called by receiving nodes).
-  void note_collision() { ++stats_.hellos_collided; }
+  void note_collision() {
+    ++stats_.hellos_collided;
+    if (hooks_ != nullptr) {
+      hooks_->hello_dropped_collision->inc();
+    }
+  }
+
+  /// Books neighbor-table expiries (called by nodes after a purge).
+  void note_neighbor_timeouts(std::size_t n) {
+    if (n > 0 && hooks_ != nullptr) {
+      hooks_->neighbor_timeout->inc(n);
+    }
+  }
+
+  /// Observability hooks; may be null (the default — uninstrumented).
+  /// When set, *every* field must be resolved to a live counter: call
+  /// sites null-check only the bundle, not individual handles. The bundle
+  /// and its counters must outlive the network.
+  void set_hooks(const obs::NetHooks* hooks) { hooks_ = hooks; }
 
   /// Registers a reception-loss layer (see net/loss.h). The layer is not
   /// owned and must outlive the network; layers may be added before or
@@ -178,6 +198,7 @@ class Network {
   std::vector<DeliveryBatch::Rx> immediate_buf_;
 
   NetworkStats stats_;
+  const obs::NetHooks* hooks_ = nullptr;
 };
 
 }  // namespace manet::net

@@ -76,7 +76,8 @@ void Node::beacon() {
   }
   util::ScopedSimNode failure_context(id_);
   const sim::Time now = simulator().now();
-  table_.purge(now, network_->params().neighbor_timeout);
+  network_->note_neighbor_timeouts(
+      table_.purge(now, network_->params().neighbor_timeout));
 
   // The previous jittered broadcast still pending means the beacon period
   // has been pushed below the jitter window; fall back to a one-off packet

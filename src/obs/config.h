@@ -1,0 +1,40 @@
+// Per-run observability configuration, carried by scenario::Scenario.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace manet::obs {
+
+struct ObsConfig {
+  /// Metrics registry: counters + histograms, snapshotted into
+  /// RunResult::metrics. On by default — the steady-state cost is plain
+  /// integer adds (no allocation, no RNG draws), so enabling it never
+  /// perturbs a run's event or draw sequence.
+  bool metrics = true;
+
+  /// Tracing level; kOff by default (traces buffer every span in memory,
+  /// so full traces are opt-in per run). If `trace_path` is set while the
+  /// level is kOff, the level is promoted to kSpans.
+  TraceLevel trace = TraceLevel::kOff;
+
+  /// Where to write the Chrome-trace JSON at the end of the run. The
+  /// placeholders "{seed}" and "{tag}" are expanded, letting one Scenario
+  /// template fan out to per-run files under a parallel Runner.
+  std::string trace_path;
+
+  /// Free-form run label for {tag} (the Runner fills it with
+  /// "p<point>_<algorithm>_s<seed>" when it clones scenarios for a grid).
+  std::string tag;
+
+  /// Sampling period (sim seconds) of the full-level counter tracks.
+  double counter_sample_period = 1.0;
+
+  bool trace_enabled() const {
+    return trace != TraceLevel::kOff || !trace_path.empty();
+  }
+  bool any() const { return metrics || trace_enabled(); }
+};
+
+}  // namespace manet::obs

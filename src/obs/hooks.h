@@ -1,0 +1,69 @@
+// Pre-resolved handle bundles the instrumented subsystems hold.
+//
+// Each subsystem (simulator, network, clustering agent, fault injector)
+// keeps one nullable pointer to its hook struct; every field is resolved
+// once at setup by the scenario driver (see scenario/scenario.cpp), so the
+// steady-state cost of an instrumented code path is one pointer test plus a
+// plain integer add. A null hooks pointer (the default everywhere) means
+// fully uninstrumented — bit-identical behavior, zero overhead.
+#pragma once
+
+#include <cstdint>
+
+namespace manet::obs {
+
+class Counter;
+class Histogram;
+class TraceSink;
+
+/// Simulator-core metrics (sim::Simulator::set_hooks).
+struct SimHooks {
+  /// Sampled pending-event population (every kQueueDepthSamplePeriod
+  /// executed events — cheap and dense enough to see cascades).
+  Histogram* queue_depth = nullptr;
+  static constexpr std::uint64_t kQueueDepthSamplePeriod = 256;
+};
+
+/// Hello-substrate counters (net::Network::set_hooks). The delivery
+/// identity these names are tested against (test_obs_differential.cpp):
+///   hello_sent == hello_delivered + hello_dropped_fading +
+///                 hello_dropped_loss
+/// where hello_sent counts per-receiver in-range delivery attempts (one
+/// broadcast reaches many receivers; beacon_sent counts broadcasts).
+struct NetHooks {
+  Counter* beacon_sent = nullptr;           // "beacon.sent"
+  Counter* hello_sent = nullptr;            // "hello.sent"
+  Counter* hello_delivered = nullptr;       // "hello.delivered"
+  Counter* hello_dropped_fading = nullptr;  // "hello.dropped.fading"
+  Counter* hello_dropped_loss = nullptr;    // "hello.dropped.loss"
+  Counter* hello_dropped_collision = nullptr;  // "hello.dropped.collision"
+  Counter* neighbor_timeout = nullptr;      // "neighbor.timeout"
+  Counter* msg_sent = nullptr;              // "msg.sent"
+  Counter* msg_delivered = nullptr;         // "msg.delivered"
+};
+
+/// Clustering-agent internals that only the agent itself can observe
+/// (cluster::ClusterOptions::obs). The event-driven counters (elections,
+/// resignations, reaffiliations) live in cluster::ObsClusterSink instead —
+/// they are derivable from the public ClusterEventSink stream, which keeps
+/// them an independent oracle against cluster::ClusterStats.
+struct AgentHooks {
+  /// Head-vs-head contacts deferred because the CCI has not expired yet
+  /// (one per rival per decision round).
+  Counter* cci_deferral = nullptr;  // "cci.deferral"
+  /// CCI contention windows that matured into a resignation.
+  Counter* cci_resolved = nullptr;  // "cci.resolved"
+  /// When set, resolved/abandoned contention windows are emitted as spans
+  /// on the node track.
+  TraceSink* trace = nullptr;
+};
+
+/// Fault-injector lifecycle (fault::Injector::set_hooks).
+struct FaultHooks {
+  Counter* activated = nullptr;       // "fault.activated" (had effect)
+  Counter* moot = nullptr;            // "fault.moot" (target already there)
+  Counter* window_expired = nullptr;  // "fault.window_expired"
+  TraceSink* trace = nullptr;
+};
+
+}  // namespace manet::obs

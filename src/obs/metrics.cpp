@@ -1,0 +1,157 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace manet::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  MANET_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    MANET_CHECK(bounds_[i - 1] < bounds_[i],
+                "histogram bounds must be strictly increasing: "
+                    << bounds_[i - 1] << " !< " << bounds_[i]);
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::uint64_t Histogram::total_count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts_) {
+    total += c;
+  }
+  return total;
+}
+
+std::uint64_t Snapshot::counter_or(const std::string& name,
+                                   std::uint64_t fallback) const {
+  for (const CounterCell& c : counters) {
+    if (c.name == name) {
+      return c.value;
+    }
+  }
+  return fallback;
+}
+
+const Snapshot::HistogramCell* Snapshot::histogram(
+    const std::string& name) const {
+  for (const HistogramCell& h : histograms) {
+    if (h.name == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const CounterCell& theirs : other.counters) {
+    const auto it = std::lower_bound(
+        counters.begin(), counters.end(), theirs.name,
+        [](const CounterCell& c, const std::string& n) { return c.name < n; });
+    if (it != counters.end() && it->name == theirs.name) {
+      it->value += theirs.value;
+    } else {
+      counters.insert(it, theirs);
+    }
+  }
+  for (const HistogramCell& theirs : other.histograms) {
+    const auto it = std::lower_bound(
+        histograms.begin(), histograms.end(), theirs.name,
+        [](const HistogramCell& h, const std::string& n) {
+          return h.name < n;
+        });
+    if (it != histograms.end() && it->name == theirs.name) {
+      MANET_CHECK(it->bounds == theirs.bounds,
+                  "merging histogram '" << theirs.name
+                                        << "' with different bounds");
+      for (std::size_t i = 0; i < it->counts.size(); ++i) {
+        it->counts[i] += theirs.counts[i];
+      }
+      it->sum += theirs.sum;
+    } else {
+      histograms.insert(it, theirs);
+    }
+  }
+}
+
+void Snapshot::write_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i > 0 ? "," : "") << "\"" << counters[i].name
+        << "\":" << counters[i].value;
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramCell& h = histograms[i];
+    out << (i > 0 ? "," : "") << "\"" << h.name << "\":{\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      out << (b > 0 ? "," : "") << h.bounds[b];
+    }
+    out << "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      out << (b > 0 ? "," : "") << h.counts[b];
+    }
+    out << "],\"sum\":" << h.sum << "}";
+  }
+  out << "}}";
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+Counter* Registry::counter(const std::string& name) {
+  MANET_CHECK(!name.empty(), "counter with empty name");
+  for (const auto& [existing, handle] : counters_) {
+    if (existing == name) {
+      return handle.get();
+    }
+  }
+  counters_.emplace_back(name, std::make_unique<Counter>());
+  return counters_.back().second.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  MANET_CHECK(!name.empty(), "histogram with empty name");
+  for (const auto& [existing, handle] : histograms_) {
+    if (existing == name) {
+      MANET_CHECK(handle->bounds() == bounds,
+                  "histogram '" << name
+                                << "' re-registered with different bounds");
+      return handle.get();
+    }
+  }
+  histograms_.emplace_back(name, std::make_unique<Histogram>(std::move(bounds)));
+  return histograms_.back().second.get();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, handle] : counters_) {
+    snap.counters.push_back({name, handle->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, handle] : histograms_) {
+    snap.histograms.push_back(
+        {name, handle->bounds(), handle->counts(), handle->sum()});
+  }
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const Snapshot::CounterCell& a, const Snapshot::CounterCell& b) {
+              return a.name < b.name;
+            });
+  std::sort(
+      snap.histograms.begin(), snap.histograms.end(),
+      [](const Snapshot::HistogramCell& a, const Snapshot::HistogramCell& b) {
+        return a.name < b.name;
+      });
+  return snap;
+}
+
+}  // namespace manet::obs

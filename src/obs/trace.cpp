@@ -1,0 +1,175 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "util/assert.h"
+
+namespace manet::obs {
+
+namespace {
+
+constexpr double kSecondsToMicros = 1e6;
+
+void write_event_prefix(std::ostream& out, const char* name, char ph, int pid,
+                        int tid, double ts_us) {
+  out << "{\"name\":\"" << name << "\",\"ph\":\"" << ph << "\",\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"ts\":" << ts_us;
+}
+
+}  // namespace
+
+TraceLevel parse_trace_level(const std::string& name) {
+  if (name == "off") {
+    return TraceLevel::kOff;
+  }
+  if (name == "spans") {
+    return TraceLevel::kSpans;
+  }
+  if (name == "full") {
+    return TraceLevel::kFull;
+  }
+  MANET_CHECK(false, "unknown trace level '" << name
+                                             << "' (off | spans | full)");
+  return TraceLevel::kOff;
+}
+
+const char* trace_level_name(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff:
+      return "off";
+    case TraceLevel::kSpans:
+      return "spans";
+    case TraceLevel::kFull:
+      return "full";
+  }
+  return "off";
+}
+
+TraceSink::TraceSink(TraceLevel level) : level_(level) {}
+
+void TraceSink::complete(int pid, int tid, const char* name, double t0,
+                         double t1, const char* arg_key, std::int64_t arg) {
+  if (!enabled()) {
+    return;
+  }
+  MANET_ASSERT(t1 >= t0, "span ends before it starts");
+  Event e;
+  e.name = name;
+  e.ph = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = t0 * kSecondsToMicros;
+  e.dur_us = (t1 - t0) * kSecondsToMicros;
+  e.arg_key = arg_key;
+  e.arg = arg;
+  events_.push_back(e);
+}
+
+void TraceSink::instant(int pid, int tid, const char* name, double t,
+                        const char* arg_key, std::int64_t arg) {
+  if (!enabled()) {
+    return;
+  }
+  Event e;
+  e.name = name;
+  e.ph = 'i';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = t * kSecondsToMicros;
+  e.arg_key = arg_key;
+  e.arg = arg;
+  events_.push_back(e);
+}
+
+void TraceSink::counter(const char* name, double t, double value) {
+  if (!full()) {
+    return;
+  }
+  Event e;
+  e.name = name;
+  e.ph = 'C';
+  e.pid = kRunPid;
+  e.tid = 0;
+  e.ts_us = t * kSecondsToMicros;
+  e.value = value;
+  events_.push_back(e);
+}
+
+void TraceSink::write_json(std::ostream& out) const {
+  // Default stream precision (6 significant digits) truncates microsecond
+  // timestamps past ~100 s of sim time; 15 digits keep every ts/dur exact
+  // at trace scale.
+  const std::streamsize old_precision = out.precision(15);
+  // Stable sort by timestamp: deterministic output with monotonic ts, and
+  // same-time events keep their emission (sim event) order.
+  std::vector<std::size_t> order(events_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return events_[a].ts_us < events_[b].ts_us;
+                   });
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+  };
+
+  // Metadata: human names for the process tracks and every node thread.
+  const auto process_name = [&](int pid, const char* name) {
+    sep();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"" << name << "\"}}";
+  };
+  process_name(kRunPid, "run");
+  std::set<int> node_tids;
+  bool any_fault = false;
+  for (const Event& e : events_) {
+    if (e.pid == kNodePid) {
+      node_tids.insert(e.tid);
+    } else if (e.pid == kFaultPid) {
+      any_fault = true;
+    }
+  }
+  if (!node_tids.empty()) {
+    process_name(kNodePid, "nodes");
+    for (const int tid : node_tids) {
+      sep();
+      out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << kNodePid
+          << ",\"tid\":" << tid << ",\"args\":{\"name\":\"node " << tid
+          << "\"}}";
+    }
+  }
+  if (any_fault) {
+    process_name(kFaultPid, "faults");
+  }
+
+  for (const std::size_t i : order) {
+    const Event& e = events_[i];
+    sep();
+    write_event_prefix(out, e.name, e.ph, e.pid, e.tid, e.ts_us);
+    if (e.ph == 'X') {
+      out << ",\"dur\":" << e.dur_us;
+    }
+    if (e.ph == 'i') {
+      out << ",\"s\":\"t\"";
+    }
+    if (e.ph == 'C') {
+      out << ",\"args\":{\"value\":" << e.value << "}";
+    } else if (e.arg_key != nullptr) {
+      out << ",\"args\":{\"" << e.arg_key << "\":" << e.arg << "}";
+    }
+    out << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+  out.precision(old_precision);
+}
+
+}  // namespace manet::obs

@@ -1,0 +1,94 @@
+// The tracing half of the observability layer: an in-memory buffer of
+// Chrome trace-event records (the JSON array format chrome://tracing and
+// Perfetto load directly), stamped with *simulated* time. Because sim time
+// is deterministic, a run's trace is bit-identical no matter how many
+// worker threads the Runner uses — the property test_obs_trace.cpp pins.
+//
+// Track layout:
+//   pid 0 "run"    — simulator phase spans (warmup, measurement) and
+//                    sampled counter tracks ("C" events, full level only)
+//   pid 1 "nodes"  — one thread per node: clusterhead-tenure spans, CCI
+//                    contention windows, point-fault instants
+//   pid 2 "faults" — window-fault spans (loss bursts, jam zones,
+//                    partitions)
+//
+// Event names must be string literals (or otherwise outlive the sink):
+// records store the pointer, keeping the steady-state record cheap. Tracing
+// is opt-in per run; the buffer grows on demand, so the zero-allocation
+// contract applies only when the sink is absent or off.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace manet::obs {
+
+enum class TraceLevel : std::uint8_t {
+  kOff = 0,
+  /// Spans and instants: clusterhead tenure, CCI windows, faults, phases.
+  kSpans = 1,
+  /// kSpans plus sampled counter tracks (event-queue depth, hello rates).
+  kFull = 2,
+};
+
+/// Parses "off" / "spans" / "full" (CheckError on anything else).
+TraceLevel parse_trace_level(const std::string& name);
+const char* trace_level_name(TraceLevel level);
+
+class TraceSink {
+ public:
+  // Track (pid) constants; see file comment.
+  static constexpr int kRunPid = 0;
+  static constexpr int kNodePid = 1;
+  static constexpr int kFaultPid = 2;
+
+  explicit TraceSink(TraceLevel level = TraceLevel::kSpans);
+
+  TraceLevel level() const { return level_; }
+  bool enabled() const { return level_ != TraceLevel::kOff; }
+  bool full() const { return level_ == TraceLevel::kFull; }
+
+  /// Pre-sizes the event buffer (setup-time allocation).
+  void reserve(std::size_t events) { events_.reserve(events); }
+
+  /// A completed span ("X") on [t0, t1] seconds of sim time. `arg_key`, if
+  /// given, attaches one integer argument. No-ops when the sink is off.
+  void complete(int pid, int tid, const char* name, double t0, double t1,
+                const char* arg_key = nullptr, std::int64_t arg = 0);
+
+  /// An instant event ("i", thread scope) at time t seconds.
+  void instant(int pid, int tid, const char* name, double t,
+               const char* arg_key = nullptr, std::int64_t arg = 0);
+
+  /// A counter sample ("C") — rendered as a stacked area track. Recorded
+  /// only at TraceLevel::kFull.
+  void counter(const char* name, double t, double value);
+
+  std::size_t size() const { return events_.size(); }
+
+  /// Emits {"traceEvents":[...],"displayTimeUnit":"ms"}. Events are stably
+  /// sorted by timestamp, so output timestamps are monotonic and the byte
+  /// stream is deterministic. Thread-name metadata is generated for every
+  /// node track seen.
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct Event {
+    const char* name = nullptr;
+    char ph = 'X';
+    int pid = 0;
+    int tid = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;     // "X" only
+    double value = 0.0;      // "C" only
+    const char* arg_key = nullptr;
+    std::int64_t arg = 0;
+  };
+
+  TraceLevel level_;
+  std::vector<Event> events_;
+};
+
+}  // namespace manet::obs

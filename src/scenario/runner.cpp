@@ -239,6 +239,13 @@ void Runner::execute(std::vector<Job>& jobs) const {
       return;
     }
     Job& job = jobs[i];
+    // Default per-run trace tag: lets one sweep write distinct trace files
+    // through the {tag} placeholder of ObsConfig::trace_path.
+    if (job.scenario.obs.tag.empty()) {
+      job.scenario.obs.tag = "p" + std::to_string(job.point_index) + "_" +
+                             job.algorithm + "_s" +
+                             std::to_string(job.scenario.seed);
+    }
     RunRecord record;
     record.point_index = job.point_index;
     record.x = job.x;
@@ -273,6 +280,25 @@ void Runner::execute(std::vector<Job>& jobs) const {
     }
     for (auto& f : futures) {
       f.get();
+    }
+  }
+  // The metrics log is written after the grid drains, in job (canonical)
+  // order: byte-identical output for any worker count, unlike the
+  // completion-ordered run log.
+  if (!options_.metrics_log_path.empty()) {
+    std::ofstream mlog(options_.metrics_log_path, std::ios::trunc);
+    MANET_CHECK(mlog.is_open(),
+                "cannot open metrics log " << options_.metrics_log_path);
+    for (const Job& job : jobs) {
+      if (job.result.metrics.empty()) {
+        continue;  // errored run, or Scenario::obs.metrics off
+      }
+      mlog << "{\"point\":" << job.point_index << ",\"x\":" << job.x
+           << ",\"algorithm\":\"" << json_escape(job.algorithm)
+           << "\",\"replicate\":" << job.replicate
+           << ",\"seed\":" << job.scenario.seed
+           << ",\"final_heads\":" << job.result.final_heads
+           << ",\"metrics\":" << job.result.metrics.to_json() << "}\n";
     }
   }
   for (std::size_t i = 0; i < jobs.size(); ++i) {

@@ -74,6 +74,12 @@ struct RunnerOptions {
   /// When non-empty, one JSON object per finished run is appended here
   /// (JSONL), in completion order — an observability log, not an output.
   std::string run_log_path;
+  /// When non-empty, one JSON object per finished run — identity fields
+  /// plus the full obs::Snapshot — is written here (JSONL) after the grid
+  /// drains, in canonical (point, algorithm, seed) order. Unlike the run
+  /// log, the byte stream is identical for any `jobs` value. Runs with
+  /// Scenario::obs.metrics disabled are skipped.
+  std::string metrics_log_path;
   /// Optional per-run hook, invoked serially (under a lock) as runs finish.
   /// Completion order is nondeterministic under jobs > 1.
   std::function<void(const RunRecord&)> on_run;

@@ -1,14 +1,81 @@
 #include "scenario/scenario.h"
 
+#include <fstream>
 #include <memory>
 
 #include "cluster/convergence.h"
+#include "cluster/obs_sink.h"
 #include "fault/injector.h"
+#include "obs/trace.h"
 #include "radio/medium.h"
 #include "sim/simulator.h"
 #include "util/assert.h"
 
 namespace manet::scenario {
+
+namespace {
+
+/// All observability state of one run, built only when the scenario asks
+/// for any of it. Handle resolution (registry lookups, string hashing)
+/// happens here, once, at setup; the hook structs hold plain pointers.
+struct ObsBundle {
+  obs::Registry registry;
+  obs::TraceSink trace;
+  obs::SimHooks sim_hooks;
+  obs::NetHooks net_hooks;
+  obs::AgentHooks agent_hooks;
+  obs::FaultHooks fault_hooks;
+  cluster::ObsClusterSink cluster_sink;
+  /// Owns the kFull counter-sampler closure so the recurring event can
+  /// reschedule itself without a shared_ptr cycle.
+  std::function<void()> sampler_tick;
+
+  ObsBundle(const obs::ObsConfig& cfg, double warmup, double cascade_window)
+      : trace(cfg.trace == obs::TraceLevel::kOff && !cfg.trace_path.empty()
+                  ? obs::TraceLevel::kSpans
+                  : cfg.trace),
+        cluster_sink(registry, warmup, cascade_window,
+                     trace.enabled() ? &trace : nullptr) {
+    obs::TraceSink* t = trace.enabled() ? &trace : nullptr;
+    sim_hooks.queue_depth = registry.histogram(
+        "event_queue.depth",
+        {8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0});
+    net_hooks.beacon_sent = registry.counter("beacon.sent");
+    net_hooks.hello_sent = registry.counter("hello.sent");
+    net_hooks.hello_delivered = registry.counter("hello.delivered");
+    net_hooks.hello_dropped_fading = registry.counter("hello.dropped.fading");
+    net_hooks.hello_dropped_loss = registry.counter("hello.dropped.loss");
+    net_hooks.hello_dropped_collision =
+        registry.counter("hello.dropped.collision");
+    net_hooks.neighbor_timeout = registry.counter("neighbor.timeout");
+    net_hooks.msg_sent = registry.counter("msg.sent");
+    net_hooks.msg_delivered = registry.counter("msg.delivered");
+    agent_hooks.cci_deferral = registry.counter("cci.deferral");
+    agent_hooks.cci_resolved = registry.counter("cci.resolved");
+    agent_hooks.trace = t;
+    fault_hooks.activated = registry.counter("fault.activated");
+    fault_hooks.moot = registry.counter("fault.moot");
+    fault_hooks.window_expired = registry.counter("fault.window_expired");
+    fault_hooks.trace = t;
+  }
+};
+
+std::string expand_placeholder(std::string s, const std::string& key,
+                               const std::string& value) {
+  for (std::size_t pos = s.find(key); pos != std::string::npos;
+       pos = s.find(key, pos + value.size())) {
+    s.replace(pos, key.size(), value);
+  }
+  return s;
+}
+
+std::string expand_trace_path(const std::string& path, std::uint64_t seed,
+                              const std::string& tag) {
+  std::string s = expand_placeholder(path, "{seed}", std::to_string(seed));
+  return expand_placeholder(s, "{tag}", tag);
+}
+
+}  // namespace
 
 OptionsFactory factory_by_name(const std::string& name) {
   return [name](cluster::ClusterEventSink* sink) {
@@ -50,16 +117,33 @@ RunResult run_scenario(const Scenario& scenario,
       mobility::make_fleet(fleet, scenario.n_nodes,
                            root.substream("mobility")));
 
+  std::unique_ptr<ObsBundle> bundle;
+  if (scenario.obs.any()) {
+    bundle = std::make_unique<ObsBundle>(
+        scenario.obs, scenario.warmup,
+        net_params.broadcast_interval * 1.25);
+    bundle->cluster_sink.reserve_nodes(scenario.n_nodes);
+    bundle->trace.reserve(1024);
+    sim.set_hooks(&bundle->sim_hooks);
+    network.set_hooks(&bundle->net_hooks);
+  }
+
   cluster::ClusterStats stats(scenario.warmup);
-  cluster::FanoutClusterEventSink fanout({&stats, extra_sink});
+  cluster::FanoutClusterEventSink fanout(
+      {&stats, extra_sink,
+       bundle == nullptr ? nullptr : &bundle->cluster_sink});
   cluster::ClusterEventSink* sink =
-      extra_sink == nullptr ? static_cast<cluster::ClusterEventSink*>(&stats)
-                            : &fanout;
+      extra_sink == nullptr && bundle == nullptr
+          ? static_cast<cluster::ClusterEventSink*>(&stats)
+          : &fanout;
   std::vector<const cluster::WeightedClusterAgent*> agents;
   agents.reserve(scenario.n_nodes);
   for (auto& node : network.nodes()) {
-    auto agent =
-        std::make_unique<cluster::WeightedClusterAgent>(factory(sink));
+    cluster::ClusterOptions opts = factory(sink);
+    if (bundle != nullptr) {
+      opts.obs = &bundle->agent_hooks;
+    }
+    auto agent = std::make_unique<cluster::WeightedClusterAgent>(opts);
     agents.push_back(agent.get());
     node->set_agent(std::move(agent));
   }
@@ -87,12 +171,39 @@ RunResult run_scenario(const Scenario& scenario,
     injector->set_on_fault([mon = monitor.get()](const fault::FaultEvent& e) {
       mon->note_fault(e.at);
     });
+    if (bundle != nullptr) {
+      injector->set_hooks(&bundle->fault_hooks);
+    }
     injector->arm();
     monitor->start(scenario.warmup, scenario.sample_period,
                    scenario.sim_time);
   }
 
   network.start();
+  // Full-level tracing samples a few counter tracks on a fixed period.
+  // This is the one observability feature that schedules simulator events
+  // (and thus moves events_executed); it is gated on the opt-in kFull.
+  if (bundle != nullptr && bundle->trace.full()) {
+    const double period = std::max(scenario.obs.counter_sample_period, 1e-3);
+    bundle->sampler_tick = [&sim, &network, &agents, b = bundle.get(),
+                            period, end = scenario.sim_time] {
+      const sim::Time now = sim.now();
+      b->trace.counter("event_queue.depth", now,
+                       static_cast<double>(sim.pending_events()));
+      b->trace.counter("hello.delivered", now,
+                       static_cast<double>(
+                           b->net_hooks.hello_delivered->value()));
+      std::size_t heads = 0;
+      for (const auto* a : agents) {
+        heads += a->role() == cluster::Role::kHead ? 1 : 0;
+      }
+      b->trace.counter("clusterheads", now, static_cast<double>(heads));
+      if (now + period <= end) {
+        sim.schedule_in(period, b->sampler_tick);
+      }
+    };
+    sim.schedule_at(0.0, bundle->sampler_tick);
+  }
   // The context must outlive the whole run, not just the hook call: hooks
   // routinely schedule events that capture it by reference and fire from
   // run_until (timeline recorder, routing probes, test instrumentation).
@@ -102,6 +213,9 @@ RunResult run_scenario(const Scenario& scenario,
   }
   sim.run_until(scenario.sim_time);
   stats.finish(scenario.sim_time);
+  if (bundle != nullptr) {
+    bundle->cluster_sink.finish(scenario.sim_time);
+  }
 
   RunResult result;
   result.ch_changes = stats.clusterhead_changes();
@@ -136,6 +250,28 @@ RunResult run_scenario(const Scenario& scenario,
     result.fault_timeline.reserve(injector->timeline().size());
     for (const auto& applied : injector->timeline()) {
       result.fault_timeline.push_back(applied.event);
+    }
+  }
+  for (const auto* a : agents) {
+    result.final_heads += a->role() == cluster::Role::kHead ? 1 : 0;
+  }
+  if (bundle != nullptr) {
+    if (bundle->trace.enabled()) {
+      bundle->trace.complete(obs::TraceSink::kRunPid, 0, "warmup", 0.0,
+                             scenario.warmup);
+      bundle->trace.complete(obs::TraceSink::kRunPid, 0, "measurement",
+                             scenario.warmup, scenario.sim_time, "events",
+                             static_cast<std::int64_t>(sim.events_executed()));
+      if (!scenario.obs.trace_path.empty()) {
+        const std::string path = expand_trace_path(
+            scenario.obs.trace_path, scenario.seed, scenario.obs.tag);
+        std::ofstream out(path, std::ios::binary);
+        MANET_CHECK(out.is_open(), "cannot write trace to " << path);
+        bundle->trace.write_json(out);
+      }
+    }
+    if (scenario.obs.metrics) {
+      result.metrics = bundle->registry.snapshot();
     }
   }
   return result;

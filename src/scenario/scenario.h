@@ -13,6 +13,8 @@
 #include "fault/fault.h"
 #include "mobility/factory.h"
 #include "net/network.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
 
 namespace manet::scenario {
 
@@ -50,6 +52,12 @@ struct Scenario {
   /// a cluster::ConvergenceMonitor; a [begin, end) of [0, 0) defaults to
   /// [warmup, sim_time).
   fault::ScheduleSpec faults{};
+
+  /// Observability: metrics (default on — consumes no RNG, schedules no
+  /// events, so it cannot perturb the run) and tracing (default off; at
+  /// TraceLevel::kFull the periodic counter sampler *does* add simulator
+  /// events, visible in events_executed). See obs::ObsConfig.
+  obs::ObsConfig obs{};
 };
 
 /// Everything a run measures; aggregated across seeds by the experiment
@@ -91,6 +99,12 @@ struct RunResult {
   std::uint64_t violation_samples = 0;
   /// The injected timeline, in activation order (echoed to the run log).
   std::vector<fault::FaultEvent> fault_timeline;
+
+  /// Clusterheads standing at sim end (ground truth for the obs identity
+  /// ch.elected - ch.resigned == final_heads).
+  std::uint64_t final_heads = 0;
+  /// Observability snapshot; empty when Scenario::obs.metrics is off.
+  obs::Snapshot metrics;
 };
 
 /// Builds the cluster options for a run; receives the per-run stats sink.

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include "obs/metrics.h"
+
 namespace manet::sim {
 
 void Simulator::run() {
@@ -28,11 +30,21 @@ bool Simulator::step() {
   MANET_ASSERT(fired.time >= now_, "event time regressed");
   now_ = fired.time;
   ++executed_;
+  if (hooks_ != nullptr &&
+      executed_ % obs::SimHooks::kQueueDepthSamplePeriod == 0) {
+    sample_queue_depth();
+  }
   // Any check failing inside the handler surfaces as util::SimError stamped
   // with the current simulated time (and node id, if a node handler adds it).
   util::ScopedSimTime failure_context(now_);
   fired.fn();
   return true;
+}
+
+void Simulator::sample_queue_depth() {
+  if (hooks_->queue_depth != nullptr) {
+    hooks_->queue_depth->record(static_cast<double>(queue_.size()));
+  }
 }
 
 }  // namespace manet::sim

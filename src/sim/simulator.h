@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "obs/hooks.h"
 #include "sim/event_queue.h"
 #include "util/assert.h"
 
@@ -57,11 +58,19 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
   std::uint64_t events_scheduled() const { return queue_.total_scheduled(); }
 
+  /// Observability hooks (may be null; must outlive the simulator). The
+  /// queue-depth histogram is sampled every SimHooks::kQueueDepthSamplePeriod
+  /// executed events.
+  void set_hooks(const obs::SimHooks* hooks) { hooks_ = hooks; }
+
  private:
+  void sample_queue_depth();
+
   EventQueue queue_;
   Time now_ = 0.0;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  const obs::SimHooks* hooks_ = nullptr;
 };
 
 }  // namespace manet::sim

@@ -375,5 +375,41 @@ TEST(FaultReplayTest, SameSeedReplaysIdenticalTimelineAndStats) {
   EXPECT_NE(a.fault_timeline, c.fault_timeline);
 }
 
+// ---------------------------------------------------------------------------
+// Moot activations: a fault that changes nothing (crashing an already-dead
+// node) lands on the timeline with applied=false, but must NOT be reported
+// to observers. The convergence monitor used to book a disruption for such
+// phantom faults and then wait forever for a recovery that could not happen,
+// inflating faults_injected and unrecovered_disruptions.
+// ---------------------------------------------------------------------------
+
+TEST(MootFaultTest, DuplicateCrashIsCountedMootAndNotReported) {
+  scenario::Scenario s;
+  s.n_nodes = 15;
+  s.sim_time = 120.0;
+  s.seed = 9;
+  // A fully manual timeline: crash node 0 at t=20, crash it *again* at t=25
+  // (moot — it is already down), recover it at t=60.
+  s.faults.begin = 10.0;
+  s.faults.end = 110.0;
+  s.faults.extra = {
+      {.kind = fault::FaultKind::kCrash, .at = 20.0, .node = 0},
+      {.kind = fault::FaultKind::kCrash, .at = 25.0, .node = 0},
+      {.kind = fault::FaultKind::kRecover, .at = 60.0, .node = 0},
+  };
+  const auto r =
+      scenario::run_scenario(s, scenario::factory_by_name("mobic"));
+
+  // All three activations are on the timeline, the duplicate marked moot.
+  ASSERT_EQ(r.fault_timeline.size(), 3u);
+  // The monitor only hears about the two applied faults — no phantom
+  // disruption for the moot duplicate.
+  EXPECT_EQ(r.faults_injected, 2u);
+#if MANET_OBS_ENABLED
+  EXPECT_EQ(r.metrics.counter_or("fault.activated"), 2u);
+  EXPECT_EQ(r.metrics.counter_or("fault.moot"), 1u);
+#endif
+}
+
 }  // namespace
 }  // namespace manet

@@ -13,6 +13,7 @@
 // without understanding exactly which contract moved.
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -144,6 +145,25 @@ TEST(GoldenDeterminism, RepeatedRunsShareOneHash) {
   const std::uint64_t a = run_and_hash(fig3_spec(), 1, "fig3_rep_a");
   const std::uint64_t b = run_and_hash(fig3_spec(), 1, "fig3_rep_b");
   EXPECT_EQ(a, b);
+}
+
+// The jobs-invariance property must hold for ANY base seed, not just the
+// golden one. Default is a cheap 2-seed smoke; the nightly CI sweep sets
+// MANET_GOLDEN_SEEDS=16.
+TEST(GoldenDeterminism, SeedSweepStaysJobsInvariant) {
+  const char* env = std::getenv("MANET_GOLDEN_SEEDS");
+  const int requested = env == nullptr ? 0 : std::atoi(env);
+  const int seeds = requested > 0 ? requested : 2;
+  for (int k = 0; k < seeds; ++k) {
+    scenario::SweepSpec spec = fig3_spec();
+    spec.base.seed = 1000 + 17 * static_cast<std::uint64_t>(k);
+    spec.base.sim_time = 30.0;
+    const std::string tag = "sweep_s" + std::to_string(k);
+    const std::uint64_t h1 = run_and_hash(spec, 1, tag + "_j1");
+    const std::uint64_t h8 = run_and_hash(spec, 8, tag + "_j8");
+    EXPECT_EQ(h1, h8) << "run log differs across jobs at base seed "
+                      << spec.base.seed;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+// Metamorphic / differential tests for the observability counters: every
+// metric with an independent oracle in the simulator must agree with it
+// exactly. cluster::ObsClusterSink deliberately shares no code with
+// cluster::ClusterStats, and the net hooks count at the delivery branch
+// points, so each identity below cross-checks two independent
+// implementations of the same quantity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/hooks.h"
+#include "scenario/runner.h"
+#include "util/assert.h"
+
+namespace manet {
+namespace {
+
+#if MANET_OBS_ENABLED
+#define MANET_REQUIRE_OBS() (void)0
+#else
+#define MANET_REQUIRE_OBS() GTEST_SKIP() << "built with MANET_OBS=OFF"
+#endif
+
+// Shadowing propagation plus a base packet-loss rate exercises all three
+// delivery outcomes (delivered / dropped.fading / dropped.loss).
+scenario::Scenario lossy_scenario() {
+  scenario::Scenario s;
+  s.n_nodes = 20;
+  s.fleet.field = geom::Rect(400.0, 400.0);
+  s.fleet.max_speed = 10.0;
+  s.tx_range = 120.0;
+  s.sim_time = 120.0;
+  s.warmup = 10.0;
+  s.seed = 3;
+  s.propagation = "shadowing";
+  s.shadowing_sigma_db = 6.0;
+  s.net.packet_loss = 0.1;
+  return s;
+}
+
+scenario::Scenario faulted_scenario() {
+  scenario::Scenario s = lossy_scenario();
+  s.propagation = "free_space";
+  s.net.packet_loss = 0.0;
+  s.faults.begin = 20.0;
+  s.faults.end = 100.0;
+  s.faults.crash_rate = 0.05;
+  s.faults.mean_downtime = 20.0;
+  s.faults.loss_burst_rate = 0.03;
+  s.faults.loss_burst_duration = 8.0;
+  s.faults.loss_burst_probability = 0.9;
+  return s;
+}
+
+TEST(ObsDifferential, HelloDeliveryConservation) {
+  MANET_REQUIRE_OBS();
+  const auto r = scenario::run_scenario(lossy_scenario(),
+                                        scenario::factory_by_name("mobic"));
+  ASSERT_FALSE(r.metrics.empty());
+  const auto sent = r.metrics.counter_or("hello.sent");
+  const auto delivered = r.metrics.counter_or("hello.delivered");
+  const auto fading = r.metrics.counter_or("hello.dropped.fading");
+  const auto loss = r.metrics.counter_or("hello.dropped.loss");
+  EXPECT_GT(sent, 0u);
+  EXPECT_GT(fading, 0u) << "shadowing at sigma 6 dB must drop something";
+  EXPECT_GT(loss, 0u) << "10% base loss must drop something";
+  // Every in-range delivery attempt resolves to exactly one outcome.
+  EXPECT_EQ(sent, delivered + fading + loss);
+  // The hooks and NetworkStats count at the same branch points.
+  EXPECT_EQ(delivered, r.hellos_delivered);
+  EXPECT_EQ(r.metrics.counter_or("beacon.sent"), r.beacons_sent);
+  // Collisions are receiver-side, after delivery: not part of the identity,
+  // but bounded by it.
+  EXPECT_LE(r.metrics.counter_or("hello.dropped.collision"), delivered);
+}
+
+TEST(ObsDifferential, ClusterheadConservationAndCsReplica) {
+  MANET_REQUIRE_OBS();
+  for (const char* alg : {"mobic", "lowest_id"}) {
+    const auto r = scenario::run_scenario(lossy_scenario(),
+                                          scenario::factory_by_name(alg));
+    ASSERT_FALSE(r.metrics.empty());
+    const auto elected = r.metrics.counter_or("ch.elected");
+    const auto resigned = r.metrics.counter_or("ch.resigned");
+    EXPECT_GT(elected, 0u) << alg;
+    EXPECT_GE(elected, resigned) << alg;
+    // All-time conservation: every reign that did not end is still standing.
+    EXPECT_EQ(elected - resigned, r.final_heads) << alg;
+    // The warmup-gated replicas must match ClusterStats one for one.
+    EXPECT_EQ(r.metrics.counter_or("ch.changed"), r.ch_changes) << alg;
+    EXPECT_EQ(r.metrics.counter_or("reaffiliation"), r.reaffiliations)
+        << alg;
+    // Every ended reign left one tenure sample; censored reigns (standing at
+    // sim end) are sampled too, so the histogram holds all elections.
+    const auto* tenure = r.metrics.histogram("ch.tenure");
+    ASSERT_NE(tenure, nullptr) << alg;
+    std::uint64_t tenure_samples = 0;
+    for (const auto c : tenure->counts) {
+      tenure_samples += c;
+    }
+    EXPECT_EQ(tenure_samples, elected) << alg;
+  }
+}
+
+TEST(ObsDifferential, FaultCountersMatchInjectorTimeline) {
+  MANET_REQUIRE_OBS();
+  const auto r = scenario::run_scenario(faulted_scenario(),
+                                        scenario::factory_by_name("mobic"));
+  ASSERT_FALSE(r.metrics.empty());
+  const auto activated = r.metrics.counter_or("fault.activated");
+  const auto moot = r.metrics.counter_or("fault.moot");
+  EXPECT_GT(activated, 0u);
+  // The timeline records every activation, applied or moot.
+  EXPECT_EQ(activated + moot, r.fault_timeline.size());
+  // The convergence monitor is only notified of applied faults.
+  EXPECT_EQ(activated, r.faults_injected);
+  // Windows can at most all expire (some may still be open at sim end).
+  EXPECT_LE(r.metrics.counter_or("fault.window_expired"), activated);
+}
+
+TEST(ObsDifferential, QueueDepthHistogramCoversTheRun) {
+  MANET_REQUIRE_OBS();
+  const auto r = scenario::run_scenario(lossy_scenario(),
+                                        scenario::factory_by_name("mobic"));
+  const auto* depth = r.metrics.histogram("event_queue.depth");
+  ASSERT_NE(depth, nullptr);
+  std::uint64_t samples = 0;
+  for (const auto c : depth->counts) {
+    samples += c;
+  }
+  // One sample every kQueueDepthSamplePeriod-th executed event.
+  EXPECT_EQ(samples,
+            r.events_executed / obs::SimHooks::kQueueDepthSamplePeriod);
+}
+
+// The MRIP reduction: identical snapshots and an identical metrics JSONL for
+// any worker count.
+scenario::SweepSpec diff_spec() {
+  scenario::SweepSpec spec;
+  spec.base = lossy_scenario();
+  spec.base.sim_time = 60.0;
+  spec.xs = {80.0, 120.0};
+  spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
+  spec.algorithms = scenario::paper_algorithms();
+  spec.fields = {{"cs", scenario::field_ch_changes}};
+  spec.replications = 2;
+  return spec;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ObsDifferential, MetricsLogByteIdenticalAcrossJobs) {
+  MANET_REQUIRE_OBS();
+  std::string logs[2];
+  const int jobs[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    scenario::RunnerOptions options;
+    options.jobs = jobs[i];
+    options.metrics_log_path = testing::TempDir() + "obs_metrics_j" +
+                               std::to_string(jobs[i]) + ".jsonl";
+    scenario::Runner runner(options);
+    runner.run(diff_spec());
+    logs[i] = read_file(options.metrics_log_path);
+  }
+  EXPECT_FALSE(logs[0].empty());
+  EXPECT_EQ(logs[0], logs[1])
+      << "metrics JSONL differs between --jobs 1 and --jobs 8";
+  // 2 points x 2 algorithms x 2 replicates, one line each.
+  EXPECT_EQ(static_cast<int>(
+                std::count(logs[0].begin(), logs[0].end(), '\n')),
+            8);
+}
+
+TEST(ObsDifferential, SnapshotsEqualAcrossJobs) {
+  MANET_REQUIRE_OBS();
+  scenario::RunnerOptions serial;
+  serial.jobs = 1;
+  scenario::RunnerOptions parallel;
+  parallel.jobs = 8;
+  const auto a = scenario::Runner(serial).replications(
+      lossy_scenario(), scenario::factory_by_name("mobic"), 3);
+  const auto b = scenario::Runner(parallel).replications(
+      lossy_scenario(), scenario::factory_by_name("mobic"), 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FALSE(a[i].metrics.empty());
+    EXPECT_EQ(a[i].metrics, b[i].metrics) << "replicate " << i;
+  }
+  // Different seeds must actually produce different counter streams (the
+  // equality above is not vacuous).
+  EXPECT_NE(a[0].metrics, a[1].metrics);
+}
+
+TEST(ObsDifferential, DisablingMetricsLeavesTheRunUntouched) {
+  scenario::Scenario on = lossy_scenario();
+  scenario::Scenario off = lossy_scenario();
+  off.obs.metrics = false;
+  const auto r_on =
+      scenario::run_scenario(on, scenario::factory_by_name("mobic"));
+  const auto r_off =
+      scenario::run_scenario(off, scenario::factory_by_name("mobic"));
+  EXPECT_TRUE(r_off.metrics.empty());
+  // Metrics draw no RNG and schedule no events: the run is bit-identical.
+  EXPECT_EQ(r_on.events_executed, r_off.events_executed);
+  EXPECT_EQ(r_on.ch_changes, r_off.ch_changes);
+  EXPECT_EQ(r_on.hellos_delivered, r_off.hellos_delivered);
+  EXPECT_EQ(r_on.final_heads, r_off.final_heads);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,248 @@
+// Unit tests for the metrics half of the observability layer: counter and
+// histogram semantics (including the "le" boundary contract), registry
+// handle identity, snapshot determinism, merge algebra, and cross-thread
+// aggregation under the real ThreadPool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/assert.h"
+#include "util/thread_pool.h"
+
+namespace manet::obs {
+namespace {
+
+// Value-observing tests are meaningless when the layer is compiled out
+// (inc()/record() are no-ops); structural contracts (bounds validation,
+// handle identity, JSON/merge shape) still hold and stay unguarded.
+#if MANET_OBS_ENABLED
+#define MANET_REQUIRE_OBS() (void)0
+#else
+#define MANET_REQUIRE_OBS() GTEST_SKIP() << "built with MANET_OBS=OFF"
+#endif
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  MANET_REQUIRE_OBS();
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Histogram, RequiresStrictlyIncreasingBounds) {
+  EXPECT_THROW(Histogram({}), util::CheckError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), util::CheckError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), util::CheckError);
+}
+
+// The boundary contract: bucket i is (bounds[i-1], bounds[i]] — a sample
+// exactly equal to a bound belongs to that bound's bucket, never the next.
+// This is the Prometheus "le" convention; an off-by-one here silently
+// shifts every distribution by one bucket.
+TEST(Histogram, BoundaryValuesLandInTheLeBucket) {
+  MANET_REQUIRE_OBS();
+  Histogram h({1.0, 2.0, 4.0});
+  h.record(1.0);  // == bounds[0] -> bucket 0
+  h.record(2.0);  // == bounds[1] -> bucket 1
+  h.record(4.0);  // == bounds[2] -> bucket 2
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 0u);
+}
+
+TEST(Histogram, UnderflowOverflowAndInterior) {
+  MANET_REQUIRE_OBS();
+  Histogram h({1.0, 2.0, 4.0});
+  h.record(-3.0);   // below every bound -> bucket 0
+  h.record(1.5);    // (1, 2] -> bucket 1
+  h.record(4.0001);  // above bounds.back() -> overflow
+  h.record(1e9);    // far overflow
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 0u);
+  EXPECT_EQ(h.counts()[3], 2u);
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), -3.0 + 1.5 + 4.0001 + 1e9);
+}
+
+TEST(Registry, HandlesAreStableAndSharedByName) {
+  Registry r;
+  Counter* a = r.counter("hello.sent");
+  Counter* b = r.counter("hello.sent");
+  EXPECT_EQ(a, b);  // same name, same cell
+  // Registration growth must not move existing handles.
+  for (int i = 0; i < 100; ++i) {
+    r.counter("c" + std::to_string(i));
+  }
+  EXPECT_EQ(r.counter("hello.sent"), a);
+#if MANET_OBS_ENABLED
+  a->inc(3);
+  EXPECT_EQ(b->value(), 3u);
+#endif
+}
+
+TEST(Registry, HistogramReregistrationMustMatchBounds) {
+  Registry r;
+  Histogram* h = r.histogram("queue", {1.0, 2.0});
+  EXPECT_EQ(r.histogram("queue", {1.0, 2.0}), h);
+  EXPECT_THROW(r.histogram("queue", {1.0, 3.0}), util::CheckError);
+}
+
+TEST(Snapshot, SortedByNameAndQueryable) {
+  MANET_REQUIRE_OBS();
+  Registry r;
+  r.counter("zeta")->inc(1);
+  r.counter("alpha")->inc(2);
+  r.histogram("hist.b", {1.0})->record(0.5);
+  r.histogram("hist.a", {1.0})->record(2.5);
+  const Snapshot s = r.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].name, "alpha");
+  EXPECT_EQ(s.counters[1].name, "zeta");
+  ASSERT_EQ(s.histograms.size(), 2u);
+  EXPECT_EQ(s.histograms[0].name, "hist.a");
+  EXPECT_EQ(s.histograms[1].name, "hist.b");
+  EXPECT_EQ(s.counter_or("alpha"), 2u);
+  EXPECT_EQ(s.counter_or("missing", 7u), 7u);
+  ASSERT_NE(s.histogram("hist.a"), nullptr);
+  EXPECT_EQ(s.histogram("hist.a")->counts.back(), 1u);
+  EXPECT_EQ(s.histogram("missing"), nullptr);
+}
+
+TEST(Snapshot, MergeSumsCountersByNameUnion) {
+  MANET_REQUIRE_OBS();
+  Registry r1;
+  r1.counter("a")->inc(1);
+  r1.counter("b")->inc(10);
+  Registry r2;
+  r2.counter("b")->inc(5);
+  r2.counter("c")->inc(100);
+  Snapshot s = r1.snapshot();
+  s.merge(r2.snapshot());
+  EXPECT_EQ(s.counter_or("a"), 1u);
+  EXPECT_EQ(s.counter_or("b"), 15u);
+  EXPECT_EQ(s.counter_or("c"), 100u);
+  ASSERT_EQ(s.counters.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      s.counters.begin(), s.counters.end(),
+      [](const auto& x, const auto& y) { return x.name < y.name; }));
+}
+
+TEST(Snapshot, MergeAddsHistogramsBucketwise) {
+  MANET_REQUIRE_OBS();
+  Registry r1;
+  r1.histogram("h", {1.0, 2.0})->record(0.5);
+  Registry r2;
+  r2.histogram("h", {1.0, 2.0})->record(1.5);
+  r2.histogram("h", {1.0, 2.0})->record(9.0);
+  Snapshot s = r1.snapshot();
+  s.merge(r2.snapshot());
+  const auto* h = s.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->counts, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(h->sum, 0.5 + 1.5 + 9.0);
+
+  Registry r3;
+  r3.histogram("h", {1.0, 3.0});  // different bounds: not mergeable
+  EXPECT_THROW(s.merge(r3.snapshot()), util::CheckError);
+}
+
+TEST(Snapshot, MergeIsOrderIndependent) {
+  Registry a;
+  a.counter("x")->inc(1);
+  a.histogram("h", {1.0})->record(0.5);
+  Registry b;
+  b.counter("y")->inc(2);
+  Registry c;
+  c.counter("x")->inc(4);
+  c.histogram("h", {1.0})->record(2.0);
+
+  Snapshot abc = a.snapshot();
+  abc.merge(b.snapshot());
+  abc.merge(c.snapshot());
+  Snapshot cba = c.snapshot();
+  cba.merge(b.snapshot());
+  cba.merge(a.snapshot());
+  EXPECT_EQ(abc, cba);
+  EXPECT_EQ(abc.to_json(), cba.to_json());
+}
+
+TEST(Snapshot, JsonShape) {
+  MANET_REQUIRE_OBS();
+  Registry r;
+  r.counter("hello.sent")->inc(12);
+  r.histogram("depth", {1.0, 2.0})->record(1.5);
+  const std::string json = r.snapshot().to_json();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"hello.sent\":12},"
+            "\"histograms\":{\"depth\":{\"bounds\":[1,2],"
+            "\"counts\":[0,1,0],\"sum\":1.5}}}");
+}
+
+// The MRIP aggregation model: one registry per worker, merged by value.
+// Whatever order the workers finish in, the merged snapshot must equal the
+// serial result — this is the property the Runner's canonical-order
+// reduction relies on.
+TEST(Registry, ThreadPoolAggregationIsDeterministic) {
+  MANET_REQUIRE_OBS();
+  constexpr int kWorkers = 8;
+  constexpr int kIncsPerWorker = 10'000;
+  std::vector<Registry> registries(kWorkers);
+  util::ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    futures.push_back(pool.async([&registries, w] {
+      Registry& r = registries[static_cast<std::size_t>(w)];
+      Counter* c = r.counter("events");
+      Histogram* h = r.histogram("value", {0.25, 0.5, 0.75});
+      for (int i = 0; i < kIncsPerWorker; ++i) {
+        c->inc();
+        h->record(static_cast<double>(i % 100) / 100.0);
+      }
+    }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  Snapshot merged;
+  for (const Registry& r : registries) {
+    merged.merge(r.snapshot());
+  }
+  EXPECT_EQ(merged.counter_or("events"),
+            static_cast<std::uint64_t>(kWorkers) * kIncsPerWorker);
+  const auto* h = merged.histogram("value");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->counts.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto cnt : h->counts) {
+    total += cnt;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kWorkers) * kIncsPerWorker);
+}
+
+// Registration allocates; updates must not. The allocation-free property is
+// asserted with the counting allocator in test_zero_alloc.cpp; here we only
+// pin that the inline fast path behaves after many updates.
+TEST(Registry, UpdateFastPathCompilesInline) {
+  MANET_REQUIRE_OBS();
+  Registry r;
+  Counter* c = r.counter("x");
+  Histogram* h = r.histogram("y", {1.0});
+  for (int i = 0; i < 1000; ++i) {
+    c->inc();
+    h->record(0.5);
+  }
+  EXPECT_EQ(c->value(), 1000u);
+  EXPECT_EQ(h->total_count(), 1000u);
+}
+
+}  // namespace
+}  // namespace manet::obs

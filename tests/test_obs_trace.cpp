@@ -1,0 +1,499 @@
+// Tests for the Chrome-trace sink: the emitted JSON must be well-formed
+// (checked with a small in-test parser, not string matching), timestamps
+// must be monotonic, metadata must lead the stream, and a traced scenario
+// run must produce per-node clusterhead-tenure tracks — deterministically,
+// byte for byte, across repeated runs.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "scenario/scenario.h"
+#include "util/assert.h"
+
+namespace manet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser: enough of RFC 8259 to validate trace output and walk
+// it. Throws std::runtime_error on malformed input, so a syntax error in the
+// sink's hand-rolled serialization fails the test with a position message.
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;  // insertion order
+
+  const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+  const Json& at(const std::string& key) const {
+    const Json* v = find(key);
+    if (v == nullptr) {
+      throw std::runtime_error("missing key: " + key);
+    }
+    return *v;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON error at byte " + std::to_string(pos_) +
+                             ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end");
+    }
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        Json v;
+        v.type = Json::Type::kString;
+        v.str = string();
+        return v;
+      }
+      case 't':
+      case 'f':
+        return boolean();
+      case 'n':
+        literal("null");
+        return Json{};
+      default:
+        return number();
+    }
+  }
+
+  void literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      fail("bad literal, expected " + word);
+    }
+    pos_ += word.size();
+  }
+
+  Json boolean() {
+    Json v;
+    v.type = Json::Type::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+      v.boolean = false;
+    }
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            out.push_back(esc);
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          default:
+            fail("unsupported escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a number");
+    }
+    Json v;
+    v.type = Json::Type::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  Json array() {
+    expect('[');
+    Json v;
+    v.type = Json::Type::kArray;
+    skip_ws();
+    if (consume(']')) {
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (consume(']')) {
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json v;
+    v.type = Json::Type::kObject;
+    skip_ws();
+    if (consume('}')) {
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (consume('}')) {
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string sink_json(const obs::TraceSink& sink) {
+  std::ostringstream out;
+  sink.write_json(out);
+  return out.str();
+}
+
+Json parse_trace(const std::string& text) {
+  Json doc = JsonParser(text).parse();
+  EXPECT_EQ(doc.type, Json::Type::kObject);
+  EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+  EXPECT_EQ(doc.at("traceEvents").type, Json::Type::kArray);
+  return doc;
+}
+
+// Splits the traceEvents array into leading metadata ("M") and the rest;
+// asserts no metadata appears after the first real event.
+std::pair<std::vector<const Json*>, std::vector<const Json*>> split_events(
+    const Json& doc) {
+  std::vector<const Json*> meta;
+  std::vector<const Json*> events;
+  for (const Json& e : doc.at("traceEvents").array) {
+    if (e.at("ph").str == "M") {
+      EXPECT_TRUE(events.empty()) << "metadata after a non-metadata event";
+      meta.push_back(&e);
+    } else {
+      events.push_back(&e);
+    }
+  }
+  return {meta, events};
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(TraceLevel, ParseAndNameRoundTrip) {
+  using obs::TraceLevel;
+  EXPECT_EQ(obs::parse_trace_level("off"), TraceLevel::kOff);
+  EXPECT_EQ(obs::parse_trace_level("spans"), TraceLevel::kSpans);
+  EXPECT_EQ(obs::parse_trace_level("full"), TraceLevel::kFull);
+  for (const auto level :
+       {TraceLevel::kOff, TraceLevel::kSpans, TraceLevel::kFull}) {
+    EXPECT_EQ(obs::parse_trace_level(obs::trace_level_name(level)), level);
+  }
+  EXPECT_THROW(obs::parse_trace_level("verbose"), util::CheckError);
+}
+
+TEST(TraceSink, OffLevelRecordsNothing) {
+  obs::TraceSink sink(obs::TraceLevel::kOff);
+  EXPECT_FALSE(sink.enabled());
+  sink.complete(0, 0, "span", 0.0, 1.0);
+  sink.instant(1, 2, "mark", 0.5);
+  sink.counter("depth", 0.5, 3.0);
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceSink, CounterTracksRequireFullLevel) {
+  obs::TraceSink spans(obs::TraceLevel::kSpans);
+  spans.counter("depth", 0.5, 3.0);
+  EXPECT_EQ(spans.size(), 0u);
+  obs::TraceSink full(obs::TraceLevel::kFull);
+  full.counter("depth", 0.5, 3.0);
+  EXPECT_EQ(full.size(), 1u);
+}
+
+TEST(TraceSink, JsonIsWellFormedSortedAndTyped) {
+  obs::TraceSink sink(obs::TraceLevel::kFull);
+  // Emitted deliberately out of time order; write_json must sort.
+  sink.complete(obs::TraceSink::kNodePid, 3, "head", 5.0, 9.0, "score", 42);
+  sink.instant(obs::TraceSink::kNodePid, 1, "crash", 2.0);
+  sink.counter("depth", 1.0, 17.0);
+  sink.complete(obs::TraceSink::kRunPid, 0, "warmup", 0.0, 10.0);
+
+  const Json doc = parse_trace(sink_json(sink));
+  const auto [meta, events] = split_events(doc);
+  ASSERT_EQ(events.size(), 4u);
+
+  // Monotonic non-decreasing timestamps after the metadata block.
+  double last_ts = -1.0;
+  for (const Json* e : events) {
+    const double ts = e->at("ts").number;
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+  }
+
+  // Per-phase shape: "X" carries dur, "i" carries scope, "C" carries value.
+  EXPECT_EQ(events[0]->at("name").str, "warmup");
+  EXPECT_EQ(events[0]->at("ph").str, "X");
+  EXPECT_DOUBLE_EQ(events[0]->at("dur").number, 10.0 * 1e6);
+  EXPECT_EQ(events[1]->at("name").str, "depth");
+  EXPECT_EQ(events[1]->at("ph").str, "C");
+  EXPECT_DOUBLE_EQ(events[1]->at("args").at("value").number, 17.0);
+  EXPECT_EQ(events[2]->at("name").str, "crash");
+  EXPECT_EQ(events[2]->at("ph").str, "i");
+  EXPECT_EQ(events[2]->at("s").str, "t");
+  EXPECT_EQ(events[3]->at("name").str, "head");
+  EXPECT_DOUBLE_EQ(events[3]->at("ts").number, 5.0 * 1e6);
+  EXPECT_DOUBLE_EQ(events[3]->at("args").at("score").number, 42.0);
+
+  // Metadata names the run process and every node thread that appeared.
+  bool named_run = false;
+  bool named_node3 = false;
+  for (const Json* m : meta) {
+    if (m->at("name").str == "process_name" &&
+        m->at("pid").number == obs::TraceSink::kRunPid) {
+      named_run = m->at("args").at("name").str == "run";
+    }
+    if (m->at("name").str == "thread_name" && m->at("tid").number == 3.0) {
+      named_node3 = m->at("args").at("name").str == "node 3";
+    }
+  }
+  EXPECT_TRUE(named_run);
+  EXPECT_TRUE(named_node3);
+}
+
+TEST(TraceSink, SameTimestampKeepsEmissionOrder) {
+  obs::TraceSink sink(obs::TraceLevel::kSpans);
+  sink.instant(0, 0, "first", 1.0);
+  sink.instant(0, 0, "second", 1.0);
+  sink.instant(0, 0, "third", 1.0);
+  const Json doc = parse_trace(sink_json(sink));
+  const auto [meta, events] = split_events(doc);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0]->at("name").str, "first");
+  EXPECT_EQ(events[1]->at("name").str, "second");
+  EXPECT_EQ(events[2]->at("name").str, "third");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-level: a traced run writes a loadable file with per-node
+// clusterhead-tenure spans, and does so byte-identically on every run.
+
+scenario::Scenario traced_scenario(const std::string& trace_path) {
+  scenario::Scenario s;
+  s.n_nodes = 20;
+  s.fleet.field = geom::Rect(400.0, 400.0);
+  s.fleet.max_speed = 10.0;
+  s.tx_range = 120.0;
+  s.sim_time = 120.0;
+  s.warmup = 10.0;
+  s.seed = 3;
+  s.obs.trace = obs::TraceLevel::kSpans;
+  s.obs.trace_path = trace_path;
+  return s;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ScenarioTrace, EmitsPerNodeTenureTracksAndPhases) {
+  const std::string path = testing::TempDir() + "obs_trace_run.json";
+  const auto r = scenario::run_scenario(traced_scenario(path),
+                                        scenario::factory_by_name("mobic"));
+  const Json doc = parse_trace(read_file(path));
+  const auto [meta, events] = split_events(doc);
+
+  std::size_t head_spans = 0;
+  std::size_t open_at_end = 0;  // tenure spans still running at sim end
+  std::map<int, std::size_t> per_node;
+  bool saw_warmup = false;
+  bool saw_measurement = false;
+  double last_ts = -1.0;
+  for (const Json* e : events) {
+    const double ts = e->at("ts").number;
+    EXPECT_GE(ts, last_ts) << "timestamps must be monotonic";
+    last_ts = ts;
+    const std::string& name = e->at("name").str;
+    const int pid = static_cast<int>(e->at("pid").number);
+    if (name == "head") {
+      EXPECT_EQ(pid, obs::TraceSink::kNodePid);
+      EXPECT_EQ(e->at("ph").str, "X");
+      ++head_spans;
+      ++per_node[static_cast<int>(e->at("tid").number)];
+      const double end_s = (ts + e->at("dur").number) / 1e6;
+      EXPECT_LE(end_s, 120.0 + 1e-6);
+      if (end_s >= 120.0 - 1e-6) {
+        ++open_at_end;
+      }
+    } else if (name == "warmup") {
+      EXPECT_EQ(pid, obs::TraceSink::kRunPid);
+      saw_warmup = true;
+    } else if (name == "measurement") {
+      EXPECT_EQ(pid, obs::TraceSink::kRunPid);
+      EXPECT_DOUBLE_EQ(
+          e->at("args").at("events").number,
+          static_cast<double>(r.events_executed));
+      saw_measurement = true;
+    }
+  }
+  EXPECT_TRUE(saw_warmup);
+  EXPECT_TRUE(saw_measurement);
+  // A 20-node run always elects clusterheads, and the standing heads'
+  // reigns are closed at sim end, so their spans reach exactly t_end.
+  EXPECT_GT(head_spans, 0u);
+  EXPECT_GE(per_node.size(), 2u) << "tenure spans from at least two nodes";
+  EXPECT_EQ(open_at_end, r.final_heads);
+
+  // The node threads that carried spans are named in the metadata.
+  std::size_t thread_names = 0;
+  for (const Json* m : meta) {
+    thread_names += m->at("name").str == "thread_name" ? 1 : 0;
+  }
+  EXPECT_GE(thread_names, per_node.size());
+}
+
+TEST(ScenarioTrace, OutputIsByteStableAcrossRuns) {
+  const std::string path_a = testing::TempDir() + "obs_trace_rep_a.json";
+  const std::string path_b = testing::TempDir() + "obs_trace_rep_b.json";
+  scenario::run_scenario(traced_scenario(path_a),
+                         scenario::factory_by_name("mobic"));
+  scenario::run_scenario(traced_scenario(path_b),
+                         scenario::factory_by_name("mobic"));
+  const std::string a = read_file(path_a);
+  const std::string b = read_file(path_b);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "same-seed traces must be byte-identical";
+}
+
+TEST(ScenarioTrace, ExpandsSeedAndTagPlaceholders) {
+  const std::string tmpl = testing::TempDir() + "obs_trace_{tag}_s{seed}.json";
+  scenario::Scenario s = traced_scenario(tmpl);
+  s.obs.tag = "unit";
+  scenario::run_scenario(s, scenario::factory_by_name("mobic"));
+  const std::string expanded = testing::TempDir() + "obs_trace_unit_s3.json";
+  std::ifstream in(expanded);
+  EXPECT_TRUE(in.is_open()) << expanded;
+}
+
+TEST(ScenarioTrace, FullLevelAddsCounterTracksAndSamplerEvents) {
+  const std::string spans_path = testing::TempDir() + "obs_trace_spans.json";
+  const std::string full_path = testing::TempDir() + "obs_trace_full.json";
+  const auto spans_run = scenario::run_scenario(
+      traced_scenario(spans_path), scenario::factory_by_name("mobic"));
+  scenario::Scenario full = traced_scenario(full_path);
+  full.obs.trace = obs::TraceLevel::kFull;
+  full.obs.counter_sample_period = 5.0;
+  const auto full_run =
+      scenario::run_scenario(full, scenario::factory_by_name("mobic"));
+
+  // The kFull sampler is the one obs feature that schedules simulator
+  // events: 120 s / 5 s period = 25 ticks (t = 0 included).
+  EXPECT_EQ(full_run.events_executed, spans_run.events_executed + 25);
+
+  const Json doc = parse_trace(read_file(full_path));
+  std::map<std::string, std::size_t> counter_tracks;
+  for (const Json& e : doc.at("traceEvents").array) {
+    if (e.at("ph").str == "C") {
+      ++counter_tracks[e.at("name").str];
+    }
+  }
+  EXPECT_EQ(counter_tracks["event_queue.depth"], 25u);
+  EXPECT_EQ(counter_tracks["hello.delivered"], 25u);
+  EXPECT_EQ(counter_tracks["clusterheads"], 25u);
+
+  // No counter tracks at kSpans.
+  const Json spans_doc = parse_trace(read_file(spans_path));
+  for (const Json& e : spans_doc.at("traceEvents").array) {
+    EXPECT_NE(e.at("ph").str, "C");
+  }
+}
+
+}  // namespace
+}  // namespace manet

@@ -3,6 +3,7 @@
 // chaos fuzz: full simulations under randomized (but fixed-seed) fault
 // schedules with structural invariants checked every beacon round.
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <vector>
@@ -206,7 +207,16 @@ TEST_P(ChaosFuzz, RandomFaultWorkloadsKeepStructuralInvariants) {
   EXPECT_EQ(a.final_validation.dead_nodes, b.final_validation.dead_nodes);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzz, ::testing::Range(1, 7));
+// Seed count is tunable from the environment so the nightly CI sweep can
+// widen the net (MANET_FUZZ_SEEDS=16) without slowing the default run.
+int fuzz_seed_count() {
+  const char* env = std::getenv("MANET_FUZZ_SEEDS");
+  const int n = env == nullptr ? 0 : std::atoi(env);
+  return n > 0 ? n : 6;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzz,
+                         ::testing::Range(1, 1 + fuzz_seed_count()));
 
 }  // namespace
 }  // namespace manet::sim

@@ -18,6 +18,8 @@
 
 #include "mobility/factory.h"
 #include "net/network.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
 #include "radio/medium.h"
 #include "scenario/reporting.h"
 #include "scenario/scenario.h"
@@ -99,6 +101,60 @@ TEST(ZeroAlloc, HelloDeliverySteadyState) {
   EXPECT_EQ(window.allocs(), 0u)
       << "Hello delivery allocated on the steady-state path";
   EXPECT_GT(network.stats().hellos_delivered, 10000u);
+}
+
+// The observability contract: with the metrics registry live (counters and
+// the queue-depth histogram hooked into the simulator and the network), the
+// steady-state delivery loop must STILL be allocation-free — registration
+// allocates at setup, updates never do.
+TEST(ZeroAlloc, ObsInstrumentedHelloDeliverySteadyState) {
+  sim::Simulator sim;
+  util::Rng root(77);
+  const geom::Rect field(670.0, 670.0);
+  radio::Medium medium(radio::make_propagation("free_space", 2.7, 4.0),
+                       radio::RadioParams{}, 250.0);
+  net::NetworkParams params;
+  net::Network network(sim, std::move(medium), field, params,
+                       root.substream("network"));
+
+  obs::Registry registry;
+  obs::SimHooks sim_hooks;
+  sim_hooks.queue_depth = registry.histogram(
+      "event_queue.depth", {8.0, 64.0, 512.0, 2048.0});
+  obs::NetHooks net_hooks;
+  net_hooks.beacon_sent = registry.counter("beacon.sent");
+  net_hooks.hello_sent = registry.counter("hello.sent");
+  net_hooks.hello_delivered = registry.counter("hello.delivered");
+  net_hooks.hello_dropped_fading = registry.counter("hello.dropped.fading");
+  net_hooks.hello_dropped_loss = registry.counter("hello.dropped.loss");
+  net_hooks.hello_dropped_collision =
+      registry.counter("hello.dropped.collision");
+  net_hooks.neighbor_timeout = registry.counter("neighbor.timeout");
+  net_hooks.msg_sent = registry.counter("msg.sent");
+  net_hooks.msg_delivered = registry.counter("msg.delivered");
+  sim.set_hooks(&sim_hooks);
+  network.set_hooks(&net_hooks);
+
+  mobility::FleetParams fleet;
+  fleet.duration = 300.0;
+  network.add_fleet(mobility::make_fleet(fleet, 50, root.substream("mob")));
+  for (auto& node : network.nodes()) {
+    node->set_agent(std::make_unique<NullAgent>());
+  }
+  network.start();
+  sim.run_until(40.0);
+
+  const util::AllocWindow window;
+  sim.run_until(120.0);
+  EXPECT_EQ(window.allocs(), 0u)
+      << "metrics updates allocated on the steady-state path";
+#if MANET_OBS_ENABLED
+  // The instrumentation was actually exercised, not just linked.
+  EXPECT_GT(net_hooks.hello_delivered->value(), 10000u);
+  EXPECT_EQ(net_hooks.hello_delivered->value(),
+            network.stats().hellos_delivered);
+  EXPECT_GT(sim_hooks.queue_depth->total_count(), 0u);
+#endif
 }
 
 TEST(ZeroAlloc, FullScenarioAllocBudget) {
