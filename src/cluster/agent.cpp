@@ -24,6 +24,9 @@ WeightedClusterAgent::WeightedClusterAgent(const ClusterOptions& options)
 
 void WeightedClusterAgent::on_attach(net::Node& node) {
   self_ = node.id();
+  // Rival heads in range at once are few; pre-size so steady-state
+  // contention tracking stays off the allocator.
+  contention_.reserve(8);
 }
 
 void WeightedClusterAgent::on_reset(net::Node& node) {
@@ -238,9 +241,16 @@ void WeightedClusterAgent::decide(net::Node& node) {
         // Track continuous contact with rival clusterheads; resolve those
         // whose contact has outlasted the CCI (paper §3.2: deferral allows
         // "incidental contacts between passing nodes" to pass by).
+        // `contention_` stays ascending by rival id: `entries` is already
+        // sorted, so new rivals append/insert in order via lower_bound.
         for (const net::NeighborEntry& e : entries) {
           if (e.role == net::AdvertRole::kHead) {
-            contention_.try_emplace(e.id, now);
+            const auto it = std::lower_bound(
+                contention_.begin(), contention_.end(), e.id,
+                [](const auto& c, net::NodeId id) { return c.first < id; });
+            if (it == contention_.end() || it->first != e.id) {
+              contention_.insert(it, {e.id, now});
+            }
           }
         }
         // Forget rivals that left range or stopped being heads.

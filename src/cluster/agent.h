@@ -15,7 +15,8 @@
 // {M, role, clusterhead} into the outgoing Hello — the sequencing of §3.2.
 #pragma once
 
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "cluster/events.h"
 #include "cluster/types.h"
@@ -121,8 +122,11 @@ class WeightedClusterAgent final : public net::Agent {
   bool gateway_ = false;
   double metric_ = 0.0;
   metrics::AggregateMobilityEstimator estimator_;
-  /// Head-vs-head contention: contender id -> first continuous contact time.
-  std::unordered_map<net::NodeId, sim::Time> contention_;
+  /// Head-vs-head contention: {contender id, first continuous contact time},
+  /// ascending by id so every walk over the rivals is hash-order-free (a
+  /// handful of entries at most; flat storage also keeps the hot loop out of
+  /// node-per-insert allocation).
+  std::vector<std::pair<net::NodeId, sim::Time>> contention_;
   std::uint64_t decisions_ = 0;
   /// Rounds spent waiting on a lower-weight undecided neighbor; bounded by
   /// kUndecidedStallRounds so dynamic weights cannot starve the election.

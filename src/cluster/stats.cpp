@@ -1,8 +1,22 @@
 #include "cluster/stats.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace manet::cluster {
+
+namespace {
+
+// Locates `node` in a reign list kept ascending by node id.
+auto reign_lower_bound(std::vector<std::pair<net::NodeId, sim::Time>>& v,
+                       net::NodeId node) {
+  return std::lower_bound(
+      v.begin(), v.end(), node,
+      [](const auto& r, net::NodeId id) { return r.first < id; });
+}
+
+}  // namespace
 
 ClusterStats::ClusterStats(double warmup) : warmup_(warmup) {
   MANET_CHECK(warmup >= 0.0, "warmup=" << warmup);
@@ -14,10 +28,15 @@ void ClusterStats::on_role_change(sim::Time t, net::NodeId node,
   // Reign tracking runs from t=0 so lifetimes of heads elected during
   // warm-up are still measured correctly.
   if (new_role == Role::kHead) {
-    reign_since_[node] = t;
+    const auto it = reign_lower_bound(reign_since_, node);
+    if (it == reign_since_.end() || it->first != node) {
+      reign_since_.insert(it, {node, t});
+    } else {
+      it->second = t;
+    }
   } else if (old_role == Role::kHead) {
-    const auto it = reign_since_.find(node);
-    if (it != reign_since_.end()) {
+    const auto it = reign_lower_bound(reign_since_, node);
+    if (it != reign_since_.end() && it->first == node) {
       head_lifetimes_.add(t - it->second);
       reign_since_.erase(it);
     }
@@ -48,6 +67,8 @@ void ClusterStats::on_affiliation_change(sim::Time t, net::NodeId node,
 void ClusterStats::finish(sim::Time end) {
   MANET_CHECK(!finished_, "finish() called twice");
   finished_ = true;
+  // reign_since_ is ascending by node id, so the censored lifetimes enter
+  // the accumulator in a reproducible order.
   for (const auto& [node, since] : reign_since_) {
     head_lifetimes_.add(end - since);
   }
@@ -84,7 +105,7 @@ void ClusterSampler::sample_now() {
   std::size_t heads = 0;
   std::size_t gateways = 0;
   std::size_t undecided = 0;
-  std::unordered_map<net::NodeId, std::size_t> sizes;
+  sizes_scratch_.assign(agents_.size(), 0);
   for (const auto* a : agents_) {
     switch (a->role()) {
       case Role::kHead:
@@ -99,15 +120,25 @@ void ClusterSampler::sample_now() {
         ++undecided;
         break;
     }
-    if (a->cluster_head() != net::kInvalidNode) {
-      ++sizes[a->cluster_head()];
+    const net::NodeId head = a->cluster_head();
+    if (head != net::kInvalidNode) {
+      // agents_[i] corresponds to node i, so every advertised head indexes
+      // the scratch directly; resize guards partial-agent test setups.
+      if (head >= sizes_scratch_.size()) {
+        sizes_scratch_.resize(head + 1, 0);
+      }
+      ++sizes_scratch_[head];
     }
   }
   num_clusters_.add(static_cast<double>(heads));
   num_gateways_.add(static_cast<double>(gateways));
   num_undecided_.add(static_cast<double>(undecided));
-  for (const auto& [_, size] : sizes) {
-    cluster_sizes_.add(static_cast<double>(size));
+  // Ascending head id: the accumulation order is a function of the sample,
+  // not of standard-library hash order.
+  for (const std::size_t size : sizes_scratch_) {
+    if (size > 0) {
+      cluster_sizes_.add(static_cast<double>(size));
+    }
   }
 }
 

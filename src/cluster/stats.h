@@ -13,7 +13,7 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/agent.h"
@@ -60,7 +60,10 @@ class ClusterStats final : public ClusterEventSink {
   std::uint64_t reaffiliations_ = 0;
   std::uint64_t role_changes_ = 0;
   util::RunningStats head_lifetimes_;
-  std::unordered_map<net::NodeId, sim::Time> reign_since_;
+  /// Open clusterhead reigns: {node, reign start}, ascending by node id so
+  /// finish() feeds censored lifetimes into the Welford accumulator in a
+  /// hash-order-free, reproducible order.
+  std::vector<std::pair<net::NodeId, sim::Time>> reign_since_;
   bool finished_ = false;
 };
 
@@ -96,6 +99,11 @@ class ClusterSampler {
   util::RunningStats num_gateways_;
   util::RunningStats num_undecided_;
   util::RunningStats cluster_sizes_;
+  /// Per-sample member counts indexed by clusterhead id: the sweep that
+  /// feeds cluster_sizes_ runs in ascending head order (no hash order), and
+  /// the buffer is reused so sampling stays allocation-free after the first
+  /// tick.
+  std::vector<std::size_t> sizes_scratch_;
 };
 
 }  // namespace manet::cluster
