@@ -14,11 +14,11 @@
 //   ./manetsim --config exp.conf
 //
 //   # full timeline export for visualization
-//   ./manetsim --algorithm mobic --snapshots-csv snap.csv \
+//   ./manetsim --algorithm mobic --snapshots-csv snap.csv
 //              --events-csv events.csv --snapshot-period 5
 //
 //   # Chrome-trace export (load in Perfetto / chrome://tracing) + metrics
-//   ./manetsim --algorithm mobic --trace-out trace.json \
+//   ./manetsim --algorithm mobic --trace-out trace.json
 //              --trace-level full --metrics-out metrics.jsonl
 #include <fstream>
 #include <iostream>

@@ -4,7 +4,7 @@
 // fresh scenario directly to either format.
 //
 //   # generate 50 RWP nodes and emit an ns-2 script
-//   ./setdest_convert --generate rwp --nodes 50 --duration 900 \
+//   ./setdest_convert --generate rwp --nodes 50 --duration 900
 //       --out scene.ns_movements
 //
 //   # convert an ns-2 script to trace CSV (and back)

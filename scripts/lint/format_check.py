@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Non-destructive clang-format drift check.
+
+Reports files whose formatting differs from `.clang-format` WITHOUT ever
+rewriting them — history stays untouched; fixing drift is a human decision.
+
+By default only files changed relative to a base ref are checked (so legacy
+formatting never blocks an unrelated PR); `--all` sweeps every tracked C++
+source.
+
+    format_check.py                    # changed files vs origin/main or main
+    format_check.py --base HEAD~1      # changed files vs an explicit ref
+    format_check.py --all              # the whole tree
+
+Exit codes: 0 clean (or nothing to check), 1 drift found, 2 environment
+error. When clang-format is not installed the check is skipped with exit 0
+and a notice — local trees without LLVM must not fail the build; CI installs
+clang-format explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+
+_EXTS = (".h", ".hpp", ".hh", ".cpp", ".cc", ".cxx")
+
+
+def run(cmd: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(cmd, capture_output=True, text=True, check=False)
+
+
+def resolve_base(explicit: str | None) -> str | None:
+    candidates = [explicit] if explicit else ["origin/main", "main"]
+    for ref in candidates:
+        if ref and run(["git", "rev-parse", "--verify", "-q",
+                        ref]).returncode == 0:
+            return ref
+    return None
+
+
+def changed_files(base: str) -> list[str]:
+    merge_base = run(["git", "merge-base", base, "HEAD"]).stdout.strip()
+    anchor = merge_base or base
+    diff = run(["git", "diff", "--name-only", "--diff-filter=ACMR", anchor])
+    files = diff.stdout.split()
+    # Uncommitted work counts too.
+    files += run(["git", "diff", "--name-only", "--diff-filter=ACMR"]
+                 ).stdout.split()
+    files += run(["git", "ls-files", "--others", "--exclude-standard"]
+                 ).stdout.split()
+    return sorted({f for f in files if f.endswith(_EXTS)})
+
+
+def tracked_files() -> list[str]:
+    out = run(["git", "ls-files"]).stdout.split()
+    return sorted(f for f in out if f.endswith(_EXTS))
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--all", action="store_true",
+                    help="check every tracked C++ file, not just changed ones")
+    ap.add_argument("--base", default=None,
+                    help="git ref to diff against (default: origin/main, "
+                         "then main)")
+    ap.add_argument("--clang-format", default="clang-format",
+                    help="clang-format binary to use")
+    args = ap.parse_args(argv)
+
+    if shutil.which(args.clang_format) is None:
+        print(f"format-check: '{args.clang_format}' not installed; skipping "
+              "(CI installs it; locally: apt-get install clang-format)")
+        return 0
+
+    if args.all:
+        files = tracked_files()
+    else:
+        base = resolve_base(args.base)
+        if base is None:
+            print("format-check: no base ref found; falling back to --all")
+            files = tracked_files()
+        else:
+            files = changed_files(base)
+    if not files:
+        print("format-check: no C++ files to check")
+        return 0
+
+    drifted: list[str] = []
+    for f in files:
+        r = run([args.clang_format, "--dry-run", "--Werror", "--style=file",
+                 f])
+        if r.returncode != 0:
+            drifted.append(f)
+            # First few diagnostics are enough to locate the drift.
+            for line in r.stderr.splitlines()[:4]:
+                print(line, file=sys.stderr)
+    if drifted:
+        print(f"format-check: {len(drifted)} file(s) drift from "
+              ".clang-format (not rewritten — run clang-format -i yourself "
+              "if you agree):")
+        for f in drifted:
+            print(f"  {f}")
+        return 1
+    print(f"format-check: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

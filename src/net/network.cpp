@@ -286,6 +286,7 @@ std::size_t Network::send(Node& sender, Message msg) {
       hooks_->msg_delivered->inc();
     }
     if (shared == nullptr) {
+      // manet-lint: allow(hot-path): one lazy copy per send, shared by all
       shared = std::make_shared<const Message>(msg);
     }
     Node* rx = &receiver;

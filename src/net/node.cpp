@@ -88,6 +88,7 @@ void Node::beacon() {
     pkt.seq = ++seq_;
     pkt.neighbors = table_.ids();
     agent_->on_beacon(*this, pkt);
+    // manet-lint: allow(hot-path): fallback when a beacon is still in flight
     auto delayed = std::make_shared<HelloPacket>(std::move(pkt));
     simulator().schedule_in(
         rng_.uniform(0.0, network_->params().per_beacon_jitter),

@@ -46,6 +46,7 @@ class InplaceEvent {
       ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
       ops_ = &kInlineOps<D>;
     } else {
+      // manet-lint: allow(hot-path): heap fallback for oversized captures
       ::new (static_cast<void*>(buffer_)) D*(new D(std::forward<F>(f)));
       ops_ = &kHeapOps<D>;
     }

@@ -1,0 +1,36 @@
+// REGRESSION FIXTURE: a faithful miniature of the pre-fix
+// src/cluster/agent.cpp contention bookkeeping (iterator-erase loop plus two
+// range-fors over an unordered_map member). The lint self-test asserts the
+// unordered-iter rule fires on all three sites — i.e. the tree as it stood
+// before this pass would NOT have lint-passed.
+#include "bad_agent_prefix.h"
+
+namespace fixture {
+
+void Agent::decide(double now) {
+  contention_.try_emplace(7, now);
+  for (auto it = contention_.begin(); it != contention_.end();) {  // LINE 12
+    if (it->second < now - 4.0) {
+      it = contention_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Agent::resolve(double now) {
+  const int* winner = nullptr;
+  for (const auto& [id, since] : contention_) {  // LINE 23
+    if (now - since > 4.0 && (winner == nullptr || id < *winner)) {
+      winner = &id;
+    }
+  }
+  if (winner != nullptr) {
+    for (const auto& [id, since] : contention_) {  // LINE 29
+      (void)id;
+      (void)since;
+    }
+  }
+}
+
+}  // namespace fixture

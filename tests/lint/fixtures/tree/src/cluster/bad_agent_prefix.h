@@ -1,0 +1,19 @@
+// Fixture header: the unordered member is DECLARED here but iterated in
+// bad_agent_prefix.cpp — proves the linter resolves declarations across
+// files, exactly like the real contention_ member lived in agent.h.
+#pragma once
+
+#include <unordered_map>
+
+namespace fixture {
+
+class Agent {
+ public:
+  void decide(double now);
+  void resolve(double now);
+
+ private:
+  std::unordered_map<int, double> contention_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: unordered container hidden behind a `using` alias — the
+// declaration collector must see through one level of aliasing.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+using SizeMap = std::unordered_map<int, std::size_t>;
+
+std::size_t total(const SizeMap& unused) {
+  (void)unused;
+  SizeMap sizes;
+  sizes[3] = 1;
+  std::size_t n = 0;
+  for (const auto& [head, count] : sizes) {  // hash-order iteration
+    (void)head;
+    n += count;
+  }
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: the POST-fix idiom — sorted flat vector, std::map, and an
+// unordered container used only for membership lookups (never iterated).
+// Must produce zero findings.
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+double sum_sorted(const std::vector<std::pair<int, double>>& reigns,
+                  const std::map<int, double>& weights,
+                  const std::unordered_set<int>& alive) {
+  double total = 0.0;
+  for (const auto& [node, since] : reigns) {
+    if (alive.count(node) > 0) {  // lookup, not iteration: fine
+      total += since;
+    }
+  }
+  for (const auto& [node, w] : weights) {  // std::map: ordered, fine
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: global / nondeterministic randomness in simulation code.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+double hostile_draw() {
+  std::random_device rd;                               // finding
+  std::srand(rd());                                    // finding (srand)
+  return static_cast<double>(std::rand()) / RAND_MAX;  // finding (rand)
+}
+
+// A member named rand() is not the global: no finding.
+struct Table {
+  int rand() const { return 4; }
+};
+
+int member_rand_ok(const Table& t) { return t.rand(); }
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: host-clock reads in simulation code. Both the chrono clock and
+// the C `time()` call must fire wall-clock findings; mentions inside
+// comments ("steady_clock") and strings must NOT.
+#include <chrono>
+#include <ctime>
+#include <string>
+
+namespace fixture {
+
+double jitter_seed() {
+  const auto t0 = std::chrono::steady_clock::now();  // finding
+  const std::time_t wall = std::time(nullptr);       // finding
+  const std::string label = "uses steady_clock";     // string: no finding
+  (void)label;
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() - t0)  // finding
+             .count() +
+         static_cast<double>(wall);
+}
+
+// A member called time() is legitimate — e.g. event.time() accessors.
+struct Event {
+  double time() const { return when_; }
+  double when_ = 0.0;
+};
+
+double member_time_ok(const Event& e) { return e.time(); }
+
+}  // namespace fixture

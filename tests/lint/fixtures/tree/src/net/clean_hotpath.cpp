@@ -1,0 +1,36 @@
+// Fixture: a clean zero-alloc-loop file — make_unique at setup time,
+// pooled reuse, sorted flat iteration. Zero findings expected.
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+struct Entry {
+  int id = 0;
+  double weight = 0.0;
+};
+
+class Table {
+ public:
+  explicit Table(std::size_t capacity) { entries_.reserve(capacity); }
+
+  // Setup-time ownership transfer: make_unique is fine (the runtime
+  // zero-alloc guard, not the linter, polices steady-state allocation).
+  static std::unique_ptr<Table> make(std::size_t capacity) {
+    return std::make_unique<Table>(capacity);
+  }
+
+  double total() const {
+    double sum = 0.0;
+    for (const Entry& e : entries_) {  // sorted flat vector: fine
+      sum += e.weight;
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<Entry> entries_;  // ascending by id
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: direct stdout/stderr writes outside util/.
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+
+namespace fixture {
+
+void chatty(double progress) {
+  std::cout << "progress: " << progress << "\n";  // finding
+  std::cerr << "warn\n";                          // finding
+  printf("%.2f\n", progress);                     // finding
+}
+
+// Writing to a stream the CALLER passed in is the sanctioned idiom.
+void report(std::ostream& out, double progress) {
+  out << "progress: " << progress << "\n";  // no finding
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: allowlist boundary, negative side — the allowlist covers
+// src/scenario/runner*, NOT the rest of src/scenario/. A host-clock read
+// here must still fire.
+#include <chrono>
+
+namespace fixture {
+
+double timeline_drift() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())  // finding
+      .count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: allowlist boundary — src/scenario/runner* times runs with the
+// host clock (observability, not simulation state). Zero findings expected.
+#include <chrono>
+
+namespace fixture {
+
+double run_wall_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: allocation-prone constructs inside a zero-alloc-loop file
+// (anything under src/sim/). Placement new must NOT fire.
+#include <functional>
+#include <memory>
+#include <new>
+
+namespace fixture {
+
+struct Packet {
+  double payload[4];
+};
+
+struct Loop {
+  std::function<void()> callback;  // finding: std::function
+
+  void fire() {
+    auto owned = std::make_shared<Packet>();  // finding: make_shared
+    Packet* raw = new Packet();               // finding: naked new
+    alignas(Packet) unsigned char buf[sizeof(Packet)];
+    Packet* placed = ::new (static_cast<void*>(buf)) Packet();  // ok
+    placed->~Packet();
+    delete raw;
+    (void)owned;
+  }
+};
+
+}  // namespace fixture

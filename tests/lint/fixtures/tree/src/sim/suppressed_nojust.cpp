@@ -1,0 +1,21 @@
+// Fixture: a suppression WITHOUT a justification is itself a finding, and
+// it does NOT silence the finding underneath — the allow() only takes
+// effect once the author says why. Unknown rule names likewise.
+#include <memory>
+
+namespace fixture {
+
+struct Big {
+  double a[64];
+};
+
+void lazy_suppression() {
+  // manet-lint: allow(hot-path):
+  auto owned = std::make_shared<Big>();
+  // manet-lint: allow(no-such-rule): misspelled rule names are findings too
+  auto other = std::make_shared<Big>();
+  (void)owned;
+  (void)other;
+}
+
+}  // namespace fixture

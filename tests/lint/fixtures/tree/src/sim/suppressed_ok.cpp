@@ -1,0 +1,19 @@
+// Fixture: a correctly justified suppression silences the finding — both
+// the line-above form and the same-line form.
+#include <memory>
+
+namespace fixture {
+
+struct Big {
+  double a[64];
+};
+
+void rare_path() {
+  // manet-lint: allow(hot-path): setup-time only, never in the event loop
+  auto owned = std::make_shared<Big>();
+  auto second = std::make_shared<Big>();  // manet-lint: allow(hot-path): ditto, boot path
+  (void)owned;
+  (void)second;
+}
+
+}  // namespace fixture

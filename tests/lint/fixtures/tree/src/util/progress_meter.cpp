@@ -1,0 +1,17 @@
+// Fixture: allowlist boundary — src/util/progress* may read the host clock
+// (a progress meter is ABOUT wall time) and util/ may write to stderr.
+// Zero findings expected.
+#include <chrono>
+#include <iostream>
+
+namespace fixture {
+
+void tick_progress(int done, int total) {
+  static const auto t0 = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::cerr << "\r[" << done << "/" << total << "] " << elapsed << "s";
+}
+
+}  // namespace fixture

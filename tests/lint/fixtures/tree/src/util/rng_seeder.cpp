@@ -1,0 +1,13 @@
+// Fixture: allowlist boundary — src/util/rng* is the one place allowed to
+// touch std::random_device (e.g. a documented opt-in entropy seeder).
+// Zero findings expected.
+#include <random>
+
+namespace fixture {
+
+unsigned hardware_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

@@ -158,8 +158,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ModelKind::kRandomWalk, ModelKind::kRandomDirection,
                       ModelKind::kGaussMarkov, ModelKind::kRpgm,
                       ModelKind::kHighway),
-    [](const auto& info) {
-      return std::string(model_kind_name(info.param));
+    [](const auto& param_info) {
+      return std::string(model_kind_name(param_info.param));
     });
 
 TEST(FactoryTest, FleetIsDeterministic) {
