@@ -14,9 +14,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Ablation A9: mobility-adaptive beacon intervals vs the fixed BI = 2 s baseline.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   std::cout << "=== Ablation A9: mobility-adaptive beacon interval "
             << "(670x670 m, PT 0, Tx 200 m, " << cfg.sim_time << " s, "

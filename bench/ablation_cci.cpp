@@ -14,9 +14,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Ablation A1: CCI sweep {0, 2, 4, 8} s vs the mobility metric's contribution.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   const std::vector<double> ccis = {0.0, 2.0, 4.0, 8.0};
   const std::vector<double> ranges = {100.0, 250.0};

@@ -13,9 +13,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Ablation A2: EWMA mobility-history smoothing of the MOBIC metric.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   const std::vector<double> alphas = {1.0, 0.75, 0.5, 0.25};
 

@@ -17,9 +17,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Ablations A3+A4: Lowest-ID (plain/LCC) vs Max-Connectivity family comparison.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   const std::vector<std::string> algorithms = {
       "lowest_id_plain", "max_connectivity", "lowest_id", "mobic",

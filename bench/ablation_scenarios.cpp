@@ -20,9 +20,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Ablation A6: MOBIC vs Lowest-ID across structured-mobility scenarios.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   std::cout << "=== Ablation A6: specialized scenarios (§5), N=50, Tx 150 m, "
             << cfg.sim_time << " s, " << cfg.seeds << " seeds ===\n\n";

@@ -13,9 +13,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Ablation A5: log-normal shadowing stress on the power-ratio metric.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   const std::vector<double> sigmas = {0.0, 2.0, 4.0, 6.0};
 

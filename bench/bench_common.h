@@ -1,13 +1,13 @@
-// Shared plumbing for the figure-reproduction benches: standard flags
-// (seeds, time, CSV export, parallelism, observability) and a configured
-// scenario::Runner. The paper-default scenario and table/CSV reporting
-// helpers live in the library (scenario/reporting.h) and are re-exported
-// here under manet::bench for the benches' convenience.
+// Shared plumbing for the figure-reproduction benches: one Cli declaring
+// the standard flag set (parallelism, observability, sweep-farm cache /
+// resume / workers) exactly once, a BenchConfig holding the parsed values,
+// and a configured scenario::Runner. The paper-default scenario and
+// table/CSV reporting helpers live in the library (scenario/reporting.h)
+// and are re-exported here under manet::bench for the benches' convenience.
 #pragma once
 
-#include <iostream>
-#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/trace.h"
@@ -24,21 +24,7 @@ using scenario::default_tx_sweep;
 using scenario::paper_scenario;
 using scenario::print_comparison;
 
-/// Standard bench flags:
-///   --seeds N      replications per (point, algorithm)
-///   --time S       simulated seconds
-///   --csv PATH     optional CSV export
-///   --fast         3 seeds, 300 s — CI-friendly
-///   --jobs N       parallel runs (0 = auto: $MANET_JOBS, else hardware);
-///                  output is byte-identical for every value of N
-///   --progress     live progress line on stderr
-///   --run-log PATH JSONL log with one line per finished run
-///   --metrics-out PATH  per-run obs::Snapshot JSONL, canonical order
-///                       (byte-identical for every --jobs value)
-///   --trace-out PATH    Chrome-trace JSON per run; include "{tag}" or
-///                       "{seed}" so concurrent runs write distinct files
-///   --trace-level L     off | spans | full (default spans when
-///                       --trace-out is set)
+/// Values of the standard bench flags (see Cli below for the flag list).
 struct BenchConfig {
   int seeds = 5;
   double sim_time = 900.0;
@@ -49,43 +35,77 @@ struct BenchConfig {
   std::string metrics_out;
   std::string trace_out;
   obs::TraceLevel trace_level = obs::TraceLevel::kOff;
-
-  static BenchConfig from_flags(util::Flags& flags) {
-    BenchConfig c;
-    const bool fast = flags.get_bool("fast", false);
-    c.seeds = flags.get_int("seeds", fast ? 3 : 5);
-    c.sim_time = flags.get_double("time", fast ? 300.0 : 900.0);
-    c.csv_path = flags.get_string("csv", "");
-    c.jobs = flags.get_int("jobs", 0);
-    c.progress = flags.get_bool("progress", false);
-    c.run_log_path = flags.get_string("run-log", "");
-    c.metrics_out = flags.get_string("metrics-out", "");
-    c.trace_out = flags.get_string("trace-out", "");
-    if (flags.has("trace-level")) {
-      c.trace_level =
-          obs::parse_trace_level(flags.get_string("trace-level", "spans"));
-    }
-    return c;
-  }
+  // Sweep-farm mode (scenario/cache.h, scenario/worker.h).
+  std::string cache_dir;
+  bool resume = false;
+  int resume_verify = -1;
+  int workers = 0;
+  std::string worker_bin;
 
   /// Applies the observability flags to the scenario every run clones.
-  void apply_obs(scenario::Scenario& s) const {
-    s.obs.trace_path = trace_out;
-    s.obs.trace = trace_level;
-  }
+  void apply_obs(scenario::Scenario& s) const;
 
-  scenario::RunnerOptions runner_options() const {
-    scenario::RunnerOptions options;
-    options.jobs = jobs;
-    options.progress = progress ? &std::cerr : nullptr;
-    options.run_log_path = run_log_path;
-    options.metrics_log_path = metrics_out;
-    return options;
-  }
+  scenario::RunnerOptions runner_options() const;
+  scenario::Runner runner() const;
+};
 
-  scenario::Runner runner() const {
-    return scenario::Runner(runner_options());
-  }
+/// The one command-line front end every bench binary shares.
+///
+/// Declares the standard flags once — so `--jobs`, `--metrics-out`,
+/// `--cache-dir`, `--resume`, `--workers`, ... mean the same thing in every
+/// binary — and renders a uniform `--help` page from the synopsis plus any
+/// binary-specific `extra_help` rows. Binary-specific flags are read
+/// through flags() before finish(); finish() rejects unknown flags.
+///
+/// Standard flags (parsed when `standard` is true):
+///   --seeds N      replications per (point, algorithm)
+///   --time S       simulated seconds
+///   --fast         CI preset: 3 seeds, 300 s
+///   --csv PATH     optional CSV export
+///   --jobs N       parallel in-process runs (0 = auto: $MANET_JOBS, else
+///                  hardware); output is byte-identical for every value
+///   --progress     live progress line on stderr
+///   --run-log PATH JSONL log, one line per finished run (completion order)
+///   --metrics-out PATH  per-run obs::Snapshot JSONL, canonical order
+///                       (byte-identical for every --jobs value)
+///   --trace-out PATH    Chrome-trace JSON per run; include "{tag}" or
+///                       "{seed}" so concurrent runs write distinct files
+///   --trace-level L     off | spans | full (default spans when
+///                       --trace-out is set)
+///   --cache-dir DIR     content-addressed result cache: present cells are
+///                       served without simulating, computed cells stored;
+///                       outputs stay byte-identical
+///   --resume            with --cache-dir: byte-verify a sample of the
+///                       cache hits against recomputation
+///   --resume-verify N   hits to verify (-1 auto = 1/16 of hits, 0 = none)
+///   --workers N         run uncached cells on N `manetsim --worker`
+///                       subprocesses instead of in-process threads
+///   --worker-bin PATH   worker binary ($MANET_WORKER_BIN / auto when
+///                       empty)
+class Cli {
+ public:
+  /// Parses argv; on --help prints the rendered page and exits 0.
+  /// `extra_help` rows are ("--flag ARG", "description") pairs for
+  /// binary-specific flags. `standard`=false (perf_suite) skips the
+  /// standard flag set entirely.
+  Cli(int argc, const char* const* argv, std::string synopsis,
+      std::vector<std::pair<std::string, std::string>> extra_help = {},
+      bool standard = true);
+
+  /// Parsed standard flags; only valid when constructed with
+  /// standard=true.
+  const BenchConfig& config() const { return config_; }
+
+  /// Raw access for binary-specific flags (query before finish()).
+  util::Flags& flags() { return flags_; }
+
+  /// Rejects unqueried (unknown/typo) flags. Call after reading every
+  /// binary-specific flag.
+  void finish() const { flags_.finish(); }
+
+ private:
+  util::Flags flags_;
+  BenchConfig config_;
 };
 
 }  // namespace manet::bench

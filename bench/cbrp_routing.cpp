@@ -13,9 +13,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Extension: packet-level CBRP routing with CBR flows over each clustering underlay.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   std::cout << "=== CBRP over the cluster structure (670x670 m, MaxSpeed "
             << "20, PT 0, Tx 200 m, 10 flows @ 1 pkt/5 s, " << cfg.sim_time

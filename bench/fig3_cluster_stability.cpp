@@ -16,9 +16,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Figure 3: clusterhead changes (CS) vs transmission range, 670x670 m field.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   scenario::SweepSpec spec;
   spec.base = bench::paper_scenario();

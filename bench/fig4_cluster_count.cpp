@@ -15,9 +15,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Figure 4: average cluster count vs transmission range, 670x670 m field.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   scenario::SweepSpec spec;
   spec.base = bench::paper_scenario();

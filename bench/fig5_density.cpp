@@ -94,9 +94,9 @@ std::vector<manet::scenario::SweepPoint> project(
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Figure 5: the Figure-3 experiment on a 1000x1000 m field (node density effect).");
+  const auto cfg = cli.config();
+  cli.finish();
 
   // Denser sweep around the expected peak region (35-90 m) than the other
   // figures use, so the peak shift is resolvable.

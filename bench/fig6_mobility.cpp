@@ -12,9 +12,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Figure 6: cluster stability vs degree of mobility at Tx = 250 m.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   const std::vector<double> speeds = {1.0, 20.0, 30.0};
 

@@ -34,9 +34,9 @@ std::string csv_with_suffix(const std::string& path,
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Resilience probe: recovery behavior on a crash-rate x loss-burst fault grid.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   // x axis: network-wide crash arrivals per 100 s (integral so the shared
   // comparison table renders it exactly); configure() rescales to /s.

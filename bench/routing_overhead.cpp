@@ -18,9 +18,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  const auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Ablation A7: cluster-overlay route discovery vs flat flooding.");
+  const auto cfg = cli.config();
+  cli.finish();
 
   std::cout << "=== Ablation A7: cluster-based route discovery (670x670 m, "
             << "MaxSpeed 20, PT 0, Tx 150 m, " << cfg.sim_time << " s, "

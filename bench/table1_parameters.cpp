@@ -15,9 +15,9 @@
 int main(int argc, char** argv) {
   using namespace manet;
 
-  util::Flags flags(argc, argv);
-  auto cfg = bench::BenchConfig::from_flags(flags);
-  flags.finish();
+  bench::Cli cli(argc, argv, "Table 1: simulation parameters plus measured scenario characterization.");
+  auto cfg = cli.config();
+  cli.finish();
   // Characterization does not need 900 s to converge.
   const double horizon = std::min(cfg.sim_time, 300.0);
 

@@ -20,6 +20,12 @@
 //   # Chrome-trace export (load in Perfetto / chrome://tracing) + metrics
 //   ./manetsim --algorithm mobic --trace-out trace.json
 //              --trace-level full --metrics-out metrics.jsonl
+//
+//   # sweep-farm service mode: serve run requests over stdin/stdout (used
+//   # by Runner --workers dispatch; see scenario/worker.h)
+//   ./manetsim --worker
+#include <unistd.h>
+
 #include <fstream>
 #include <iostream>
 
@@ -28,6 +34,7 @@
 #include "scenario/config.h"
 #include "scenario/runner.h"
 #include "scenario/timeline.h"
+#include "scenario/worker.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -129,6 +136,14 @@ void print_report(const std::string& alg, const scenario::RunResult& r) {
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
 
+  // Sweep-farm service mode: serve length-prefixed run requests on
+  // stdin/stdout until the parent closes the pipe (scenario/worker.h).
+  // Checked first — a worker must never print the banner or parse the
+  // interactive flag set.
+  if (flags.get_bool("worker", false)) {
+    return scenario::serve_worker(STDIN_FILENO, STDOUT_FILENO);
+  }
+
   scenario::Scenario s = scenario_from_flags(flags);
   const std::string algorithm = flags.get_string("algorithm", "mobic");
   const bool compare = flags.get_bool("compare", false);
@@ -138,6 +153,13 @@ int main(int argc, char** argv) {
   const double snapshot_period = flags.get_double("snapshot-period", 10.0);
   const int jobs = flags.get_int("jobs", 0);
   const std::string metrics_out = flags.get_string("metrics-out", "");
+  // Sweep-farm flags (honored on the --compare matrix path, which routes
+  // through the Runner; the timeline path stays serial and uncached).
+  const std::string cache_dir = flags.get_string("cache-dir", "");
+  const bool resume = flags.get_bool("resume", false);
+  const int resume_verify = flags.get_int("resume-verify", -1);
+  const int workers = flags.get_int("workers", 0);
+  const std::string worker_bin = flags.get_string("worker-bin", "");
   flags.finish();
 
   std::ofstream metrics_stream;
@@ -207,6 +229,11 @@ int main(int argc, char** argv) {
     // algorithm order.
     scenario::RunnerOptions opts;
     opts.jobs = jobs;
+    opts.cache_dir = cache_dir;
+    opts.resume = resume;
+    opts.resume_verify = resume_verify;
+    opts.workers = workers;
+    opts.worker_bin = worker_bin;
     const scenario::Runner runner(opts);
     const auto algorithms = scenario::paper_algorithms();
     const auto matrix = runner.run_matrix(s, algorithms, 1);

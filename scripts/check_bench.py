@@ -18,6 +18,10 @@ Exit status is non-zero when any workload regresses:
     instrumented run must keep at least (1 - OBS_OVERHEAD_LIMIT) of the
     uninstrumented throughput. This is an intra-run ratio — same machine,
     same moment — so its limit is much tighter than --tolerance.
+  * result-cache speedup: the fig3_cached_rerun workload's cold_warm_ratio
+    (cold simulation wall over warm cache-served wall, measured within one
+    run) must stay >= MIN_CACHED_SPEEDUP. Like the obs pair this is an
+    intra-run ratio, so it gates on any machine.
 
 Absolute wall_ms and RSS are reported but never gated: they say more
 about the machine than the code.
@@ -35,6 +39,11 @@ ALLOC_EPSILON = 0.05
 # design doc); the CI gate allows 5% to absorb scheduler noise within a run.
 OBS_OVERHEAD_LIMIT = 0.05
 OBS_PAIR = ("fig3_full_run", "fig3_obs_run")
+
+# A warm (cache-served) fig3 re-run must beat the cold simulation by at
+# least this factor — the sweep-farm cache's reason to exist.
+MIN_CACHED_SPEEDUP = 10.0
+CACHED_RERUN = "fig3_cached_rerun"
 
 THROUGHPUT_KEYS = ("events_per_sec", "sim_s_per_s")
 
@@ -106,6 +115,17 @@ def main():
             failures.append(
                 f"obs overhead {overhead:.2%} exceeds "
                 f"{OBS_OVERHEAD_LIMIT:.0%} ({OBS_PAIR[1]} vs {OBS_PAIR[0]})")
+
+    rerun = current.get(CACHED_RERUN)
+    if rerun is not None:
+        ratio = rerun.get("cold_warm_ratio", 0.0)
+        verdict = "FAIL" if ratio < MIN_CACHED_SPEEDUP else "ok"
+        print(f"{CACHED_RERUN:22s} {'cold_warm_ratio':16s} "
+              f"{MIN_CACHED_SPEEDUP:12.4g} <= {ratio:12.4g}  {verdict}")
+        if ratio < MIN_CACHED_SPEEDUP:
+            failures.append(
+                f"{CACHED_RERUN}: cold/warm speedup {ratio:.4g} below "
+                f"{MIN_CACHED_SPEEDUP:.4g}")
 
     if failures:
         print("\nPerformance regressions detected:", file=sys.stderr)

@@ -34,6 +34,7 @@ struct ValidationReport {
     return undecided == 0 && head_pairs_in_range == 0 &&
            members_beyond_head_range == 0 && members_of_non_head == 0;
   }
+  bool operator==(const ValidationReport&) const = default;
   std::string to_string() const;
 };
 

@@ -143,6 +143,35 @@ void Network::release_batch(DeliveryBatch* batch) {
   free_batches_.push_back(batch);
 }
 
+Network::MessageBatch* Network::acquire_message_batch() {
+  if (!free_message_batches_.empty()) {
+    MessageBatch* batch = free_message_batches_.back();
+    free_message_batches_.pop_back();
+    return batch;
+  }
+  message_batches_.push_back(std::make_unique<MessageBatch>());
+  MessageBatch* batch = message_batches_.back().get();
+  batch->receivers.reserve(nodes_.size());
+  return batch;
+}
+
+void Network::release_message_batch(MessageBatch* batch) {
+  batch->receivers.clear();
+  // Drop the payload reference so a pooled slot never pins protocol memory
+  // between sends.
+  batch->msg.body.reset();
+  free_message_batches_.push_back(batch);
+}
+
+void Network::deliver_message_batch(MessageBatch* batch) {
+  // Same receiver order as the send-time scan; all delivery checks already
+  // ran at send time, exactly as with the per-receiver events.
+  for (Node* rx : batch->receivers) {
+    rx->receive_message(batch->msg);
+  }
+  release_message_batch(batch);
+}
+
 void Network::deliver_batch(DeliveryBatch* batch) {
   // Same receiver order as the candidate scan; Node::receive re-checks
   // liveness, so receivers that died during the delivery delay drop out
@@ -258,10 +287,10 @@ std::size_t Network::send(Node& sender, Message msg) {
   util::Rng& fading = sender.rng();
   const geom::Vec2 sender_pos = sender.position(now);
 
-  // The payload is shared by every receiver of this send: allocated once,
-  // lazily (only if somebody actually receives), instead of one copy per
-  // delivery.
-  std::shared_ptr<const Message> shared;
+  // The payload is shared by every receiver of this send: one pooled batch,
+  // acquired lazily (only if somebody actually receives), holding the
+  // Message once plus the receiver list — no per-send heap allocation.
+  MessageBatch* batch = nullptr;
 
   const auto try_deliver = [&](Node& receiver) -> bool {
     if (!receiver.alive()) {
@@ -285,20 +314,31 @@ std::size_t Network::send(Node& sender, Message msg) {
     if (hooks_ != nullptr) {
       hooks_->msg_delivered->inc();
     }
-    if (shared == nullptr) {
-      // manet-lint: allow(hot-path): one lazy copy per send, shared by all
-      shared = std::make_shared<const Message>(msg);
+    if (batch == nullptr) {
+      batch = acquire_message_batch();
+      batch->msg = msg;  // one copy per send, vector capacity reused
     }
-    Node* rx = &receiver;
-    sim_.schedule_in(params_.delivery_delay,
-                     [rx, shared] { rx->receive_message(*shared); });
+    batch->receivers.push_back(&receiver);
     return true;
+  };
+
+  // All receivers of one send carry the identical delivery timestamp and
+  // were (previously) pushed contiguously, so folding them into one batch
+  // event preserves the (time, insertion-seq) FIFO order against every
+  // other event in the queue.
+  const auto flush = [&]() {
+    if (batch != nullptr) {
+      sim_.schedule_in(params_.delivery_delay,
+                       [this, batch] { deliver_message_batch(batch); });
+    }
   };
 
   if (msg.dst != kInvalidNode) {
     MANET_CHECK(msg.dst < nodes_.size(), "unicast to unknown node");
     MANET_CHECK(msg.dst != sender.id(), "unicast to self");
-    return try_deliver(*nodes_[msg.dst]) ? 1 : 0;
+    const std::size_t delivered = try_deliver(*nodes_[msg.dst]) ? 1 : 0;
+    flush();
+    return delivered;
   }
 
   refresh_grid_if_stale();
@@ -314,6 +354,7 @@ std::size_t Network::send(Node& sender, Message msg) {
     }
     delivered += try_deliver(*nodes_[idx]) ? 1 : 0;
   }
+  flush();
   return delivered;
 }
 

@@ -161,12 +161,26 @@ class Network {
     std::vector<Rx> receivers;
   };
 
+  /// One scheduled protocol-Message delivery: the payload stored once by
+  /// value plus every receiver that passed the propagation/loss checks —
+  /// the DeliveryBatch idiom applied to send(). Pooled and reused, so
+  /// steady-state sends copy the Message once and schedule a single event
+  /// instead of one heap-allocated copy and one event per receiver.
+  struct MessageBatch {
+    Message msg;
+    std::vector<Node*> receivers;
+  };
+
   /// Called by a node when its beacon timer fires.
   void broadcast(Node& sender, const HelloPacket& pkt);
 
   DeliveryBatch* acquire_batch();
   void release_batch(DeliveryBatch* batch);
   void deliver_batch(DeliveryBatch* batch);
+
+  MessageBatch* acquire_message_batch();
+  void release_message_batch(MessageBatch* batch);
+  void deliver_message_batch(MessageBatch* batch);
 
   void refresh_grid_if_stale();
 
@@ -192,6 +206,9 @@ class Network {
   // senders per delivery-delay window, so the pool stays tiny.
   std::vector<std::unique_ptr<DeliveryBatch>> batches_;
   std::vector<DeliveryBatch*> free_batches_;
+  // The same pool for protocol Messages (send()).
+  std::vector<std::unique_ptr<MessageBatch>> message_batches_;
+  std::vector<MessageBatch*> free_message_batches_;
   // Scratch receiver list for the zero-delay path: deliveries happen after
   // the candidate scan so a receiving agent that transmits cannot clobber
   // query_buf_ mid-iteration.

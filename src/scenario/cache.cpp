@@ -1,0 +1,639 @@
+#include "scenario/cache.h"
+
+#include <bit>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.h"
+#include "util/assert.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+// The build-stamped code-version salt; the CMake cache variable
+// MANET_CACHE_EPOCH feeds this definition.
+#ifndef MANET_CACHE_EPOCH
+#define MANET_CACHE_EPOCH "dev"
+#endif
+
+namespace manet::scenario {
+
+namespace {
+
+// --- primitive renderings ---------------------------------------------------
+// Doubles travel as their IEEE-754 bit pattern in hex: exact round-trip,
+// byte-stable across platforms and locales (hexfloat %a is neither).
+
+std::string dbits(double d) {
+  return util::hex64(std::bit_cast<std::uint64_t>(d));
+}
+
+double parse_dbits(std::string_view v) {
+  MANET_CHECK(v.size() == 16, "bad double field '" << v << "'");
+  std::uint64_t bits = 0;
+  for (const char c : v) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') {
+      bits |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      MANET_CHECK(false, "bad double field '" << v << "'");
+    }
+  }
+  return std::bit_cast<double>(bits);
+}
+
+std::uint64_t parse_u64(std::string_view v) {
+  const std::string s(v);
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(s.c_str(), &end, 10);
+  MANET_CHECK(end == s.c_str() + s.size() && !s.empty(),
+              "bad integer field '" << s << "'");
+  return static_cast<std::uint64_t>(x);
+}
+
+long parse_long(std::string_view v) {
+  const std::string s(v);
+  char* end = nullptr;
+  const long x = std::strtol(s.c_str(), &end, 10);
+  MANET_CHECK(end == s.c_str() + s.size() && !s.empty(),
+              "bad integer field '" << s << "'");
+  return x;
+}
+
+// --- line-record scaffolding ------------------------------------------------
+// Both the canonical scenario text and the cell record are strict "key =
+// value" lines in a fixed order; any deviation is a parse error (and thus,
+// for cells, corruption).
+
+void put(std::ostream& os, std::string_view key, std::string_view value) {
+  os << key << " = " << value << '\n';
+}
+
+void put_u(std::ostream& os, std::string_view key, std::uint64_t v) {
+  os << key << " = " << v << '\n';
+}
+
+void put_d(std::ostream& os, std::string_view key, double v) {
+  os << key << " = " << dbits(v) << '\n';
+}
+
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : in_(text) {}
+
+  /// Next "key = value" line; throws unless the key matches.
+  std::string expect(std::string_view key) {
+    auto value = next(key);
+    MANET_CHECK(value.has_value(),
+                "record truncated before key '" << key << "'");
+    return *value;
+  }
+
+  /// Like expect(), but returns nullopt (and consumes nothing) when the
+  /// next line carries a different key or the record ended.
+  std::optional<std::string> take(std::string_view key) {
+    if (!peeked_) {
+      if (!std::getline(in_, line_)) {
+        ended_ = true;
+      }
+      peeked_ = true;
+    }
+    if (ended_) {
+      return std::nullopt;
+    }
+    const auto sep = line_.find(" = ");
+    if (sep == std::string::npos || line_.substr(0, sep) != key) {
+      return std::nullopt;
+    }
+    peeked_ = false;
+    return line_.substr(sep + 3);
+  }
+
+  double expect_d(std::string_view key) { return parse_dbits(expect(key)); }
+  std::uint64_t expect_u(std::string_view key) {
+    return parse_u64(expect(key));
+  }
+
+ private:
+  std::optional<std::string> next(std::string_view key) {
+    auto v = take(key);
+    if (!v.has_value() && !ended_) {
+      MANET_CHECK(false, "expected key '" << key << "', got line '"
+                                          << line_ << "'");
+    }
+    return v;
+  }
+
+  std::istringstream in_;
+  std::string line_;
+  bool peeked_ = false;
+  bool ended_ = false;
+};
+
+// --- fault events -----------------------------------------------------------
+
+std::string encode_fault_event(const fault::FaultEvent& e) {
+  std::ostringstream os;
+  os << static_cast<int>(e.kind) << ' ' << dbits(e.at) << ' '
+     << dbits(e.until) << ' ' << e.node << ' ' << e.peer << ' '
+     << dbits(e.probability) << ' ' << dbits(e.center.x) << ' '
+     << dbits(e.center.y) << ' ' << dbits(e.radius) << ' '
+     << (e.vertical ? 1 : 0) << ' ' << dbits(e.boundary);
+  return os.str();
+}
+
+fault::FaultEvent decode_fault_event(const std::string& value) {
+  const auto f = util::split(value, ' ');
+  MANET_CHECK(f.size() == 11, "bad fault event '" << value << "'");
+  const long kind = parse_long(f[0]);
+  MANET_CHECK(kind >= 0 &&
+                  kind <= static_cast<long>(fault::FaultKind::kPartition),
+              "bad fault kind " << kind);
+  fault::FaultEvent e;
+  e.kind = static_cast<fault::FaultKind>(kind);
+  e.at = parse_dbits(f[1]);
+  e.until = parse_dbits(f[2]);
+  e.node = static_cast<net::NodeId>(parse_u64(f[3]));
+  e.peer = static_cast<net::NodeId>(parse_u64(f[4]));
+  e.probability = parse_dbits(f[5]);
+  e.center = {parse_dbits(f[6]), parse_dbits(f[7])};
+  e.radius = parse_dbits(f[8]);
+  e.vertical = parse_u64(f[9]) != 0;
+  e.boundary = parse_dbits(f[10]);
+  return e;
+}
+
+std::string sanitize_for_filename(std::string_view s) {
+  std::string out;
+  out.reserve(std::min<std::size_t>(s.size(), 32));
+  for (const char c : s.substr(0, 32)) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? "run" : out;
+}
+
+}  // namespace
+
+std::string cache_epoch() {
+  if (const char* env = std::getenv("MANET_CACHE_EPOCH")) {
+    if (*env != '\0') {
+      return env;
+    }
+  }
+  return MANET_CACHE_EPOCH;
+}
+
+std::string canonical_scenario_text(const Scenario& s) {
+  std::ostringstream os;
+  os << "manet-scenario/1\n";
+  put_u(os, "n_nodes", s.n_nodes);
+  put_u(os, "seed", s.seed);
+  put_d(os, "tx_range", s.tx_range);
+  put_d(os, "sim_time", s.sim_time);
+  put_d(os, "warmup", s.warmup);
+  put_d(os, "sample_period", s.sample_period);
+  put(os, "propagation", s.propagation);
+  put_d(os, "pathloss_exponent", s.pathloss_exponent);
+  put_d(os, "shadowing_sigma_db", s.shadowing_sigma_db);
+  put(os, "mobility", mobility::model_kind_name(s.fleet.kind));
+  put(os, "field", dbits(s.fleet.field.width) + " " +
+                       dbits(s.fleet.field.height));
+  put_d(os, "max_speed", s.fleet.max_speed);
+  put_d(os, "min_speed", s.fleet.min_speed);
+  put_d(os, "pause_time", s.fleet.pause_time);
+  put_d(os, "walk_epoch", s.fleet.walk_epoch);
+  put_d(os, "gm_alpha", s.fleet.gm_alpha);
+  put_d(os, "gm_sigma", s.fleet.gm_sigma);
+  put_u(os, "rpgm_group_size", s.fleet.rpgm_group_size);
+  put_d(os, "rpgm_offset_radius", s.fleet.rpgm_offset_radius);
+  put_d(os, "rpgm_offset_speed", s.fleet.rpgm_offset_speed);
+  {
+    const mobility::HighwayParams& h = s.fleet.highway;
+    std::ostringstream v;
+    v << dbits(h.length) << ' ' << dbits(h.lane_width) << ' '
+      << h.lanes_per_direction << ' ' << dbits(h.mean_speed) << ' '
+      << dbits(h.speed_stddev) << ' ' << dbits(h.jitter_sigma) << ' '
+      << dbits(h.jitter_alpha) << ' ' << dbits(h.update_step);
+    put(os, "highway", v.str());
+  }
+  {
+    const mobility::ManhattanParams& m = s.fleet.manhattan;
+    std::ostringstream v;
+    v << dbits(m.field.width) << ' ' << dbits(m.field.height) << ' '
+      << dbits(m.block_size) << ' ' << dbits(m.min_speed) << ' '
+      << dbits(m.max_speed) << ' ' << dbits(m.turn_probability) << ' '
+      << dbits(m.speed_epoch);
+    put(os, "manhattan", v.str());
+  }
+  {
+    const net::NetworkParams& n = s.net;
+    std::ostringstream v;
+    v << dbits(n.broadcast_interval) << ' ' << dbits(n.neighbor_timeout)
+      << ' ' << dbits(n.per_beacon_jitter) << ' ' << dbits(n.packet_loss)
+      << ' ' << dbits(n.collision_window) << ' ' << dbits(n.delivery_delay)
+      << ' ' << dbits(n.speed_bound) << ' ' << dbits(n.grid_refresh);
+    put(os, "net", v.str());
+  }
+  {
+    const fault::ScheduleSpec& f = s.faults;
+    std::ostringstream v;
+    v << dbits(f.begin) << ' ' << dbits(f.end) << ' '
+      << dbits(f.crash_rate) << ' ' << dbits(f.mean_downtime) << ' '
+      << dbits(f.churn_rate) << ' ' << dbits(f.mean_absence) << ' '
+      << dbits(f.loss_burst_rate) << ' ' << dbits(f.loss_burst_duration)
+      << ' ' << dbits(f.loss_burst_probability) << ' ' << dbits(f.jam_rate)
+      << ' ' << dbits(f.jam_duration) << ' ' << dbits(f.jam_radius) << ' '
+      << dbits(f.jam_probability) << ' ' << f.partitions << ' '
+      << dbits(f.partition_duration);
+    put(os, "faults", v.str());
+  }
+  put_u(os, "fault_extra_count", s.faults.extra.size());
+  for (const fault::FaultEvent& e : s.faults.extra) {
+    put(os, "fault_extra", encode_fault_event(e));
+  }
+  put_u(os, "obs_metrics", s.obs.metrics ? 1 : 0);
+  put(os, "obs_trace", obs::trace_level_name(s.obs.trace));
+  put_d(os, "obs_counter_sample_period", s.obs.counter_sample_period);
+  if (!s.obs.trace_path.empty()) {
+    put(os, "obs_trace_path", s.obs.trace_path);
+  }
+  if (!s.obs.tag.empty()) {
+    put(os, "obs_tag", s.obs.tag);
+  }
+  return os.str();
+}
+
+Scenario decode_canonical_scenario(const std::string& text) {
+  const std::string header = "manet-scenario/1\n";
+  MANET_CHECK(text.rfind(header, 0) == 0,
+              "not a canonical scenario record");
+  LineReader body(text.substr(header.size()));
+  Scenario s;
+  s.n_nodes = static_cast<std::size_t>(body.expect_u("n_nodes"));
+  s.seed = body.expect_u("seed");
+  s.tx_range = body.expect_d("tx_range");
+  s.sim_time = body.expect_d("sim_time");
+  s.warmup = body.expect_d("warmup");
+  s.sample_period = body.expect_d("sample_period");
+  s.propagation = body.expect("propagation");
+  s.pathloss_exponent = body.expect_d("pathloss_exponent");
+  s.shadowing_sigma_db = body.expect_d("shadowing_sigma_db");
+  s.fleet.kind = mobility::parse_model_kind(body.expect("mobility"));
+  {
+    const auto f = util::split(body.expect("field"), ' ');
+    MANET_CHECK(f.size() == 2, "bad field line");
+    s.fleet.field = geom::Rect(parse_dbits(f[0]), parse_dbits(f[1]));
+  }
+  s.fleet.max_speed = body.expect_d("max_speed");
+  s.fleet.min_speed = body.expect_d("min_speed");
+  s.fleet.pause_time = body.expect_d("pause_time");
+  s.fleet.walk_epoch = body.expect_d("walk_epoch");
+  s.fleet.gm_alpha = body.expect_d("gm_alpha");
+  s.fleet.gm_sigma = body.expect_d("gm_sigma");
+  s.fleet.rpgm_group_size =
+      static_cast<std::size_t>(body.expect_u("rpgm_group_size"));
+  s.fleet.rpgm_offset_radius = body.expect_d("rpgm_offset_radius");
+  s.fleet.rpgm_offset_speed = body.expect_d("rpgm_offset_speed");
+  {
+    const auto f = util::split(body.expect("highway"), ' ');
+    MANET_CHECK(f.size() == 8, "bad highway line");
+    mobility::HighwayParams& h = s.fleet.highway;
+    h.length = parse_dbits(f[0]);
+    h.lane_width = parse_dbits(f[1]);
+    h.lanes_per_direction = static_cast<int>(parse_long(f[2]));
+    h.mean_speed = parse_dbits(f[3]);
+    h.speed_stddev = parse_dbits(f[4]);
+    h.jitter_sigma = parse_dbits(f[5]);
+    h.jitter_alpha = parse_dbits(f[6]);
+    h.update_step = parse_dbits(f[7]);
+  }
+  {
+    const auto f = util::split(body.expect("manhattan"), ' ');
+    MANET_CHECK(f.size() == 7, "bad manhattan line");
+    mobility::ManhattanParams& m = s.fleet.manhattan;
+    m.field = geom::Rect(parse_dbits(f[0]), parse_dbits(f[1]));
+    m.block_size = parse_dbits(f[2]);
+    m.min_speed = parse_dbits(f[3]);
+    m.max_speed = parse_dbits(f[4]);
+    m.turn_probability = parse_dbits(f[5]);
+    m.speed_epoch = parse_dbits(f[6]);
+  }
+  {
+    const auto f = util::split(body.expect("net"), ' ');
+    MANET_CHECK(f.size() == 8, "bad net line");
+    net::NetworkParams& n = s.net;
+    n.broadcast_interval = parse_dbits(f[0]);
+    n.neighbor_timeout = parse_dbits(f[1]);
+    n.per_beacon_jitter = parse_dbits(f[2]);
+    n.packet_loss = parse_dbits(f[3]);
+    n.collision_window = parse_dbits(f[4]);
+    n.delivery_delay = parse_dbits(f[5]);
+    n.speed_bound = parse_dbits(f[6]);
+    n.grid_refresh = parse_dbits(f[7]);
+  }
+  {
+    const auto f = util::split(body.expect("faults"), ' ');
+    MANET_CHECK(f.size() == 15, "bad faults line");
+    fault::ScheduleSpec& fs = s.faults;
+    fs.begin = parse_dbits(f[0]);
+    fs.end = parse_dbits(f[1]);
+    fs.crash_rate = parse_dbits(f[2]);
+    fs.mean_downtime = parse_dbits(f[3]);
+    fs.churn_rate = parse_dbits(f[4]);
+    fs.mean_absence = parse_dbits(f[5]);
+    fs.loss_burst_rate = parse_dbits(f[6]);
+    fs.loss_burst_duration = parse_dbits(f[7]);
+    fs.loss_burst_probability = parse_dbits(f[8]);
+    fs.jam_rate = parse_dbits(f[9]);
+    fs.jam_duration = parse_dbits(f[10]);
+    fs.jam_radius = parse_dbits(f[11]);
+    fs.jam_probability = parse_dbits(f[12]);
+    fs.partitions = static_cast<int>(parse_long(f[13]));
+    fs.partition_duration = parse_dbits(f[14]);
+  }
+  const std::uint64_t extras = body.expect_u("fault_extra_count");
+  s.faults.extra.reserve(extras);
+  for (std::uint64_t i = 0; i < extras; ++i) {
+    s.faults.extra.push_back(decode_fault_event(body.expect("fault_extra")));
+  }
+  s.obs.metrics = body.expect_u("obs_metrics") != 0;
+  s.obs.trace = obs::parse_trace_level(body.expect("obs_trace"));
+  s.obs.counter_sample_period = body.expect_d("obs_counter_sample_period");
+  if (auto v = body.take("obs_trace_path")) {
+    s.obs.trace_path = *v;
+  }
+  if (auto v = body.take("obs_tag")) {
+    s.obs.tag = *v;
+  }
+  return s;
+}
+
+std::string cache_key(const Scenario& s, const std::string& algorithm) {
+  // Identity excludes presentation-only fields: where a trace is written
+  // (and under which tag) never changes the result bytes. The effective
+  // trace *level* stays in — kFull schedules sampler events, which moves
+  // events_executed.
+  Scenario keyed = s;
+  if (keyed.obs.trace == obs::TraceLevel::kOff &&
+      !keyed.obs.trace_path.empty()) {
+    keyed.obs.trace = obs::TraceLevel::kSpans;  // run_scenario's promotion
+  }
+  keyed.obs.trace_path.clear();
+  keyed.obs.tag.clear();
+  util::Fnv64 h;
+  h.update("manet-cache-key/1\n");
+  h.update("epoch = " + cache_epoch() + "\n");
+  h.update("algorithm = " + algorithm + "\n");
+  h.update(canonical_scenario_text(keyed));
+  return util::hex64(h.digest());
+}
+
+std::string cache_cell_filename(const Scenario& s,
+                                const std::string& algorithm) {
+  return sanitize_for_filename(algorithm) + "-s" + std::to_string(s.seed) +
+         "-" + cache_key(s, algorithm) + ".cell";
+}
+
+std::string encode_cell(const RunResult& r) {
+  std::ostringstream os;
+  os << "manet-cell/1\n";
+  put_u(os, "ch_changes", r.ch_changes);
+  put_u(os, "head_gains", r.head_gains);
+  put_u(os, "head_losses", r.head_losses);
+  put_u(os, "reaffiliations", r.reaffiliations);
+  put_d(os, "mean_head_lifetime", r.mean_head_lifetime);
+  put_d(os, "avg_clusters", r.avg_clusters);
+  put_d(os, "avg_gateways", r.avg_gateways);
+  put_d(os, "avg_undecided", r.avg_undecided);
+  put_d(os, "avg_cluster_size", r.avg_cluster_size);
+  put_d(os, "mean_degree", r.mean_degree);
+  put_u(os, "beacons_sent", r.beacons_sent);
+  put_u(os, "hellos_delivered", r.hellos_delivered);
+  put_u(os, "bytes_sent", r.bytes_sent);
+  put_u(os, "events_executed", r.events_executed);
+  {
+    const cluster::ValidationReport& v = r.final_validation;
+    std::ostringstream vv;
+    vv << v.undecided << ' ' << v.head_pairs_in_range << ' '
+       << v.members_beyond_head_range << ' ' << v.members_of_non_head << ' '
+       << v.connected_nodes << ' ' << v.dead_nodes;
+    put(os, "validation", vv.str());
+  }
+  put_u(os, "faults_injected", r.faults_injected);
+  put_u(os, "recoveries", r.recoveries);
+  put_d(os, "mean_recovery_s", r.mean_recovery_s);
+  put_d(os, "max_recovery_s", r.max_recovery_s);
+  put_u(os, "unrecovered_disruptions", r.unrecovered_disruptions);
+  put_d(os, "orphaned_member_seconds", r.orphaned_member_seconds);
+  put_u(os, "convergence_samples", r.convergence_samples);
+  put_u(os, "violation_samples", r.violation_samples);
+  put_u(os, "final_heads", r.final_heads);
+  put_u(os, "fault_count", r.fault_timeline.size());
+  for (const fault::FaultEvent& e : r.fault_timeline) {
+    put(os, "fault", encode_fault_event(e));
+  }
+  put_u(os, "counter_count", r.metrics.counters.size());
+  for (const auto& c : r.metrics.counters) {
+    MANET_CHECK(c.name.find_first_of(" \n") == std::string::npos,
+                "counter name '" << c.name << "' not cell-serializable");
+    put(os, "counter", c.name + " " + std::to_string(c.value));
+  }
+  put_u(os, "histogram_count", r.metrics.histograms.size());
+  for (const auto& hg : r.metrics.histograms) {
+    MANET_CHECK(hg.name.find_first_of(" \n") == std::string::npos,
+                "histogram name '" << hg.name << "' not cell-serializable");
+    MANET_CHECK(hg.counts.size() == hg.bounds.size() + 1,
+                "histogram '" << hg.name << "' bucket shape");
+    std::ostringstream v;
+    v << hg.name << ' ' << hg.bounds.size();
+    for (const double b : hg.bounds) {
+      v << ' ' << dbits(b);
+    }
+    for (const std::uint64_t c : hg.counts) {
+      v << ' ' << c;
+    }
+    v << ' ' << dbits(hg.sum);
+    put(os, "histogram", v.str());
+  }
+  const std::string body = os.str();
+  return body + "digest = " + util::hex64(util::Fnv64::hash(body)) + "\n";
+}
+
+RunResult decode_cell(const std::string& text) {
+  // Integrity first: the trailing digest covers every byte above it.
+  const std::string marker = "digest = ";
+  const std::size_t pos = text.rfind(marker);
+  MANET_CHECK(pos != std::string::npos && pos > 0 && text[pos - 1] == '\n',
+              "cell record has no digest line");
+  const std::string body = text.substr(0, pos);
+  std::string stated = text.substr(pos + marker.size());
+  if (!stated.empty() && stated.back() == '\n') {
+    stated.pop_back();
+  }
+  MANET_CHECK(stated == util::hex64(util::Fnv64::hash(body)),
+              "cell digest mismatch (truncated or edited cell)");
+  MANET_CHECK(body.rfind("manet-cell/1\n", 0) == 0,
+              "not a cell record");
+
+  LineReader r(body.substr(std::string("manet-cell/1\n").size()));
+  RunResult res;
+  res.ch_changes = r.expect_u("ch_changes");
+  res.head_gains = r.expect_u("head_gains");
+  res.head_losses = r.expect_u("head_losses");
+  res.reaffiliations = r.expect_u("reaffiliations");
+  res.mean_head_lifetime = r.expect_d("mean_head_lifetime");
+  res.avg_clusters = r.expect_d("avg_clusters");
+  res.avg_gateways = r.expect_d("avg_gateways");
+  res.avg_undecided = r.expect_d("avg_undecided");
+  res.avg_cluster_size = r.expect_d("avg_cluster_size");
+  res.mean_degree = r.expect_d("mean_degree");
+  res.beacons_sent = r.expect_u("beacons_sent");
+  res.hellos_delivered = r.expect_u("hellos_delivered");
+  res.bytes_sent = r.expect_u("bytes_sent");
+  res.events_executed = r.expect_u("events_executed");
+  {
+    const auto f = util::split(r.expect("validation"), ' ');
+    MANET_CHECK(f.size() == 6, "bad validation line");
+    cluster::ValidationReport& v = res.final_validation;
+    v.undecided = static_cast<std::size_t>(parse_u64(f[0]));
+    v.head_pairs_in_range = static_cast<std::size_t>(parse_u64(f[1]));
+    v.members_beyond_head_range = static_cast<std::size_t>(parse_u64(f[2]));
+    v.members_of_non_head = static_cast<std::size_t>(parse_u64(f[3]));
+    v.connected_nodes = static_cast<std::size_t>(parse_u64(f[4]));
+    v.dead_nodes = static_cast<std::size_t>(parse_u64(f[5]));
+  }
+  res.faults_injected = r.expect_u("faults_injected");
+  res.recoveries = r.expect_u("recoveries");
+  res.mean_recovery_s = r.expect_d("mean_recovery_s");
+  res.max_recovery_s = r.expect_d("max_recovery_s");
+  res.unrecovered_disruptions = r.expect_u("unrecovered_disruptions");
+  res.orphaned_member_seconds = r.expect_d("orphaned_member_seconds");
+  res.convergence_samples = r.expect_u("convergence_samples");
+  res.violation_samples = r.expect_u("violation_samples");
+  res.final_heads = r.expect_u("final_heads");
+  const std::uint64_t faults = r.expect_u("fault_count");
+  res.fault_timeline.reserve(faults);
+  for (std::uint64_t i = 0; i < faults; ++i) {
+    res.fault_timeline.push_back(decode_fault_event(r.expect("fault")));
+  }
+  const std::uint64_t counters = r.expect_u("counter_count");
+  res.metrics.counters.reserve(counters);
+  for (std::uint64_t i = 0; i < counters; ++i) {
+    const std::string v = r.expect("counter");
+    const auto sp = v.rfind(' ');
+    MANET_CHECK(sp != std::string::npos && sp > 0, "bad counter line");
+    obs::Snapshot::CounterCell cell;
+    cell.name = v.substr(0, sp);
+    cell.value = parse_u64(v.substr(sp + 1));
+    res.metrics.counters.push_back(std::move(cell));
+  }
+  const std::uint64_t histograms = r.expect_u("histogram_count");
+  res.metrics.histograms.reserve(histograms);
+  for (std::uint64_t i = 0; i < histograms; ++i) {
+    const auto f = util::split(r.expect("histogram"), ' ');
+    MANET_CHECK(f.size() >= 3, "bad histogram line");
+    obs::Snapshot::HistogramCell cell;
+    cell.name = f[0];
+    const std::uint64_t nb = parse_u64(f[1]);
+    MANET_CHECK(f.size() == 2 + nb + (nb + 1) + 1,
+                "bad histogram line for '" << cell.name << "'");
+    cell.bounds.reserve(nb);
+    for (std::uint64_t b = 0; b < nb; ++b) {
+      cell.bounds.push_back(parse_dbits(f[2 + b]));
+    }
+    cell.counts.reserve(nb + 1);
+    for (std::uint64_t c = 0; c <= nb; ++c) {
+      cell.counts.push_back(parse_u64(f[2 + nb + c]));
+    }
+    cell.sum = parse_dbits(f.back());
+    res.metrics.histograms.push_back(std::move(cell));
+  }
+  return res;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  MANET_CHECK(!dir_.empty(), "empty cache directory");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  MANET_CHECK(!ec, "cannot create cache directory " << dir_ << ": "
+                                                    << ec.message());
+}
+
+std::string ResultCache::path_for(const std::string& filename) const {
+  return dir_ + "/" + filename;
+}
+
+std::optional<RunResult> ResultCache::load(const std::string& filename,
+                                           std::string* raw_text) {
+  const std::string path = path_for(filename);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  try {
+    RunResult result = decode_cell(text);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hits;
+    }
+    if (raw_text != nullptr) {
+      *raw_text = std::move(text);
+    }
+    return result;
+  } catch (const util::CheckError& e) {
+    // Truncated, edited, or written by an incompatible build without an
+    // epoch bump: never reused — recomputed and overwritten.
+    MANET_LOG(Warn) << "corrupt cache cell " << path << ": " << e.what()
+                    << " (recomputing)";
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+}
+
+void ResultCache::store(const std::string& filename,
+                        const RunResult& result) {
+  const std::string cell = encode_cell(result);
+  std::string tmp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tmp = dir_ + "/.tmp-" + std::to_string(tmp_seq_++) + "-" + filename;
+  }
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    MANET_CHECK(out.is_open(), "cannot write cache cell " << tmp);
+    out << cell;
+  }
+  // rename() within one directory is atomic: readers see the old cell, no
+  // cell, or the complete new cell — never a torn write.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_for(filename), ec);
+  MANET_CHECK(!ec, "cannot publish cache cell " << path_for(filename)
+                                                << ": " << ec.message());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+}
+
+void ResultCache::note_verified() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.verified;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace manet::scenario

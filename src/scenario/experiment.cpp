@@ -1,8 +1,5 @@
 #include "scenario/experiment.h"
 
-#include "scenario/runner.h"
-#include "util/assert.h"
-
 namespace manet::scenario {
 
 util::MeanCI aggregate(const std::vector<RunResult>& runs,
@@ -52,43 +49,6 @@ std::vector<AlgorithmSpec> paper_algorithms() {
       {"lowest_id", factory_by_name("lowest_id")},
       {"mobic", factory_by_name("mobic")},
   };
-}
-
-std::vector<RunResult> run_replications(Scenario scenario,
-                                        const OptionsFactory& factory,
-                                        int replications) {
-  return Runner().replications(scenario, factory, replications);
-}
-
-std::vector<SweepPoint> sweep(
-    const Scenario& base, const std::vector<double>& xs,
-    const std::function<void(Scenario&, double)>& configure,
-    const std::vector<AlgorithmSpec>& algorithms, const FieldFn& field,
-    int replications) {
-  SweepSpec spec;
-  spec.base = base;
-  spec.xs = xs;
-  spec.configure = configure;
-  spec.algorithms = algorithms;
-  spec.fields = {{"value", field}};
-  spec.replications = replications;
-  return Runner().run(spec).series("value");
-}
-
-std::vector<MultiSweepPoint> sweep_fields(
-    const Scenario& base, const std::vector<double>& xs,
-    const std::function<void(Scenario&, double)>& configure,
-    const std::vector<AlgorithmSpec>& algorithms,
-    const std::vector<std::pair<std::string, FieldFn>>& fields,
-    int replications) {
-  SweepSpec spec;
-  spec.base = base;
-  spec.xs = xs;
-  spec.configure = configure;
-  spec.algorithms = algorithms;
-  spec.fields = fields;
-  spec.replications = replications;
-  return Runner().run(spec).multi();
 }
 
 }  // namespace manet::scenario

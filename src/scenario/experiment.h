@@ -1,9 +1,7 @@
 // Experiment vocabulary shared by the sweep runner and the figure benches:
 // result-field accessors, per-field aggregation with 95% confidence
 // intervals, algorithm specs, and the paper-style series types. The grid
-// execution itself lives in scenario/runner.h (scenario::Runner); the free
-// functions at the bottom of this header are deprecated serial-era shims
-// kept for one release.
+// execution itself lives in scenario/runner.h (scenario::Runner).
 #pragma once
 
 #include <functional>
@@ -66,38 +64,5 @@ struct MultiSweepPoint {
   /// values[algorithm][field name] -> aggregate.
   std::map<std::string, std::map<std::string, util::MeanCI>> values;
 };
-
-// ---------------------------------------------------------------------------
-// Deprecated serial-era entry points, kept as thin wrappers over
-// scenario::Runner for one release so out-of-tree callers keep compiling.
-// They honor $MANET_JOBS and produce bit-identical output to their original
-// serial implementations.
-// ---------------------------------------------------------------------------
-
-/// Runs `replications` seeds of `scenario` (seed = scenario.seed + k) and
-/// returns every per-run result.
-[[deprecated("use scenario::Runner::replications()")]]
-std::vector<RunResult> run_replications(Scenario scenario,
-                                        const OptionsFactory& factory,
-                                        int replications);
-
-/// Sweeps `xs`; for each x, `configure` mutates the scenario, then every
-/// algorithm runs `replications` seeds and `field` is aggregated.
-[[deprecated("use scenario::Runner::run() with a SweepSpec")]]
-std::vector<SweepPoint> sweep(
-    const Scenario& base, const std::vector<double>& xs,
-    const std::function<void(Scenario&, double)>& configure,
-    const std::vector<AlgorithmSpec>& algorithms, const FieldFn& field,
-    int replications);
-
-/// Like sweep(), but aggregates several result fields from the *same* runs
-/// (no re-simulation per field).
-[[deprecated("use scenario::Runner::run() with a SweepSpec")]]
-std::vector<MultiSweepPoint> sweep_fields(
-    const Scenario& base, const std::vector<double>& xs,
-    const std::function<void(Scenario&, double)>& configure,
-    const std::vector<AlgorithmSpec>& algorithms,
-    const std::vector<std::pair<std::string, FieldFn>>& fields,
-    int replications);
 
 }  // namespace manet::scenario

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "fault/fault.h"
+#include "scenario/worker.h"
 #include "util/assert.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -78,7 +79,8 @@ class Reporter {
       log_ << "{\"point\":" << record->point_index << ",\"x\":" << record->x
            << ",\"algorithm\":\"" << json_escape(record->algorithm)
            << "\",\"replicate\":" << record->replicate
-           << ",\"seed\":" << record->seed << ",\"status\":\"ok\""
+           << ",\"seed\":" << record->seed << ",\"status\":\""
+           << json_escape(record->status) << "\""
            << ",\"wall_s\":" << wall_seconds << ",\"sim_s\":" << sim_seconds
            << ",\"ch_changes\":" << r.ch_changes
            << ",\"reaffiliations\":" << r.reaffiliations
@@ -228,30 +230,80 @@ void Runner::for_each(std::size_t count,
 }
 
 void Runner::execute(std::vector<Job>& jobs) const {
+  cache_stats_ = CacheStats{};
   if (jobs.empty()) {
     return;
   }
   Reporter reporter(options_, jobs.size());
   std::vector<std::exception_ptr> errors(jobs.size());
   std::atomic<bool> abort{false};
-  const auto guarded = [&](std::size_t i) {
-    if (abort.load(std::memory_order_relaxed)) {
-      return;
-    }
-    Job& job = jobs[i];
-    // Default per-run trace tag: lets one sweep write distinct trace files
-    // through the {tag} placeholder of ObsConfig::trace_path.
+
+  // Default per-run trace tag: lets one sweep write distinct trace files
+  // through the {tag} placeholder of ObsConfig::trace_path. Done up front
+  // (serially) so the cache and the worker wire see the final Scenario.
+  for (Job& job : jobs) {
     if (job.scenario.obs.tag.empty()) {
       job.scenario.obs.tag = "p" + std::to_string(job.point_index) + "_" +
                              job.algorithm + "_s" +
                              std::to_string(job.scenario.seed);
     }
+  }
+
+  const auto make_record = [](const Job& job) {
     RunRecord record;
     record.point_index = job.point_index;
     record.x = job.x;
     record.algorithm = job.algorithm;
     record.replicate = job.replicate;
     record.seed = job.scenario.seed;
+    return record;
+  };
+
+  // Cache lookup phase: serial, on this thread (cheap — one small file
+  // read per cell), so hit reporting and MANET_LOG stay single-threaded.
+  // A run is cacheable only when its algorithm label is non-empty; the
+  // label names the configuration in the cache key.
+  std::unique_ptr<ResultCache> cache;
+  std::vector<std::string> filenames;    // per job; empty = not cacheable
+  std::vector<char> cached;              // per job; 1 = served from cache
+  std::vector<std::string> cached_text;  // on-disk bytes of each hit
+  if (!options_.cache_dir.empty()) {
+    cache = std::make_unique<ResultCache>(options_.cache_dir);
+    filenames.resize(jobs.size());
+    cached.assign(jobs.size(), 0);
+    cached_text.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      Job& job = jobs[i];
+      if (job.algorithm.empty()) {
+        continue;
+      }
+      filenames[i] = cache_cell_filename(job.scenario, job.algorithm);
+      if (auto hit = cache->load(filenames[i], &cached_text[i])) {
+        job.result = std::move(*hit);
+        job.wall_seconds = 0.0;
+        cached[i] = 1;
+        RunRecord record = make_record(job);
+        record.status = "cached";
+        record.result = &job.result;
+        reporter.finish_run(&record, 0.0, 0.0);
+      }
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (cached.empty() || cached[i] == 0) {
+      pending.push_back(i);
+    }
+  }
+
+  const auto guarded = [&](std::size_t i) {
+    if (abort.load(std::memory_order_relaxed)) {
+      return;
+    }
+    Job& job = jobs[i];
+    RunRecord record = make_record(job);
     const auto t0 = std::chrono::steady_clock::now();
     try {
       job.result = run_scenario(job.scenario, *job.factory);
@@ -259,6 +311,9 @@ void Runner::execute(std::vector<Job>& jobs) const {
       record.wall_seconds = job.wall_seconds;
       record.result = &job.result;
       reporter.finish_run(&record, job.scenario.sim_time, job.wall_seconds);
+      if (cache != nullptr && !filenames[i].empty()) {
+        cache->store(filenames[i], job.result);
+      }
     } catch (...) {
       errors[i] = std::current_exception();
       abort.store(true, std::memory_order_relaxed);
@@ -268,19 +323,124 @@ void Runner::execute(std::vector<Job>& jobs) const {
       reporter.finish_error(record, record.wall_seconds);
     }
   };
-  if (pool_ == nullptr) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
+
+  if (options_.workers > 0 && !pending.empty()) {
+    // Multi-process dispatch: ship each pending cell to a worker
+    // subprocess as (algorithm name, canonical scenario text); the reply
+    // is a cache cell record, decoded — and stored — on arrival. Cells
+    // are *assigned* to workers racily, but results land by index and the
+    // reduction below stays canonical, so output bytes are independent of
+    // the worker count and scheduling.
+    for (const std::size_t i : pending) {
+      MANET_CHECK(cluster::is_known_algorithm(jobs[i].algorithm),
+                  "--workers requires algorithms nameable across a process "
+                  "boundary; '"
+                      << jobs[i].algorithm
+                      << "' is not known to cluster::options_by_name");
+    }
+    const std::string worker_bin = resolve_worker_bin(options_.worker_bin);
+    std::vector<WorkerRequest> requests(pending.size());
+    std::vector<std::chrono::steady_clock::time_point> starts(
+        pending.size());
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const Job& job = jobs[pending[k]];
+      requests[k] = {job.algorithm,
+                     canonical_scenario_text(job.scenario)};
+    }
+    WorkerCallbacks callbacks;
+    callbacks.on_dispatch = [&](std::size_t k) {
+      starts[k] = std::chrono::steady_clock::now();
+    };
+    callbacks.should_abort = [&] {
+      return abort.load(std::memory_order_relaxed);
+    };
+    callbacks.on_response = [&](std::size_t k, const WorkerOutcome& out) {
+      const std::size_t i = pending[k];
+      Job& job = jobs[i];
+      RunRecord record = make_record(job);
+      const double wall = seconds_since(starts[k]);
+      try {
+        MANET_CHECK(out.cell.has_value(),
+                    "worker run failed: "
+                        << out.error.value_or("returned nothing"));
+        job.result = decode_cell(*out.cell);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+        record.status = "error";
+        record.error = describe_exception(errors[i]);
+        record.wall_seconds = wall;
+        reporter.finish_error(record, wall);
+        return;
+      }
+      job.wall_seconds = wall;
+      record.wall_seconds = wall;
+      record.result = &job.result;
+      reporter.finish_run(&record, job.scenario.sim_time, wall);
+      if (cache != nullptr && !filenames[i].empty()) {
+        cache->store(filenames[i], job.result);
+      }
+    };
+    const auto outcomes = run_jobs_on_workers(
+        worker_bin, static_cast<std::size_t>(options_.workers), requests,
+        callbacks);
+    for (std::size_t k = 0; k < outcomes.size(); ++k) {
+      const std::size_t i = pending[k];
+      if (!outcomes[k].cell.has_value() && !outcomes[k].error.has_value() &&
+          errors[i] == nullptr && !abort.load(std::memory_order_relaxed)) {
+        errors[i] = std::make_exception_ptr(util::CheckError(
+            "cell never executed (worker pool died before reaching it)"));
+      }
+    }
+  } else if (pool_ == nullptr) {
+    for (const std::size_t i : pending) {
       guarded(i);
     }
   } else {
     std::vector<std::future<void>> futures;
-    futures.reserve(jobs.size());
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
+    futures.reserve(pending.size());
+    for (const std::size_t i : pending) {
       futures.push_back(pool_->async([&guarded, i] { guarded(i); }));
     }
     for (auto& f : futures) {
       f.get();
     }
+  }
+
+  // --resume byte-verification: re-simulate a sample of the cache hits and
+  // compare against the exact on-disk bytes. Catches a stale cache whose
+  // epoch was not bumped, cells from a diverged build, or hand edits that
+  // kept the digest consistent.
+  if (cache != nullptr && options_.resume && options_.resume_verify != 0 &&
+      !abort.load(std::memory_order_relaxed)) {
+    std::vector<std::size_t> hits;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (cached[i] != 0) {
+        hits.push_back(i);
+      }
+    }
+    if (!hits.empty()) {
+      const std::size_t want =
+          options_.resume_verify < 0
+              ? std::max<std::size_t>(1, hits.size() / 16)
+              : std::min<std::size_t>(
+                    static_cast<std::size_t>(options_.resume_verify),
+                    hits.size());
+      for (std::size_t v = 0; v < want; ++v) {
+        const std::size_t i = hits[v * hits.size() / want];
+        const RunResult fresh =
+            run_scenario(jobs[i].scenario, *jobs[i].factory);
+        MANET_CHECK(encode_cell(fresh) == cached_text[i],
+                    "resume verification failed: cached cell "
+                        << filenames[i]
+                        << " is not byte-identical to recomputation "
+                           "(stale cache epoch or diverged build?)");
+        cache->note_verified();
+      }
+    }
+  }
+  if (cache != nullptr) {
+    cache_stats_ = cache->stats();
   }
   // The metrics log is written after the grid drains, in job (canonical)
   // order: byte-identical output for any worker count, unlike the

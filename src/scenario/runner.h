@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/cache.h"
 #include "scenario/experiment.h"
 #include "scenario/scenario.h"
 #include "util/progress.h"
@@ -56,8 +57,9 @@ struct RunRecord {
   int replicate = 0;        // seed offset k
   std::uint64_t seed = 0;   // the actual per-run seed
   double wall_seconds = 0.0;
-  /// "ok", or "error" when the run threw (the exception is still rethrown
-  /// to the caller after the grid drains; the log line is observability).
+  /// "ok"; "cached" when served from the result cache (wall_seconds 0);
+  /// "error" when the run threw (the exception is still rethrown to the
+  /// caller after the grid drains; the log line is observability).
   std::string status = "ok";
   std::string error;                  // what() of a failed run
   const RunResult* result = nullptr;  // valid only during the callback
@@ -83,6 +85,33 @@ struct RunnerOptions {
   /// Optional per-run hook, invoked serially (under a lock) as runs finish.
   /// Completion order is nondeterministic under jobs > 1.
   std::function<void(const RunRecord&)> on_run;
+
+  // --- sweep-farm mode (scenario/cache.h, scenario/worker.h) ---
+
+  /// When non-empty, a content-addressed result cache rooted here is
+  /// consulted before dispatch (hits are served without simulating,
+  /// status="cached") and every computed cell is stored into it. Only runs
+  /// with a non-empty algorithm label are cacheable — the label is the
+  /// algorithm's identity in the cache key, so it must uniquely name the
+  /// configuration. Results are byte-identical with or without a cache.
+  std::string cache_dir;
+  /// Checkpoint/resume mode (needs cache_dir): after the grid drains, a
+  /// sample of the cache hits is re-simulated and byte-compared against
+  /// the on-disk cells — cheap insurance that the resumed state matches
+  /// what this build computes. Throws CheckError on any mismatch.
+  bool resume = false;
+  /// Resume verification sample size: -1 = auto (1/16 of the hits, at
+  /// least one), 0 = skip verification, N = verify min(N, hits) cells.
+  int resume_verify = -1;
+  /// > 0: dispatch uncached cells to this many worker subprocesses
+  /// (`manetsim --worker`) instead of in-process threads. Requires every
+  /// algorithm label to be nameable (cluster::is_known_algorithm) so it
+  /// can cross the process boundary. Reduction stays canonical: output is
+  /// byte-identical for any workers/jobs combination.
+  int workers = 0;
+  /// Worker binary; empty = auto ($MANET_WORKER_BIN, then a manetsim next
+  /// to the current executable). See worker.h resolve_worker_bin().
+  std::string worker_bin;
 };
 
 /// Aggregated sweep results in canonical order, with per-seed raw samples.
@@ -120,8 +149,8 @@ class Runner {
   /// Runs the full grid and reduces in canonical order.
   SweepResult run(const SweepSpec& spec) const;
 
-  /// Parallel replacement for run_replications(): `replications` seeds of
-  /// `scenario` (seed = scenario.seed + k), results in seed order.
+  /// `replications` seeds of `scenario` (seed = scenario.seed + k),
+  /// results in seed order.
   std::vector<RunResult> replications(const Scenario& scenario,
                                       const OptionsFactory& factory,
                                       int replications,
@@ -152,6 +181,10 @@ class Runner {
   /// Resolves a jobs request: explicit value > $MANET_JOBS > hardware.
   static int resolve_jobs(int requested);
 
+  /// Cache counters of the most recent grid execution (all zero when
+  /// RunnerOptions::cache_dir is empty).
+  CacheStats cache_stats() const { return cache_stats_; }
+
  private:
   struct Job;  // one (point, algorithm, seed) cell of a grid
 
@@ -162,6 +195,7 @@ class Runner {
   RunnerOptions options_;
   int jobs_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;  // null when jobs_ == 1
+  mutable CacheStats cache_stats_;
 };
 
 }  // namespace manet::scenario

@@ -105,6 +105,11 @@ struct RunResult {
   std::uint64_t final_heads = 0;
   /// Observability snapshot; empty when Scenario::obs.metrics is off.
   obs::Snapshot metrics;
+
+  /// Bit-exact equality — the result-cache round-trip contract
+  /// (decode_cell(encode_cell(r)) == r) and --resume verification rest on
+  /// this.
+  bool operator==(const RunResult&) const = default;
 };
 
 /// Builds the cluster options for a run; receives the per-run stats sink.

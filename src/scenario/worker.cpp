@@ -1,0 +1,313 @@
+#include "scenario/worker.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <mutex>
+#include <thread>
+
+#include "scenario/cache.h"
+#include "scenario/scenario.h"
+#include "util/assert.h"
+#include "util/subprocess.h"
+
+namespace manet::scenario {
+
+namespace {
+
+constexpr std::size_t kMaxAttempts = 3;
+constexpr std::size_t kMaxFrame = 256u << 20;  // sanity bound, not a limit
+
+bool read_exact(int fd, char* buf, std::size_t n, bool* clean_eof) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    if (r <= 0) {
+      if (clean_eof != nullptr) {
+        *clean_eof = (r == 0 && got == 0);
+      }
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const char* buf, std::size_t n) {
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t w = ::write(fd, buf + put, n - put);
+    if (w < 0 && errno == EINTR) {
+      continue;
+    }
+    if (w <= 0) {
+      return false;
+    }
+    put += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void ignore_sigpipe_once() {
+  // A worker dying between our write() calls must surface as EPIPE, not
+  // kill the whole sweep.
+  static std::once_flag flag;
+  std::call_once(flag, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+/// "ok\n<cell>" / "error\n<what>" -> outcome; nullopt on a malformed
+/// response (treated as a transport failure by the farm).
+std::optional<WorkerOutcome> parse_response(const std::string& payload) {
+  WorkerOutcome out;
+  if (payload.rfind("ok\n", 0) == 0) {
+    out.cell = payload.substr(3);
+    return out;
+  }
+  if (payload.rfind("error\n", 0) == 0) {
+    out.error = payload.substr(6);
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string* payload) {
+  unsigned char header[4];
+  bool clean_eof = false;
+  if (!read_exact(fd, reinterpret_cast<char*>(header), 4, &clean_eof)) {
+    MANET_CHECK(clean_eof, "torn frame header (peer died mid-frame)");
+    return false;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  MANET_CHECK(len <= kMaxFrame, "absurd frame length " << len);
+  payload->resize(len);
+  if (len > 0 && !read_exact(fd, payload->data(), len, nullptr)) {
+    MANET_CHECK(false, "torn frame payload (peer died mid-frame)");
+  }
+  return true;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  MANET_CHECK(payload.size() <= kMaxFrame,
+              "absurd frame length " << payload.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(len & 0xff),
+      static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 24) & 0xff),
+  };
+  if (!write_all(fd, reinterpret_cast<const char*>(header), 4)) {
+    return false;
+  }
+  return payload.empty() || write_all(fd, payload.data(), payload.size());
+}
+
+int serve_worker(int in_fd, int out_fd) {
+  ignore_sigpipe_once();
+  std::string request;
+  for (;;) {
+    try {
+      if (!read_frame(in_fd, &request)) {
+        return 0;  // clean EOF: parent closed our stdin
+      }
+    } catch (const util::CheckError&) {
+      return 1;
+    }
+    std::string response;
+    try {
+      MANET_CHECK(request.rfind("run\n", 0) == 0,
+                  "bad worker request verb");
+      const std::size_t alg_end = request.find('\n', 4);
+      MANET_CHECK(alg_end != std::string::npos,
+                  "bad worker request framing");
+      const std::string algorithm = request.substr(4, alg_end - 4);
+      const Scenario scenario =
+          decode_canonical_scenario(request.substr(alg_end + 1));
+      const RunResult result =
+          run_scenario(scenario, factory_by_name(algorithm));
+      response = "ok\n" + encode_cell(result);
+    } catch (const std::exception& e) {
+      response = std::string("error\n") + e.what();
+    }
+    if (!write_frame(out_fd, response)) {
+      return 1;  // parent is gone
+    }
+  }
+}
+
+std::vector<WorkerOutcome> run_jobs_on_workers(
+    const std::string& worker_bin, std::size_t workers,
+    const std::vector<WorkerRequest>& requests,
+    const WorkerCallbacks& callbacks) {
+  MANET_CHECK(workers > 0, "need at least one worker");
+  ignore_sigpipe_once();
+
+  std::vector<WorkerOutcome> outcomes(requests.size());
+  if (requests.empty()) {
+    return outcomes;
+  }
+  workers = std::min(workers, requests.size());
+
+  // Spawned on the calling thread so pipe/fork failures throw before any
+  // client thread starts. An exec failure (bad binary path) is only
+  // visible later, as the child exiting 127 — the retry budget turns that
+  // into a per-cell error rather than a hang.
+  std::vector<util::Subprocess> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.push_back(
+        util::Subprocess::spawn({worker_bin, "--worker"}));
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;  // guards retry_queue + attempts
+  std::vector<std::size_t> retry_queue;
+  std::vector<std::size_t> attempts(requests.size(), 0);
+
+  auto fetch = [&]() -> std::optional<std::size_t> {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!retry_queue.empty()) {
+        const std::size_t i = retry_queue.back();
+        retry_queue.pop_back();
+        return i;
+      }
+    }
+    const std::size_t i = next.fetch_add(1);
+    if (i < requests.size()) {
+      return i;
+    }
+    return std::nullopt;
+  };
+
+  auto client = [&](std::size_t slot) {
+    util::Subprocess& proc = pool[slot];
+    for (;;) {
+      if (callbacks.should_abort && callbacks.should_abort()) {
+        break;
+      }
+      const auto job = fetch();
+      if (!job.has_value()) {
+        break;
+      }
+      const std::size_t i = *job;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++attempts[i];
+      }
+      if (callbacks.on_dispatch) {
+        callbacks.on_dispatch(i);
+      }
+      const std::string request =
+          "run\n" + requests[i].algorithm + "\n" + requests[i].scenario_text;
+      std::string payload;
+      bool transport_ok = write_frame(proc.stdin_fd(), request);
+      if (transport_ok) {
+        try {
+          transport_ok = read_frame(proc.stdout_fd(), &payload);
+        } catch (const util::CheckError&) {
+          transport_ok = false;
+        }
+      }
+      std::optional<WorkerOutcome> parsed;
+      if (transport_ok) {
+        parsed = parse_response(payload);
+      }
+      if (parsed.has_value()) {
+        outcomes[i] = std::move(*parsed);
+        if (callbacks.on_response) {
+          callbacks.on_response(i, outcomes[i]);
+        }
+        continue;
+      }
+      // The worker died mid-cell (crash, kill, exec failure) or spoke
+      // garbage: replace it and retry the cell within budget.
+      const int code = (proc.kill_hard(), proc.wait());
+      bool give_up = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (attempts[i] >= kMaxAttempts) {
+          give_up = true;
+        } else {
+          retry_queue.push_back(i);
+        }
+      }
+      if (give_up) {
+        outcomes[i].error = "worker process failed (exit status " +
+                            std::to_string(code) + ") after " +
+                            std::to_string(kMaxAttempts) +
+                            " attempts on this cell";
+        if (callbacks.on_response) {
+          callbacks.on_response(i, outcomes[i]);
+        }
+      }
+      try {
+        proc = util::Subprocess::spawn({worker_bin, "--worker"});
+      } catch (const util::CheckError&) {
+        // This client is done; a requeued cell stays in retry_queue for
+        // the surviving workers (the caller flags it if none survive).
+        break;
+      }
+    }
+    proc.close_stdin();
+    proc.wait();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back(client, w);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  return outcomes;
+}
+
+std::string resolve_worker_bin(const std::string& requested) {
+  std::vector<std::string> candidates;
+  if (!requested.empty()) {
+    candidates.push_back(requested);
+  } else {
+    if (const char* env = std::getenv("MANET_WORKER_BIN");
+        env != nullptr && *env != '\0') {
+      candidates.push_back(env);
+    } else {
+      char buf[4096];
+      const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+      if (n > 0) {
+        std::string self(buf, static_cast<std::size_t>(n));
+        const std::size_t slash = self.rfind('/');
+        const std::string dir =
+            slash == std::string::npos ? "." : self.substr(0, slash);
+        candidates.push_back(dir + "/manetsim");
+        candidates.push_back(dir + "/../examples/manetsim");
+      }
+    }
+  }
+  std::string tried;
+  for (const std::string& c : candidates) {
+    if (::access(c.c_str(), X_OK) == 0) {
+      return c;
+    }
+    tried += (tried.empty() ? "" : ", ") + c;
+  }
+  MANET_CHECK(false,
+              "no executable worker binary found (tried: "
+                  << (tried.empty() ? "nothing" : tried)
+                  << "); pass --worker-bin or set $MANET_WORKER_BIN");
+  return {};  // unreachable
+}
+
+}  // namespace manet::scenario

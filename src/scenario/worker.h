@@ -1,0 +1,88 @@
+// The sweep farm's multi-process dispatch: `manetsim --worker` subprocesses
+// executing cells shipped over a length-prefixed stdin/stdout queue.
+//
+// Wire protocol (all frames: u32 little-endian payload length + payload):
+//
+//   request   "run\n<algorithm>\n<canonical scenario text>"
+//   response  "ok\n<cell record>"        (scenario/cache.h encode_cell)
+//             "error\n<what() text>"     (the run threw; worker stays up)
+//
+// Closing the worker's stdin is the clean-shutdown signal; it exits 0. The
+// scenario travels as canonical_scenario_text() and the result comes back
+// as a digest-carrying cell record, so the wire format *is* the cache
+// format — one serialization to test, and a worker response can be stored
+// into the cache byte-for-byte.
+//
+// Determinism: a worker runs the same single-threaded run_scenario() as
+// in-process dispatch on a bit-identical Scenario, so responses are
+// byte-identical to local computation. The farm assigns cells to workers
+// dynamically (racy by design) but the caller reduces results in canonical
+// job order, so final output is independent of --workers and scheduling.
+//
+// Crash handling: a worker that dies mid-cell (EOF / write failure) is
+// respawned and the cell retried on another worker, up to a small attempt
+// budget; a cell that *reports* an error (deterministic failure) is not
+// retried — rerunning a deterministic failure yields the same failure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace manet::scenario {
+
+/// One frame: u32 LE length, then that many payload bytes. Reads/writes
+/// loop over short transfers and EINTR. read_frame returns false on clean
+/// EOF at a frame boundary and throws CheckError on a torn frame;
+/// write_frame returns false when the peer is gone (EPIPE / closed fd).
+bool read_frame(int fd, std::string* payload);
+bool write_frame(int fd, std::string_view payload);
+
+/// Serves requests from `in_fd` until EOF (the shutdown signal). Returns
+/// the process exit code: 0 after a clean EOF, 1 when the transport broke.
+/// Run errors are reported in-band ("error\n...") and do not end the loop.
+int serve_worker(int in_fd, int out_fd);
+
+/// A cell to dispatch: the request frame is built from these.
+struct WorkerRequest {
+  std::string algorithm;
+  std::string scenario_text;  // canonical_scenario_text() of the cell
+};
+
+/// Result of one cell: exactly one of `cell` (the "ok" payload — a cache
+/// cell record) or `error` is set. `error` is set both for deterministic
+/// in-band failures and for cells whose retry budget ran out. Both unset
+/// means the cell was never executed (abort, or the whole pool died).
+struct WorkerOutcome {
+  std::optional<std::string> cell;
+  std::optional<std::string> error;
+};
+
+/// Farm observer hooks; any may be empty. on_dispatch/on_response fire on
+/// the farm's client threads (one per worker), keyed by request index; a
+/// given index is only ever touched by one thread at a time, but different
+/// indices fire concurrently — shared state in the hooks needs locking.
+struct WorkerCallbacks {
+  std::function<void(std::size_t)> on_dispatch;
+  std::function<void(std::size_t, const WorkerOutcome&)> on_response;
+  std::function<bool()> should_abort;  // polled between cells
+};
+
+/// Runs every request on a pool of `workers` subprocesses (each spawned as
+/// `worker_bin --worker`), retrying transport-failed cells on respawned
+/// workers. Returns outcomes indexed like `requests`. Throws CheckError
+/// when the worker binary cannot be spawned at all.
+std::vector<WorkerOutcome> run_jobs_on_workers(
+    const std::string& worker_bin, std::size_t workers,
+    const std::vector<WorkerRequest>& requests,
+    const WorkerCallbacks& callbacks = {});
+
+/// Resolves the worker binary path: `requested` when non-empty, else
+/// $MANET_WORKER_BIN, else a sibling "manetsim" of the current executable,
+/// else "../examples/manetsim" relative to it. Throws CheckError with the
+/// tried candidates when none is executable.
+std::string resolve_worker_bin(const std::string& requested);
+
+}  // namespace manet::scenario

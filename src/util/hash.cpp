@@ -1,0 +1,15 @@
+#include "util/hash.h"
+
+namespace manet::util {
+
+std::string hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace manet::util

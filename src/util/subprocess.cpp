@@ -1,0 +1,153 @@
+#include "util/subprocess.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace manet::util {
+
+namespace {
+
+void close_quiet(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+  MANET_CHECK(!argv.empty(), "Subprocess::spawn: empty argv");
+  int to_child[2] = {-1, -1};    // parent writes [1] -> child stdin [0]
+  int from_child[2] = {-1, -1};  // child stdout [1] -> parent reads [0]
+  MANET_CHECK(::pipe(to_child) == 0,
+              "pipe() failed: " << ::strerror(errno));
+  if (::pipe(from_child) != 0) {
+    const int err = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    MANET_CHECK(false, "pipe() failed: " << ::strerror(err));
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]}) {
+      ::close(fd);
+    }
+    MANET_CHECK(false, "fork() failed: " << ::strerror(err));
+  }
+
+  if (pid == 0) {
+    // Child: wire the pipes onto stdin/stdout, close everything else we
+    // opened, exec. Only async-signal-safe calls between fork and exec.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) {
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    _exit(127);  // exec failed; parent sees EOF + exit code 127
+  }
+
+  // Parent.
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  Subprocess p;
+  p.pid_ = pid;
+  p.stdin_fd_ = to_child[1];
+  p.stdout_fd_ = from_child[0];
+  return p;
+}
+
+Subprocess::~Subprocess() {
+  if (valid() && !reaped_) {
+    kill_hard();
+    wait();
+  }
+  close_quiet(stdin_fd_);
+  close_quiet(stdout_fd_);
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept {
+  *this = std::move(other);
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    if (valid() && !reaped_) {
+      kill_hard();
+      wait();
+    }
+    close_quiet(stdin_fd_);
+    close_quiet(stdout_fd_);
+    pid_ = other.pid_;
+    stdin_fd_ = other.stdin_fd_;
+    stdout_fd_ = other.stdout_fd_;
+    exit_code_ = other.exit_code_;
+    reaped_ = other.reaped_;
+    other.reset();
+  }
+  return *this;
+}
+
+void Subprocess::reset() noexcept {
+  pid_ = -1;
+  stdin_fd_ = -1;
+  stdout_fd_ = -1;
+  exit_code_ = -1;
+  reaped_ = false;
+}
+
+void Subprocess::close_stdin() {
+  close_quiet(stdin_fd_);
+}
+
+void Subprocess::kill_hard() {
+  if (valid() && !reaped_) {
+    ::kill(pid_, SIGKILL);
+  }
+}
+
+int Subprocess::wait() {
+  if (!valid()) {
+    return -1;
+  }
+  if (reaped_) {
+    return exit_code_;
+  }
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  reaped_ = true;
+  if (r < 0) {
+    exit_code_ = -1;
+  } else if (WIFEXITED(status)) {
+    exit_code_ = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    exit_code_ = 128 + WTERMSIG(status);
+  } else {
+    exit_code_ = -1;
+  }
+  return exit_code_;
+}
+
+}  // namespace manet::util

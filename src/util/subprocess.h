@@ -1,0 +1,65 @@
+// Minimal POSIX subprocess with piped stdin/stdout, used by the sweep
+// farm's multi-process dispatch (scenario/worker.h). stderr is inherited so
+// worker diagnostics land on the parent's stderr.
+//
+// Deliberately tiny: spawn, talk over two pipes, wait or kill. No pty, no
+// shell, no async I/O — the worker protocol is strictly request/response,
+// so blocking reads from a dedicated client thread are exactly right.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace manet::util {
+
+class Subprocess {
+ public:
+  /// An empty handle; valid() is false until assigned from spawn().
+  Subprocess() = default;
+
+  /// Forks and execs `argv` (argv[0] resolved via PATH) with a pipe on each
+  /// of stdin and stdout. Throws CheckError when the pipes or the fork fail;
+  /// an exec failure surfaces as the child exiting 127 (visible as EOF on
+  /// stdout_fd and a 127 from wait()).
+  static Subprocess spawn(const std::vector<std::string>& argv);
+
+  /// Kills the child (SIGKILL) and reaps it if still running.
+  ~Subprocess();
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  bool valid() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+
+  /// Write end of the child's stdin; -1 after close_stdin().
+  int stdin_fd() const { return stdin_fd_; }
+  /// Read end of the child's stdout.
+  int stdout_fd() const { return stdout_fd_; }
+
+  /// Closes the child's stdin (EOF on its next read) — the clean-shutdown
+  /// signal of the worker protocol.
+  void close_stdin();
+
+  /// SIGKILL; safe to call on an already-dead or invalid handle.
+  void kill_hard();
+
+  /// Reaps the child (blocking). Returns the exit code, or 128 + signal
+  /// when it died on one; -1 for an invalid handle. Idempotent.
+  int wait();
+
+ private:
+  void reset() noexcept;
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  int exit_code_ = -1;
+  bool reaped_ = false;
+};
+
+}  // namespace manet::util

@@ -1,0 +1,373 @@
+// Sweep-farm result cache (scenario/cache.h): key stability and
+// sensitivity, cell round-trips, corruption handling, and the Runner's
+// cache / resume semantics.
+#include <gtest/gtest.h>
+#include <stdlib.h>  // setenv/unsetenv
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "scenario/cache.h"
+#include "scenario/runner.h"
+#include "util/assert.h"
+
+namespace manet::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Every key test pins the epoch: keys must not depend on how the test
+// binary was built.
+class CacheKeyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setenv("MANET_CACHE_EPOCH", "golden", 1); }
+  void TearDown() override { unsetenv("MANET_CACHE_EPOCH"); }
+};
+
+Scenario small_scenario() {
+  Scenario s;
+  s.n_nodes = 16;
+  s.fleet.field = geom::Rect(300.0, 300.0);
+  s.fleet.max_speed = 8.0;
+  s.tx_range = 120.0;
+  s.sim_time = 60.0;
+  s.warmup = 5.0;
+  s.seed = 7;
+  return s;
+}
+
+// A unique per-test scratch directory under the system temp dir.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("manet_cache_test_" + name + "_" +
+                        std::to_string(static_cast<long>(::getpid())));
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST_F(CacheKeyTest, GoldenKeyIsPinned) {
+  // The content address of the default paper Scenario under the pinned
+  // epoch. This value changing means every previously cached cell in every
+  // farm silently stops matching — that must be a deliberate decision, not
+  // a side effect. If the change is intentional (a new Scenario field, a
+  // canonical-text change), update the pin and say so in the PR.
+  EXPECT_EQ(cache_key(Scenario{}, "mobic"), "c28dd16a39cad454");
+}
+
+TEST_F(CacheKeyTest, KeyIsDeterministic) {
+  const Scenario s = small_scenario();
+  EXPECT_EQ(cache_key(s, "mobic"), cache_key(s, "mobic"));
+  // A copy hashes the same — no address- or iteration-order dependence.
+  const Scenario copy = s;
+  EXPECT_EQ(cache_key(s, "mobic"), cache_key(copy, "mobic"));
+}
+
+TEST_F(CacheKeyTest, EverySemanticFieldChangesTheKey) {
+  const Scenario base = small_scenario();
+  const std::string base_key = cache_key(base, "mobic");
+
+  std::set<std::string> keys{base_key};
+  const auto mutated = [&](void (*mutate)(Scenario&)) {
+    Scenario s = small_scenario();
+    mutate(s);
+    return cache_key(s, "mobic");
+  };
+  const auto expect_distinct = [&](const char* what,
+                                   void (*mutate)(Scenario&)) {
+    const std::string key = mutated(mutate);
+    EXPECT_NE(key, base_key) << what << " did not change the cache key";
+    EXPECT_TRUE(keys.insert(key).second)
+        << what << " collided with another mutation's key";
+  };
+
+  expect_distinct("n_nodes", [](Scenario& s) { s.n_nodes = 17; });
+  expect_distinct("tx_range", [](Scenario& s) { s.tx_range = 121.0; });
+  expect_distinct("sim_time", [](Scenario& s) { s.sim_time = 61.0; });
+  expect_distinct("warmup", [](Scenario& s) { s.warmup = 6.0; });
+  expect_distinct("sample_period",
+                  [](Scenario& s) { s.sample_period = 2.0; });
+  expect_distinct("seed", [](Scenario& s) { s.seed = 8; });
+  expect_distinct("propagation",
+                  [](Scenario& s) { s.propagation = "two_ray"; });
+  expect_distinct("pathloss_exponent",
+                  [](Scenario& s) { s.pathloss_exponent = 3.0; });
+  expect_distinct("shadowing_sigma_db",
+                  [](Scenario& s) { s.shadowing_sigma_db = 6.0; });
+  expect_distinct("fleet.kind", [](Scenario& s) {
+    s.fleet.kind = mobility::ModelKind::kRandomWalk;
+  });
+  expect_distinct("fleet.field", [](Scenario& s) {
+    s.fleet.field = geom::Rect(301.0, 300.0);
+  });
+  expect_distinct("fleet.max_speed",
+                  [](Scenario& s) { s.fleet.max_speed = 9.0; });
+  expect_distinct("fleet.min_speed",
+                  [](Scenario& s) { s.fleet.min_speed = 0.2; });
+  expect_distinct("fleet.pause_time",
+                  [](Scenario& s) { s.fleet.pause_time = 1.0; });
+  expect_distinct("net.broadcast_interval",
+                  [](Scenario& s) { s.net.broadcast_interval = 2.5; });
+  expect_distinct("net.neighbor_timeout",
+                  [](Scenario& s) { s.net.neighbor_timeout = 3.5; });
+  expect_distinct("net.packet_loss",
+                  [](Scenario& s) { s.net.packet_loss = 0.1; });
+  expect_distinct("net.collision_window",
+                  [](Scenario& s) { s.net.collision_window = 0.001; });
+  expect_distinct("net.delivery_delay",
+                  [](Scenario& s) { s.net.delivery_delay = 0.001; });
+  expect_distinct("faults.crash_rate",
+                  [](Scenario& s) { s.faults.crash_rate = 0.05; });
+  expect_distinct("faults.partitions",
+                  [](Scenario& s) { s.faults.partitions = 1; });
+  expect_distinct("faults.extra", [](Scenario& s) {
+    fault::FaultEvent e;
+    e.kind = fault::FaultKind::kCrash;
+    e.at = 10.0;
+    e.until = 20.0;
+    e.node = 3;
+    s.faults.extra.push_back(e);
+  });
+  expect_distinct("obs.metrics", [](Scenario& s) { s.obs.metrics = false; });
+  expect_distinct("obs.trace", [](Scenario& s) {
+    s.obs.trace = obs::TraceLevel::kFull;
+  });
+
+  // The tiniest representable change to a double is a different cell.
+  expect_distinct("tx_range ulp", [](Scenario& s) {
+    s.tx_range = std::nextafter(s.tx_range, 1000.0);
+  });
+}
+
+TEST_F(CacheKeyTest, AlgorithmAndEpochSaltTheKey) {
+  const Scenario s = small_scenario();
+  const std::string mobic = cache_key(s, "mobic");
+  EXPECT_NE(mobic, cache_key(s, "lowest_id"));
+
+  setenv("MANET_CACHE_EPOCH", "golden-2", 1);
+  EXPECT_NE(mobic, cache_key(s, "mobic"));
+  setenv("MANET_CACHE_EPOCH", "golden", 1);
+  EXPECT_EQ(mobic, cache_key(s, "mobic"));
+}
+
+TEST_F(CacheKeyTest, PresentationFieldsDoNotChangeTheKey) {
+  Scenario s = small_scenario();
+  s.obs.trace = obs::TraceLevel::kSpans;  // fix the level explicitly
+  const std::string base_key = cache_key(s, "mobic");
+
+  Scenario traced = s;
+  traced.obs.trace_path = "trace_{seed}.json";
+  traced.obs.tag = "p0_mobic_s7";
+  EXPECT_EQ(cache_key(traced, "mobic"), base_key);
+
+  // fleet.duration is synced to sim_time by run_scenario, so it is not
+  // part of the cell's identity either.
+  Scenario stretched = s;
+  stretched.fleet.duration = 1234.5;
+  EXPECT_EQ(cache_key(stretched, "mobic"), base_key);
+
+  // But a trace_path on a level-kOff scenario promotes the effective level
+  // to kSpans (obs::ObsConfig contract), which *is* semantic: the sampler
+  // stays off, yet the promoted level must hash like an explicit kSpans.
+  Scenario promoted = small_scenario();
+  promoted.obs.trace_path = "t.json";
+  EXPECT_EQ(cache_key(promoted, "mobic"), base_key);
+}
+
+TEST_F(CacheKeyTest, CanonicalTextRoundTripsBitExactly) {
+  Scenario s = small_scenario();
+  s.propagation = "shadowing";
+  s.fleet.kind = mobility::ModelKind::kGaussMarkov;
+  s.faults.crash_rate = 0.03;
+  s.faults.partitions = 2;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kCrash;
+  e.at = 12.5;
+  e.until = 30.0;
+  e.node = 5;
+  s.faults.extra.push_back(e);
+  s.obs.trace_path = "out_{tag}.json";
+  s.obs.tag = "cell-tag";
+
+  const std::string text = canonical_scenario_text(s);
+  const Scenario back = decode_canonical_scenario(text);
+  EXPECT_EQ(canonical_scenario_text(back), text);
+  EXPECT_EQ(back.obs.trace_path, s.obs.trace_path);
+  EXPECT_EQ(back.obs.tag, s.obs.tag);
+  EXPECT_EQ(cache_key(back, "mobic"), cache_key(s, "mobic"));
+
+  EXPECT_THROW(decode_canonical_scenario("not a scenario"),
+               util::CheckError);
+}
+
+TEST(CellCodecTest, RoundTripsBitExactly) {
+  Scenario s = small_scenario();
+  s.faults.begin = 10.0;
+  s.faults.end = 50.0;
+  s.faults.crash_rate = 0.05;  // populate the fault/recovery fields
+  const RunResult r = run_scenario(s, factory_by_name("mobic"));
+  ASSERT_FALSE(r.metrics.empty());  // counters + histograms in the cell
+
+  const std::string cell = encode_cell(r);
+  const RunResult back = decode_cell(cell);
+  EXPECT_TRUE(back == r);
+  EXPECT_EQ(encode_cell(back), cell);
+}
+
+TEST(CellCodecTest, RejectsTamperedOrTruncatedCells) {
+  const RunResult r =
+      run_scenario(small_scenario(), factory_by_name("mobic"));
+  const std::string cell = encode_cell(r);
+
+  EXPECT_THROW(decode_cell(""), util::CheckError);
+  EXPECT_THROW(decode_cell("manet-cell/1\n"), util::CheckError);
+  EXPECT_THROW(decode_cell(cell.substr(0, cell.size() / 2)),
+               util::CheckError);
+  std::string flipped = cell;
+  flipped[cell.size() / 3] ^= 1;
+  EXPECT_THROW(decode_cell(flipped), util::CheckError);
+}
+
+TEST(ResultCacheTest, CorruptCellReadsAsMissNeverAsResult) {
+  const fs::path dir = scratch_dir("corrupt");
+  const Scenario s = small_scenario();
+  const std::string filename = cache_cell_filename(s, "mobic");
+  const RunResult r = run_scenario(s, factory_by_name("mobic"));
+  {
+    ResultCache cache(dir.string());
+    EXPECT_FALSE(cache.load(filename).has_value());
+    cache.store(filename, r);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+    ASSERT_TRUE(cache.load(filename).has_value());
+    EXPECT_TRUE(*cache.load(filename) == r);
+  }
+  // Flip one byte on disk: the next load must detect it and recompute.
+  {
+    std::ifstream in(dir / filename, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes[bytes.size() / 2] ^= 1;
+    std::ofstream out(dir / filename, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  ResultCache cache(dir.string());
+  EXPECT_FALSE(cache.load(filename).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(RunnerCacheTest, SecondRunIsServedFromCacheByteIdentically) {
+  const fs::path dir = scratch_dir("runner");
+  const Scenario s = small_scenario();
+  const OptionsFactory factory = factory_by_name("mobic");
+
+  RunnerOptions options;
+  options.jobs = 1;
+  options.cache_dir = dir.string();
+
+  const Runner cold(options);
+  const auto first = cold.replications(s, factory, 3, "mobic");
+  EXPECT_EQ(cold.cache_stats().misses, 3u);
+  EXPECT_EQ(cold.cache_stats().stores, 3u);
+  EXPECT_EQ(cold.cache_stats().hits, 0u);
+
+  // A fresh Runner (fresh process stand-in) must hit every cell and
+  // reproduce the results bit-exactly.
+  const Runner warm(options);
+  const auto second = warm.replications(s, factory, 3, "mobic");
+  EXPECT_EQ(warm.cache_stats().hits, 3u);
+  EXPECT_EQ(warm.cache_stats().misses, 0u);
+  EXPECT_TRUE(first == second);
+
+  // Unlabeled runs are not cacheable and bypass the cache entirely.
+  const Runner unlabeled(options);
+  const auto bare = unlabeled.replications(s, factory, 1);
+  EXPECT_EQ(unlabeled.cache_stats().hits, 0u);
+  EXPECT_EQ(unlabeled.cache_stats().misses, 0u);
+  EXPECT_TRUE(bare[0] == first[0]);
+  fs::remove_all(dir);
+}
+
+TEST(RunnerCacheTest, CacheContentsIndependentOfJobs) {
+  const fs::path dir1 = scratch_dir("jobs1");
+  const fs::path dir4 = scratch_dir("jobs4");
+  const Scenario s = small_scenario();
+  const OptionsFactory factory = factory_by_name("mobic");
+
+  RunnerOptions o1;
+  o1.jobs = 1;
+  o1.cache_dir = dir1.string();
+  RunnerOptions o4 = o1;
+  o4.jobs = 4;
+  o4.cache_dir = dir4.string();
+  const auto r1 = Runner(o1).replications(s, factory, 4, "mobic");
+  const auto r4 = Runner(o4).replications(s, factory, 4, "mobic");
+  EXPECT_TRUE(r1 == r4);
+
+  // Same cells, same names, same bytes.
+  std::set<std::string> names1, names4;
+  for (const auto& entry : fs::directory_iterator(dir1)) {
+    names1.insert(entry.path().filename().string());
+  }
+  for (const auto& entry : fs::directory_iterator(dir4)) {
+    names4.insert(entry.path().filename().string());
+  }
+  ASSERT_EQ(names1, names4);
+  ASSERT_EQ(names1.size(), 4u);
+  for (const std::string& name : names1) {
+    std::ifstream a(dir1 / name, std::ios::binary);
+    std::ifstream b(dir4 / name, std::ios::binary);
+    const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                              std::istreambuf_iterator<char>());
+    const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                              std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes_a, bytes_b) << name;
+  }
+  fs::remove_all(dir1);
+  fs::remove_all(dir4);
+}
+
+TEST(RunnerCacheTest, ResumeVerifiesHitsAndCatchesForgedCells) {
+  const fs::path dir = scratch_dir("resume");
+  const Scenario s = small_scenario();
+  const OptionsFactory factory = factory_by_name("mobic");
+
+  RunnerOptions options;
+  options.jobs = 1;
+  options.cache_dir = dir.string();
+  Runner(options).replications(s, factory, 2, "mobic");
+
+  // Honest resume: hits verified, results identical.
+  options.resume = true;
+  options.resume_verify = 2;
+  const Runner resumed(options);
+  const auto again = resumed.replications(s, factory, 2, "mobic");
+  EXPECT_EQ(resumed.cache_stats().hits, 2u);
+  EXPECT_EQ(resumed.cache_stats().verified, 2u);
+
+  // Forge a cell that *decodes cleanly* (digest recomputed over altered
+  // values). A plain load cannot tell — only --resume's byte-comparison
+  // against recomputation can, and must.
+  const std::string filename = cache_cell_filename(s, "mobic");
+  RunResult forged = decode_cell([&] {
+    std::ifstream in(dir / filename, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }());
+  forged.ch_changes += 1;
+  {
+    std::ofstream out(dir / filename, std::ios::binary | std::ios::trunc);
+    out << encode_cell(forged);
+  }
+  EXPECT_THROW(Runner(options).replications(s, factory, 2, "mobic"),
+               util::CheckError);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace manet::scenario

@@ -142,53 +142,6 @@ TEST(SweepTest, RunsGridAndLabelsPoints) {
   EXPECT_THROW(Runner().run(empty), util::CheckError);
 }
 
-// The pre-Runner free functions must keep working (as deprecated shims
-// over Runner) and produce the same numbers.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DeprecatedWrapperTest, MatchesRunner) {
-  auto base = small_scenario();
-  base.sim_time = 60.0;
-
-  const auto wrapped =
-      run_replications(base, factory_by_name("mobic"), 2);
-  const auto direct =
-      Runner().replications(base, factory_by_name("mobic"), 2);
-  ASSERT_EQ(wrapped.size(), direct.size());
-  for (std::size_t i = 0; i < wrapped.size(); ++i) {
-    EXPECT_EQ(wrapped[i].ch_changes, direct[i].ch_changes);
-    EXPECT_EQ(wrapped[i].hellos_delivered, direct[i].hellos_delivered);
-  }
-
-  const auto configure = [](Scenario& s, double tx) { s.tx_range = tx; };
-  const auto series = sweep(base, {80.0, 160.0}, configure,
-                            paper_algorithms(), field_avg_clusters, 2);
-  SweepSpec spec;
-  spec.base = base;
-  spec.xs = {80.0, 160.0};
-  spec.configure = configure;
-  spec.algorithms = paper_algorithms();
-  spec.fields = {{"value", field_avg_clusters}};
-  spec.replications = 2;
-  const auto direct_series = Runner().run(spec).series("value");
-  ASSERT_EQ(series.size(), direct_series.size());
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    EXPECT_DOUBLE_EQ(series[i].x, direct_series[i].x);
-    for (const auto& [name, agg] : series[i].values) {
-      EXPECT_DOUBLE_EQ(agg.mean, direct_series[i].values.at(name).mean);
-    }
-  }
-
-  const auto multi =
-      sweep_fields(base, {80.0}, configure, paper_algorithms(),
-                   {{"clusters", field_avg_clusters}}, 2);
-  ASSERT_EQ(multi.size(), 1u);
-  EXPECT_DOUBLE_EQ(
-      multi[0].values.at("mobic").at("clusters").mean,
-      direct_series[0].values.at("mobic").mean);
-}
-#pragma GCC diagnostic pop
-
 TEST(FieldFnTest, Accessors) {
   RunResult r;
   r.ch_changes = 5;

@@ -1,0 +1,212 @@
+// Sweep-farm worker protocol (scenario/worker.h): frame transport,
+// serve_worker request handling, the subprocess farm against the real
+// `manetsim --worker` binary, and Runner --workers byte-identity.
+//
+// CTest exports MANET_WORKER_BIN=<built manetsim>; tests that need the real
+// binary skip when it is absent (e.g. a bare ./test_worker_protocol run).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/cache.h"
+#include "scenario/runner.h"
+#include "scenario/worker.h"
+#include "util/assert.h"
+
+namespace manet::scenario {
+namespace {
+
+Scenario small_scenario() {
+  Scenario s;
+  s.n_nodes = 16;
+  s.fleet.field = geom::Rect(300.0, 300.0);
+  s.fleet.max_speed = 8.0;
+  s.tx_range = 120.0;
+  s.sim_time = 60.0;
+  s.warmup = 5.0;
+  s.seed = 7;
+  return s;
+}
+
+const char* worker_bin_from_env() { return std::getenv("MANET_WORKER_BIN"); }
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  int read_fd() const { return fds[0]; }
+  int write_fd() const { return fds[1]; }
+  void close_read() {
+    if (fds[0] >= 0) {
+      ::close(fds[0]);
+      fds[0] = -1;
+    }
+  }
+  void close_write() {
+    if (fds[1] >= 0) {
+      ::close(fds[1]);
+      fds[1] = -1;
+    }
+  }
+};
+
+TEST(FrameTest, RoundTripsPayloads) {
+  Pipe pipe;
+  for (const std::string& payload :
+       {std::string("hello"), std::string(""),
+        std::string("binary\0payload\n", 15)}) {
+    ASSERT_TRUE(write_frame(pipe.write_fd(), payload));
+    std::string back;
+    ASSERT_TRUE(read_frame(pipe.read_fd(), &back));
+    EXPECT_EQ(back, payload);
+  }
+}
+
+TEST(FrameTest, CleanEofAtFrameBoundaryReturnsFalse) {
+  Pipe pipe;
+  pipe.close_write();
+  std::string payload;
+  EXPECT_FALSE(read_frame(pipe.read_fd(), &payload));
+}
+
+TEST(FrameTest, TornFrameThrows) {
+  {
+    // EOF inside the length header.
+    Pipe pipe;
+    const char partial[2] = {0x10, 0x00};
+    ASSERT_EQ(::write(pipe.write_fd(), partial, sizeof partial),
+              static_cast<ssize_t>(sizeof partial));
+    pipe.close_write();
+    std::string payload;
+    EXPECT_THROW(read_frame(pipe.read_fd(), &payload), util::CheckError);
+  }
+  {
+    // EOF inside the payload.
+    Pipe pipe;
+    const unsigned char header[4] = {8, 0, 0, 0};
+    ASSERT_EQ(::write(pipe.write_fd(), header, sizeof header),
+              static_cast<ssize_t>(sizeof header));
+    ASSERT_EQ(::write(pipe.write_fd(), "abc", 3), 3);
+    pipe.close_write();
+    std::string payload;
+    EXPECT_THROW(read_frame(pipe.read_fd(), &payload), util::CheckError);
+  }
+}
+
+// serve_worker driven in-process over pipes: the exact loop the `manetsim
+// --worker` subprocess runs, minus the fork.
+TEST(ServeWorkerTest, RunsCellsAndReportsErrorsInBand) {
+  Pipe to_worker;
+  Pipe from_worker;
+  std::thread worker([&] {
+    EXPECT_EQ(serve_worker(to_worker.read_fd(), from_worker.write_fd()), 0);
+    from_worker.close_write();
+  });
+
+  const Scenario s = small_scenario();
+  const std::string request =
+      "run\nmobic\n" + canonical_scenario_text(s);
+  ASSERT_TRUE(write_frame(to_worker.write_fd(), request));
+  std::string response;
+  ASSERT_TRUE(read_frame(from_worker.read_fd(), &response));
+  ASSERT_EQ(response.rfind("ok\n", 0), 0u) << response.substr(0, 80);
+  const RunResult remote = decode_cell(response.substr(3));
+  const RunResult local = run_scenario(s, factory_by_name("mobic"));
+  EXPECT_TRUE(remote == local);
+
+  // A bad algorithm is a deterministic failure: reported in-band, and the
+  // worker stays up for the next request.
+  ASSERT_TRUE(write_frame(to_worker.write_fd(),
+                          "run\nnonsense\n" + canonical_scenario_text(s)));
+  ASSERT_TRUE(read_frame(from_worker.read_fd(), &response));
+  EXPECT_EQ(response.rfind("error\n", 0), 0u) << response.substr(0, 80);
+
+  ASSERT_TRUE(write_frame(to_worker.write_fd(), request));
+  ASSERT_TRUE(read_frame(from_worker.read_fd(), &response));
+  EXPECT_EQ(response.rfind("ok\n", 0), 0u);
+
+  // Closing the request pipe is the clean shutdown signal.
+  to_worker.close_write();
+  worker.join();
+}
+
+TEST(WorkerFarmTest, RunsCellsOnRealWorkers) {
+  if (worker_bin_from_env() == nullptr) {
+    GTEST_SKIP() << "MANET_WORKER_BIN not set (run under ctest)";
+  }
+  const std::string bin = resolve_worker_bin("");
+
+  std::vector<WorkerRequest> requests;
+  std::vector<RunResult> local;
+  for (int k = 0; k < 4; ++k) {
+    Scenario s = small_scenario();
+    s.seed = static_cast<std::uint64_t>(10 + k);
+    requests.push_back({"mobic", canonical_scenario_text(s)});
+    local.push_back(run_scenario(s, factory_by_name("mobic")));
+  }
+  // One deterministic failure mixed in.
+  requests.push_back({"nonsense", canonical_scenario_text(small_scenario())});
+
+  const auto outcomes = run_jobs_on_workers(bin, 2, requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+  for (int k = 0; k < 4; ++k) {
+    const auto& out = outcomes[static_cast<std::size_t>(k)];
+    ASSERT_TRUE(out.cell.has_value()) << out.error.value_or("(no error)");
+    EXPECT_TRUE(decode_cell(*out.cell) ==
+                local[static_cast<std::size_t>(k)]);
+  }
+  ASSERT_TRUE(outcomes.back().error.has_value());
+  EXPECT_FALSE(outcomes.back().cell.has_value());
+}
+
+TEST(WorkerFarmTest, RunnerWorkersMatchesInProcessByteExactly) {
+  if (worker_bin_from_env() == nullptr) {
+    GTEST_SKIP() << "MANET_WORKER_BIN not set (run under ctest)";
+  }
+  const Scenario s = small_scenario();
+  const OptionsFactory factory = factory_by_name("mobic");
+
+  RunnerOptions serial;
+  serial.jobs = 1;
+  const auto in_process = Runner(serial).replications(s, factory, 3, "mobic");
+
+  RunnerOptions farmed;
+  farmed.jobs = 1;
+  farmed.workers = 2;  // worker_bin resolved via $MANET_WORKER_BIN
+  const auto via_workers =
+      Runner(farmed).replications(s, factory, 3, "mobic");
+  EXPECT_TRUE(in_process == via_workers);
+
+  // --workers requires algorithm labels that cross the process boundary.
+  EXPECT_THROW(Runner(farmed).replications(s, factory, 1, "not-a-name"),
+               util::CheckError);
+  EXPECT_THROW(Runner(farmed).replications(s, factory, 1),
+               util::CheckError);
+}
+
+TEST(WorkerFarmTest, MissingWorkerBinaryIsAClearError) {
+  EXPECT_THROW(resolve_worker_bin("/nonexistent/manetsim"),
+               util::CheckError);
+
+  // Bypassing resolution: exec failure surfaces as a dead worker (exit
+  // 127), and the cell errors out after its retry budget — never hangs,
+  // never reports success.
+  const auto outcomes = run_jobs_on_workers(
+      "/nonexistent/manetsim", 1,
+      {{"mobic", canonical_scenario_text(Scenario{})}});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].cell.has_value());
+  ASSERT_TRUE(outcomes[0].error.has_value());
+  EXPECT_NE(outcomes[0].error->find("127"), std::string::npos)
+      << *outcomes[0].error;
+}
+
+}  // namespace
+}  // namespace manet::scenario
