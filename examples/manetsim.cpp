@@ -24,6 +24,11 @@
 //   # sweep-farm service mode: serve run requests over stdin/stdout (used
 //   # by Runner --workers dispatch; see scenario/worker.h)
 //   ./manetsim --worker
+//
+//   # integrity sweep over a result cache: digest-verify every cell, move
+//   # corrupt ones to <dir>/quarantine/, optionally recompute from the
+//   # .meta provenance sidecars
+//   ./manetsim --scrub-cache --cache-dir farm-cache [--scrub-repair]
 #include <unistd.h>
 
 #include <fstream>
@@ -142,6 +147,25 @@ int main(int argc, char** argv) {
   // interactive flag set.
   if (flags.get_bool("worker", false)) {
     return scenario::serve_worker(STDIN_FILENO, STDOUT_FILENO);
+  }
+
+  // Cache maintenance mode: verify/repair a sweep-farm result cache and
+  // exit. Exit code 1 when corruption survives the pass (corrupt cells
+  // without --scrub-repair, or unrepairable ones with it), so CI can gate
+  // on cache health.
+  if (flags.get_bool("scrub-cache", false)) {
+    const std::string dir = flags.get_string("cache-dir", "");
+    const bool repair = flags.get_bool("scrub-repair", false);
+    flags.finish();
+    if (dir.empty()) {
+      std::cerr << "--scrub-cache requires --cache-dir\n";
+      return 2;
+    }
+    const scenario::ScrubReport report =
+        scenario::scrub_cache(dir, repair, &std::cout);
+    const std::size_t unresolved =
+        repair ? report.unrepairable : report.corrupt;
+    return unresolved == 0 ? 0 : 1;
   }
 
   scenario::Scenario s = scenario_from_flags(flags);

@@ -12,6 +12,16 @@ Injector::Injector(net::Network& network, Schedule schedule)
     : network_(network), schedule_(std::move(schedule)) {
   schedule_.validate(network_.size());
   timeline_.reserve(schedule_.size());
+  // Pre-size the active-window set to its worst case (every window fault
+  // open at once) so activate() never allocates mid-run — part of the
+  // steady-state zero-allocation contract (tests/test_zero_alloc.cpp).
+  std::size_t windows = 0;
+  for (const FaultEvent& e : schedule_.events) {
+    if (is_window(e.kind)) {
+      ++windows;
+    }
+  }
+  active_.reserve(windows);
 }
 
 void Injector::set_on_fault(std::function<void(const FaultEvent&)> on_fault) {

@@ -1,10 +1,12 @@
 #include "scenario/cache.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "obs/trace.h"
 #include "util/assert.h"
@@ -558,6 +560,65 @@ RunResult decode_cell(const std::string& text) {
   return res;
 }
 
+std::string first_cell_difference(const std::string& fresh,
+                                  const std::string& cached) {
+  std::istringstream fin(fresh);
+  std::istringstream cin_(cached);
+  std::string fline;
+  std::string cline;
+  for (std::size_t lineno = 1;; ++lineno) {
+    const bool fok = static_cast<bool>(std::getline(fin, fline));
+    const bool cok = static_cast<bool>(std::getline(cin_, cline));
+    if (!fok && !cok) {
+      return {};  // byte-identical (modulo a trailing newline, which both
+                  // encoders always emit)
+    }
+    if (fok && cok && fline == cline) {
+      continue;
+    }
+    // Name the field when the diverging line is a "key = value" line.
+    const std::string& named = fok ? fline : cline;
+    const std::size_t sep = named.find(" = ");
+    std::ostringstream os;
+    if (sep != std::string::npos) {
+      os << "field '" << named.substr(0, sep) << "' (line " << lineno
+         << "): ";
+    } else {
+      os << "line " << lineno << ": ";
+    }
+    os << "recomputed "
+       << (fok ? "'" + fline + "'" : "<record ended>") << " vs cached "
+       << (cok ? "'" + cline + "'" : "<record ended>");
+    return os.str();
+  }
+}
+
+std::string encode_cell_meta(const std::string& algorithm,
+                             const std::string& scenario_text) {
+  MANET_CHECK(algorithm.find('\n') == std::string::npos,
+              "algorithm label not meta-serializable");
+  return "manet-cell-meta/1\nalgorithm = " + algorithm + "\n" +
+         scenario_text;
+}
+
+CellMeta decode_cell_meta(const std::string& text) {
+  const std::string header = "manet-cell-meta/1\n";
+  MANET_CHECK(text.rfind(header, 0) == 0, "not a cell meta record");
+  const std::string marker = "algorithm = ";
+  MANET_CHECK(text.compare(header.size(), marker.size(), marker) == 0,
+              "cell meta record has no algorithm line");
+  const std::size_t alg_begin = header.size() + marker.size();
+  const std::size_t alg_end = text.find('\n', alg_begin);
+  MANET_CHECK(alg_end != std::string::npos, "truncated cell meta record");
+  CellMeta meta;
+  meta.algorithm = text.substr(alg_begin, alg_end - alg_begin);
+  meta.scenario_text = text.substr(alg_end + 1);
+  // Round-trip the scenario now so a torn sidecar fails here, at the
+  // decode boundary, not later inside a repair run.
+  (void)decode_canonical_scenario(meta.scenario_text);
+  return meta;
+}
+
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   MANET_CHECK(!dir_.empty(), "empty cache directory");
   std::error_code ec;
@@ -603,25 +664,32 @@ std::optional<RunResult> ResultCache::load(const std::string& filename,
   }
 }
 
-void ResultCache::store(const std::string& filename,
-                        const RunResult& result) {
+void ResultCache::store(const std::string& filename, const RunResult& result,
+                        const std::string& meta_text) {
   const std::string cell = encode_cell(result);
-  std::string tmp;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    tmp = dir_ + "/.tmp-" + std::to_string(tmp_seq_++) + "-" + filename;
+  const auto publish = [&](const std::string& name,
+                           const std::string& bytes) {
+    std::string tmp;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tmp = dir_ + "/.tmp-" + std::to_string(tmp_seq_++) + "-" + name;
+    }
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      MANET_CHECK(out.is_open(), "cannot write cache cell " << tmp);
+      out << bytes;
+    }
+    // rename() within one directory is atomic: readers see the old cell,
+    // no cell, or the complete new cell — never a torn write.
+    std::error_code ec;
+    std::filesystem::rename(tmp, path_for(name), ec);
+    MANET_CHECK(!ec, "cannot publish cache cell " << path_for(name) << ": "
+                                                  << ec.message());
+  };
+  publish(filename, cell);
+  if (!meta_text.empty()) {
+    publish(filename + ".meta", meta_text);
   }
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    MANET_CHECK(out.is_open(), "cannot write cache cell " << tmp);
-    out << cell;
-  }
-  // rename() within one directory is atomic: readers see the old cell, no
-  // cell, or the complete new cell — never a torn write.
-  std::error_code ec;
-  std::filesystem::rename(tmp, path_for(filename), ec);
-  MANET_CHECK(!ec, "cannot publish cache cell " << path_for(filename)
-                                                << ": " << ec.message());
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.stores;
 }
@@ -634,6 +702,134 @@ void ResultCache::note_verified() {
 CacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+namespace {
+
+std::string read_file_or_empty(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in.is_open()) {
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Moves `from` under quarantine_dir, replacing any previous quarantined
+/// copy of the same name (a re-scrub must not fail on its own leftovers).
+void move_to_quarantine(const std::filesystem::path& from,
+                        const std::filesystem::path& quarantine_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(quarantine_dir, ec);
+  MANET_CHECK(!ec, "cannot create " << quarantine_dir.string() << ": "
+                                    << ec.message());
+  const std::filesystem::path to = quarantine_dir / from.filename();
+  std::filesystem::remove(to, ec);
+  ec.clear();
+  std::filesystem::rename(from, to, ec);
+  MANET_CHECK(!ec, "cannot quarantine " << from.string() << ": "
+                                        << ec.message());
+}
+
+}  // namespace
+
+ScrubReport scrub_cache(const std::string& dir, bool repair,
+                        std::ostream* log) {
+  namespace fs = std::filesystem;
+  MANET_CHECK(fs::is_directory(dir),
+              "--scrub-cache: " << dir << " is not a directory");
+  const fs::path root(dir);
+  const fs::path quarantine = root / "quarantine";
+
+  // Sorted filename order: deterministic reports and deterministic
+  // repair-recompute order no matter what readdir() returns.
+  std::vector<std::string> cells;
+  std::vector<std::string> strays;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(".tmp-", 0) == 0) {
+      strays.push_back(name);
+    } else if (name.size() > 5 &&
+               name.compare(name.size() - 5, 5, ".cell") == 0) {
+      cells.push_back(name);
+    }
+  }
+  std::sort(cells.begin(), cells.end());
+  std::sort(strays.begin(), strays.end());
+
+  ScrubReport report;
+  for (const std::string& name : strays) {
+    move_to_quarantine(root / name, quarantine);
+    ++report.stray_tmp;
+    if (log != nullptr) {
+      *log << "scrub: quarantined stray temp file " << name << "\n";
+    }
+  }
+  for (const std::string& name : cells) {
+    ++report.scanned;
+    const fs::path cell_path = root / name;
+    std::string why;
+    try {
+      (void)decode_cell(read_file_or_empty(cell_path));
+      ++report.ok;
+      continue;
+    } catch (const util::CheckError& e) {
+      why = e.what();
+    }
+    ++report.corrupt;
+    if (log != nullptr) {
+      *log << "scrub: corrupt cell " << name << ": " << why << "\n";
+    }
+    move_to_quarantine(cell_path, quarantine);
+    if (!repair) {
+      continue;  // the .meta sidecar (if any) stays in place so a later
+                 // --scrub-repair pass can still recompute the cell
+    }
+    // Repair path: the .meta sidecar carries the cell's inputs; recompute
+    // and publish under the *canonical* filename for the current epoch
+    // (identical to `name` unless the corrupt cell came from another
+    // epoch — then the recompute fills today's key and the stale name
+    // stays quarantined).
+    const fs::path meta_path = root / (name + ".meta");
+    bool repaired = false;
+    if (fs::exists(meta_path)) {
+      try {
+        const CellMeta meta = decode_cell_meta(read_file_or_empty(meta_path));
+        const Scenario scenario =
+            decode_canonical_scenario(meta.scenario_text);
+        const RunResult fresh =
+            run_scenario(scenario, factory_by_name(meta.algorithm));
+        ResultCache cache(dir);
+        cache.store(cache_cell_filename(scenario, meta.algorithm), fresh,
+                    encode_cell_meta(meta.algorithm, meta.scenario_text));
+        repaired = true;
+      } catch (const util::CheckError& e) {
+        if (log != nullptr) {
+          *log << "scrub: cannot repair " << name << ": " << e.what()
+               << "\n";
+        }
+      }
+    }
+    if (repaired) {
+      ++report.repaired;
+      if (log != nullptr) {
+        *log << "scrub: repaired " << name << " by recompute\n";
+      }
+    } else {
+      ++report.unrepairable;
+    }
+  }
+  if (log != nullptr) {
+    *log << "scrub: " << report.scanned << " cells, " << report.ok
+         << " ok, " << report.corrupt << " corrupt, " << report.repaired
+         << " repaired, " << report.unrepairable << " unrepairable, "
+         << report.stray_tmp << " stray temp files\n";
+  }
+  return report;
 }
 
 }  // namespace manet::scenario

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -67,6 +68,27 @@ std::string encode_cell(const RunResult& result);
 /// malformation. decode(encode(r)) == r, bit-exact.
 RunResult decode_cell(const std::string& text);
 
+/// Human-readable description of the first line where two line-oriented
+/// records (cell or canonical-scenario text) diverge, naming the "key =
+/// value" field when one is present — the diagnostic behind --resume-verify
+/// mismatches and scrub reports. Empty string when the records are
+/// byte-identical.
+std::string first_cell_difference(const std::string& fresh,
+                                  const std::string& cached);
+
+/// Provenance sidecar of a cell ("<cell filename>.meta"): the algorithm
+/// label and the exact canonical scenario text the cell was computed from.
+/// Cells are pure outputs and do not embed their inputs, so this sidecar is
+/// what makes scrub_cache() able to *repair* a corrupt cell by recompute.
+std::string encode_cell_meta(const std::string& algorithm,
+                             const std::string& scenario_text);
+/// Parses a meta sidecar; throws CheckError on malformation.
+struct CellMeta {
+  std::string algorithm;
+  std::string scenario_text;
+};
+CellMeta decode_cell_meta(const std::string& text);
+
 /// Lookup / store counters of one Runner::execute pass (also exposed via
 /// Runner::cache_stats() for tests and tooling).
 struct CacheStats {
@@ -93,8 +115,11 @@ class ResultCache {
   std::optional<RunResult> load(const std::string& filename,
                                 std::string* raw_text = nullptr);
 
-  /// Atomically writes a cell (temp file + rename). Thread-safe.
-  void store(const std::string& filename, const RunResult& result);
+  /// Atomically writes a cell (temp file + rename). When `meta_text` is
+  /// non-empty, a "<filename>.meta" provenance sidecar (encode_cell_meta
+  /// output) is published the same way, enabling scrub repair. Thread-safe.
+  void store(const std::string& filename, const RunResult& result,
+             const std::string& meta_text = {});
 
   void note_verified();
   CacheStats stats() const;
@@ -105,5 +130,26 @@ class ResultCache {
   CacheStats stats_;
   unsigned tmp_seq_ = 0;
 };
+
+/// Outcome of one scrub_cache() pass over a cache directory.
+struct ScrubReport {
+  std::size_t scanned = 0;       // .cell files examined
+  std::size_t ok = 0;            // digest + parse verified
+  std::size_t corrupt = 0;       // failed verification -> quarantine/
+  std::size_t repaired = 0;      // recomputed from a .meta sidecar
+  std::size_t unrepairable = 0;  // corrupt with no usable sidecar
+  std::size_t stray_tmp = 0;     // leftover .tmp-* files -> quarantine/
+};
+
+/// Integrity sweep over a cache directory: digest-verifies every *.cell
+/// file (in sorted filename order, so reports are deterministic), moves
+/// each corrupt cell — and any stray .tmp-* leftover from a killed sweep —
+/// into a "quarantine/" subdirectory alongside its sidecar. With `repair`,
+/// a quarantined cell whose .meta sidecar survives is recomputed from its
+/// recorded scenario and re-published under its canonical filename.
+/// Progress lines go to `log` when non-null. Throws CheckError when `dir`
+/// is not a directory.
+ScrubReport scrub_cache(const std::string& dir, bool repair,
+                        std::ostream* log = nullptr);
 
 }  // namespace manet::scenario

@@ -80,8 +80,13 @@ class Reporter {
            << ",\"algorithm\":\"" << json_escape(record->algorithm)
            << "\",\"replicate\":" << record->replicate
            << ",\"seed\":" << record->seed << ",\"status\":\""
-           << json_escape(record->status) << "\""
-           << ",\"wall_s\":" << wall_seconds << ",\"sim_s\":" << sim_seconds
+           << json_escape(record->status) << "\"";
+      if (!record->error.empty()) {
+        // e.g. a quarantined cell whose verdict run succeeded: the row
+        // carries both the result and what the farm saw.
+        log_ << ",\"error\":\"" << json_escape(record->error) << "\"";
+      }
+      log_ << ",\"wall_s\":" << wall_seconds << ",\"sim_s\":" << sim_seconds
            << ",\"ch_changes\":" << r.ch_changes
            << ",\"reaffiliations\":" << r.reaffiliations
            << ",\"avg_clusters\":" << r.avg_clusters
@@ -117,9 +122,11 @@ class Reporter {
     }
   }
 
-  /// A run that threw: still counted for progress, logged with
-  /// status=error. The exception itself is rethrown by the Runner, so this
-  /// only records *which* run died and why.
+  /// A run that produced no result: still counted for progress, logged
+  /// with the record's status ("error", or "quarantined" for a cell whose
+  /// in-process verdict re-run also aborted). Errors are rethrown by the
+  /// Runner; quarantined rows are terminal — the grid completes around
+  /// them, so this line *is* the cell's report.
   void finish_error(const RunRecord& record, double wall_seconds) {
     meter_.record_run(0.0, wall_seconds);
     std::lock_guard<std::mutex> lock(io_mu_);
@@ -127,9 +134,34 @@ class Reporter {
       log_ << "{\"point\":" << record.point_index << ",\"x\":" << record.x
            << ",\"algorithm\":\"" << json_escape(record.algorithm)
            << "\",\"replicate\":" << record.replicate
-           << ",\"seed\":" << record.seed << ",\"status\":\"error\""
+           << ",\"seed\":" << record.seed << ",\"status\":\""
+           << json_escape(record.status) << "\""
            << ",\"wall_s\":" << wall_seconds << ",\"error\":\""
            << json_escape(record.error) << "\"}\n";
+    }
+  }
+
+  /// End-of-sweep farm-health summary: one structured run-log line plus a
+  /// human-readable line on the progress stream. Only called when the
+  /// sweep actually ran on workers.
+  void farm_summary(const FarmStats& stats) {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (log_.is_open()) {
+      log_ << "{\"farm_summary\":" << stats.to_snapshot().to_json()
+           << "}\n";
+    }
+    if (options_.progress != nullptr) {
+      if (printed_) {
+        *options_.progress << "\n";
+        printed_ = false;
+      }
+      *options_.progress << "farm: " << stats.respawns << " respawns, "
+                         << stats.deadline_kills << " deadline kills, "
+                         << stats.quarantined_cells << " quarantined, "
+                         << stats.degraded_cells << " degraded"
+                         << (stats.pool_collapsed ? " (pool collapsed)"
+                                                  : "")
+                         << std::endl;
     }
   }
 
@@ -231,6 +263,7 @@ void Runner::for_each(std::size_t count,
 
 void Runner::execute(std::vector<Job>& jobs) const {
   cache_stats_ = CacheStats{};
+  farm_stats_ = FarmStats{};
   if (jobs.empty()) {
     return;
   }
@@ -298,12 +331,22 @@ void Runner::execute(std::vector<Job>& jobs) const {
     }
   }
 
-  const auto guarded = [&](std::size_t i) {
+  const auto store_cell = [&](std::size_t i) {
+    if (cache != nullptr && !filenames[i].empty()) {
+      const Job& job = jobs[i];
+      cache->store(filenames[i], job.result,
+                   encode_cell_meta(job.algorithm,
+                                    canonical_scenario_text(job.scenario)));
+    }
+  };
+
+  const auto guarded = [&](std::size_t i, const char* status = "ok") {
     if (abort.load(std::memory_order_relaxed)) {
       return;
     }
     Job& job = jobs[i];
     RunRecord record = make_record(job);
+    record.status = status;
     const auto t0 = std::chrono::steady_clock::now();
     try {
       job.result = run_scenario(job.scenario, *job.factory);
@@ -311,9 +354,7 @@ void Runner::execute(std::vector<Job>& jobs) const {
       record.wall_seconds = job.wall_seconds;
       record.result = &job.result;
       reporter.finish_run(&record, job.scenario.sim_time, job.wall_seconds);
-      if (cache != nullptr && !filenames[i].empty()) {
-        cache->store(filenames[i], job.result);
-      }
+      store_cell(i);
     } catch (...) {
       errors[i] = std::current_exception();
       abort.store(true, std::memory_order_relaxed);
@@ -347,6 +388,8 @@ void Runner::execute(std::vector<Job>& jobs) const {
       requests[k] = {job.algorithm,
                      canonical_scenario_text(job.scenario)};
     }
+    FarmOptions farm = options_.farm;
+    farm.apply_env();
     WorkerCallbacks callbacks;
     callbacks.on_dispatch = [&](std::size_t k) {
       starts[k] = std::chrono::steady_clock::now();
@@ -354,44 +397,101 @@ void Runner::execute(std::vector<Job>& jobs) const {
     callbacks.should_abort = [&] {
       return abort.load(std::memory_order_relaxed);
     };
+    // On-response handles successes only. Failures — quarantined cells,
+    // in-band deterministic errors, undecodable "ok" payloads — are
+    // resolved after the farm drains, serially and in canonical order, by
+    // an in-process verdict re-run; a collapsed pool's never-executed
+    // cells degrade to in-process execution. Either way the grid
+    // completes, and every result still lands by index, so the reduction
+    // below stays canonical.
+    std::vector<std::string> decode_errors(pending.size());
     callbacks.on_response = [&](std::size_t k, const WorkerOutcome& out) {
+      if (!out.cell.has_value()) {
+        return;  // resolved by the post-drain quarantine pass
+      }
       const std::size_t i = pending[k];
       Job& job = jobs[i];
-      RunRecord record = make_record(job);
       const double wall = seconds_since(starts[k]);
       try {
-        MANET_CHECK(out.cell.has_value(),
-                    "worker run failed: "
-                        << out.error.value_or("returned nothing"));
         job.result = decode_cell(*out.cell);
-      } catch (...) {
-        errors[i] = std::current_exception();
-        abort.store(true, std::memory_order_relaxed);
-        record.status = "error";
-        record.error = describe_exception(errors[i]);
-        record.wall_seconds = wall;
-        reporter.finish_error(record, wall);
+      } catch (const util::CheckError& e) {
+        decode_errors[k] = e.what();  // quarantine candidate
         return;
       }
+      RunRecord record = make_record(job);
       job.wall_seconds = wall;
       record.wall_seconds = wall;
       record.result = &job.result;
       reporter.finish_run(&record, job.scenario.sim_time, wall);
-      if (cache != nullptr && !filenames[i].empty()) {
-        cache->store(filenames[i], job.result);
-      }
+      store_cell(i);
     };
     const auto outcomes = run_jobs_on_workers(
         worker_bin, static_cast<std::size_t>(options_.workers), requests,
-        callbacks);
+        callbacks, farm, &farm_stats_);
+
+    std::vector<std::size_t> drain;  // pool-collapse leftovers
     for (std::size_t k = 0; k < outcomes.size(); ++k) {
       const std::size_t i = pending[k];
-      if (!outcomes[k].cell.has_value() && !outcomes[k].error.has_value() &&
-          errors[i] == nullptr && !abort.load(std::memory_order_relaxed)) {
-        errors[i] = std::make_exception_ptr(util::CheckError(
-            "cell never executed (worker pool died before reaching it)"));
+      const WorkerOutcome& out = outcomes[k];
+      if (out.cell.has_value() && decode_errors[k].empty()) {
+        continue;  // success, already reported and stored
+      }
+      if (!out.cell.has_value() && !out.error.has_value()) {
+        drain.push_back(i);  // never executed: the pool collapsed
+        continue;
+      }
+      // Quarantine: the farm gave up on this cell (attempt budget), the
+      // worker reported a deterministic failure in-band, or the "ok"
+      // payload would not decode. Re-execute once in-process for a
+      // definitive verdict; the cell's run-log row is status=quarantined
+      // either way, and the grid never fails on it.
+      const std::string farm_error =
+          out.cell.has_value()
+              ? "undecodable worker response: " + decode_errors[k]
+              : *out.error;
+      if (!out.quarantined) {
+        farm_stats_.quarantined_cells += 1;  // budget cases counted by farm
+      }
+      Job& job = jobs[i];
+      RunRecord record = make_record(job);
+      record.status = "quarantined";
+      record.error = farm_error;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        job.result = run_scenario(job.scenario, *job.factory);
+        job.wall_seconds = seconds_since(t0);
+        record.wall_seconds = job.wall_seconds;
+        record.result = &job.result;
+        reporter.finish_run(&record, job.scenario.sim_time,
+                            job.wall_seconds);
+        store_cell(i);
+      } catch (...) {
+        record.error = farm_error + "; in-process verdict: " +
+                       describe_exception(std::current_exception());
+        record.wall_seconds = seconds_since(t0);
+        reporter.finish_error(record, record.wall_seconds);
       }
     }
+
+    if (!drain.empty()) {
+      farm_stats_.degraded_cells += drain.size();
+      if (pool_ == nullptr) {
+        for (const std::size_t i : drain) {
+          guarded(i, "degraded");
+        }
+      } else {
+        std::vector<std::future<void>> futures;
+        futures.reserve(drain.size());
+        for (const std::size_t i : drain) {
+          futures.push_back(
+              pool_->async([&guarded, i] { guarded(i, "degraded"); }));
+        }
+        for (auto& f : futures) {
+          f.get();
+        }
+      }
+    }
+    reporter.farm_summary(farm_stats_);
   } else if (pool_ == nullptr) {
     for (const std::size_t i : pending) {
       guarded(i);
@@ -430,11 +530,13 @@ void Runner::execute(std::vector<Job>& jobs) const {
         const std::size_t i = hits[v * hits.size() / want];
         const RunResult fresh =
             run_scenario(jobs[i].scenario, *jobs[i].factory);
-        MANET_CHECK(encode_cell(fresh) == cached_text[i],
+        const std::string fresh_text = encode_cell(fresh);
+        MANET_CHECK(fresh_text == cached_text[i],
                     "resume verification failed: cached cell "
                         << filenames[i]
-                        << " is not byte-identical to recomputation "
-                           "(stale cache epoch or diverged build?)");
+                        << " is not byte-identical to recomputation — "
+                        << first_cell_difference(fresh_text, cached_text[i])
+                        << " (stale cache epoch or diverged build?)");
         cache->note_verified();
       }
     }

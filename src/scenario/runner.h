@@ -28,6 +28,7 @@
 #include "scenario/cache.h"
 #include "scenario/experiment.h"
 #include "scenario/scenario.h"
+#include "scenario/worker.h"
 #include "util/progress.h"
 
 namespace manet::util {
@@ -59,7 +60,12 @@ struct RunRecord {
   double wall_seconds = 0.0;
   /// "ok"; "cached" when served from the result cache (wall_seconds 0);
   /// "error" when the run threw (the exception is still rethrown to the
-  /// caller after the grid drains; the log line is observability).
+  /// caller after the grid drains; the log line is observability);
+  /// "degraded" when the worker pool collapsed and the cell was drained
+  /// in-process; "quarantined" when the cell exhausted the farm's attempt
+  /// budget — the row then reflects the in-process verdict re-run (result
+  /// fields when the verdict succeeded, an error when it aborted; either
+  /// way the grid completes instead of failing).
   std::string status = "ok";
   std::string error;                  // what() of a failed run
   const RunResult* result = nullptr;  // valid only during the callback
@@ -112,6 +118,10 @@ struct RunnerOptions {
   /// Worker binary; empty = auto ($MANET_WORKER_BIN, then a manetsim next
   /// to the current executable). See worker.h resolve_worker_bin().
   std::string worker_bin;
+  /// Farm self-healing knobs (deadlines, backoff, attempt budgets).
+  /// $MANET_FARM_* environment overrides are applied on top at execution
+  /// time, so CI and tests can tune a farm they cannot construct.
+  FarmOptions farm;
 };
 
 /// Aggregated sweep results in canonical order, with per-seed raw samples.
@@ -185,6 +195,12 @@ class Runner {
   /// RunnerOptions::cache_dir is empty).
   CacheStats cache_stats() const { return cache_stats_; }
 
+  /// Farm-health counters of the most recent grid execution (all zero when
+  /// RunnerOptions::workers is 0): respawns, deadline kills, quarantined
+  /// cells, degraded in-process drains. Also summarized at end of sweep on
+  /// the progress stream and as a "farm_summary" run-log line.
+  FarmStats farm_stats() const { return farm_stats_; }
+
  private:
   struct Job;  // one (point, algorithm, seed) cell of a grid
 
@@ -196,6 +212,7 @@ class Runner {
   int jobs_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;  // null when jobs_ == 1
   mutable CacheStats cache_stats_;
+  mutable FarmStats farm_stats_;
 };
 
 }  // namespace manet::scenario

@@ -19,10 +19,26 @@
 // dynamically (racy by design) but the caller reduces results in canonical
 // job order, so final output is independent of --workers and scheduling.
 //
-// Crash handling: a worker that dies mid-cell (EOF / write failure) is
-// respawned and the cell retried on another worker, up to a small attempt
-// budget; a cell that *reports* an error (deterministic failure) is not
-// retried — rerunning a deterministic failure yields the same failure.
+// Self-healing (the farm failure state machine; DESIGN.md §7):
+//   * every response read carries a per-cell deadline derived from a
+//     running estimate of cell cost — a wedged worker (hung child, stalled
+//     pipe, half-written frame) is SIGTERM→SIGKILLed and its cell retried,
+//     never a hung sweep;
+//   * workers that die or speak garbage are respawned with exponential
+//     backoff and deterministic, seed-derived jitter;
+//   * a cell that exhausts its attempt budget is *quarantined*: reported
+//     with WorkerOutcome::quarantined so the caller can re-execute it
+//     in-process for a definitive verdict instead of aborting the grid;
+//   * a worker slot that exhausts its respawn budget retires; if every
+//     slot retires with cells left (pool collapse), those cells come back
+//     never-executed and the caller degrades to in-process execution.
+//
+// Chaos harness: the test-only MANET_FARM_CHAOS environment knob (read by
+// serve_worker, mirroring the PR-2 fault::Injector discipline one layer up)
+// injects worker hangs, garbage frames, mid-frame exits, and slow writes.
+// Each request's fate is drawn from a seeded RNG keyed on the payload
+// bytes, so it is deterministic and scheduling-independent: the same cell
+// meets the same faults on any worker, and the farm must heal around them.
 #pragma once
 
 #include <cstdint>
@@ -31,18 +47,30 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "util/subprocess.h"
+
 namespace manet::scenario {
 
 /// One frame: u32 LE length, then that many payload bytes. Reads/writes
-/// loop over short transfers and EINTR. read_frame returns false on clean
-/// EOF at a frame boundary and throws CheckError on a torn frame;
-/// write_frame returns false when the peer is gone (EPIPE / closed fd).
+/// loop over short transfers and EINTR (util/subprocess.h). read_frame
+/// returns false on clean EOF at a frame boundary and throws CheckError on
+/// a torn frame; write_frame returns false when the peer is gone (EPIPE /
+/// closed fd).
 bool read_frame(int fd, std::string* payload);
 bool write_frame(int fd, std::string_view payload);
+
+/// Deadline-aware frame read for the farm's watchdog: like read_frame but
+/// never throws — a torn frame is a status, and an expired deadline
+/// surfaces as kTimeout instead of blocking forever.
+enum class FrameStatus { kOk, kEof, kTimeout, kTorn };
+FrameStatus read_frame_deadline(int fd, std::string* payload,
+                                const util::IoDeadline* deadline);
 
 /// Serves requests from `in_fd` until EOF (the shutdown signal). Returns
 /// the process exit code: 0 after a clean EOF, 1 when the transport broke.
 /// Run errors are reported in-band ("error\n...") and do not end the loop.
+/// Honors $MANET_FARM_CHAOS (test-only fault injection; see file comment).
 int serve_worker(int in_fd, int out_fd);
 
 /// A cell to dispatch: the request frame is built from these.
@@ -52,12 +80,60 @@ struct WorkerRequest {
 };
 
 /// Result of one cell: exactly one of `cell` (the "ok" payload — a cache
-/// cell record) or `error` is set. `error` is set both for deterministic
-/// in-band failures and for cells whose retry budget ran out. Both unset
-/// means the cell was never executed (abort, or the whole pool died).
+/// cell record) or `error` is set. `quarantined` marks a cell whose farm
+/// attempt budget ran out (error describes the last failure); the caller
+/// should re-execute it in-process for a definitive verdict. Both optionals
+/// unset means the cell was never executed (abort, or the whole pool died).
 struct WorkerOutcome {
   std::optional<std::string> cell;
   std::optional<std::string> error;
+  bool quarantined = false;
+};
+
+/// Farm tuning knobs. Every field has a conservative default; apply_env()
+/// layers $MANET_FARM_* overrides on top (used by tests and CI chaos legs
+/// to shrink deadlines and backoff to fractions of a second).
+struct FarmOptions {
+  /// Attempts per cell before it is quarantined.
+  std::size_t max_attempts = 3;                // $MANET_FARM_MAX_ATTEMPTS
+  /// Respawns per worker slot before the slot retires.
+  std::size_t max_respawns = 16;               // $MANET_FARM_MAX_RESPAWNS
+  /// Per-cell response deadline before any cell has completed (seconds).
+  double initial_deadline_s = 300.0;           // $MANET_FARM_DEADLINE_S
+  /// Once cells have completed: deadline = max(min_deadline_s,
+  /// deadline_factor * mean completed cell wall time).
+  double deadline_factor = 8.0;                // $MANET_FARM_DEADLINE_FACTOR
+  double min_deadline_s = 10.0;                // $MANET_FARM_MIN_DEADLINE_S
+  /// SIGTERM → SIGKILL escalation grace on a deadline kill (seconds).
+  double term_grace_s = 2.0;                   // $MANET_FARM_GRACE_S
+  /// Respawn backoff: base * 2^respawn, jittered by a deterministic
+  /// multiplier in [0.5, 1.5) drawn from `seed`, capped at backoff_max_ms.
+  double backoff_base_ms = 50.0;               // $MANET_FARM_BACKOFF_MS
+  double backoff_max_ms = 2000.0;              // $MANET_FARM_BACKOFF_MAX_MS
+  /// Seed of the backoff-jitter substreams (deterministic per slot and
+  /// respawn count; never consumes simulation RNG).
+  std::uint64_t seed = 0x6d616e6574;           // $MANET_FARM_SEED
+
+  /// Applies $MANET_FARM_* overrides in place and returns *this.
+  FarmOptions& apply_env();
+};
+
+/// What the farm did to stay alive — the farm-health side of a sweep.
+struct FarmStats {
+  std::size_t respawns = 0;           // worker processes replaced
+  std::size_t deadline_kills = 0;     // wedged workers reaped by watchdog
+  std::size_t transport_failures = 0; // failed attempts (crash/garbage/kill)
+  std::size_t quarantined_cells = 0;  // attempt budget exhausted
+  std::size_t backoff_waits = 0;      // respawns that slept first
+  std::size_t degraded_cells = 0;     // drained in-process after collapse
+                                      // (filled by the Runner, not the farm)
+  bool pool_collapsed = false;        // every slot retired with cells left
+
+  /// The farm counters as an obs snapshot ("farm.respawns",
+  /// "farm.deadline_kills", "farm.quarantined_cells", "farm.degraded", ...).
+  obs::Snapshot to_snapshot() const;
+
+  void merge(const FarmStats& other);
 };
 
 /// Farm observer hooks; any may be empty. on_dispatch/on_response fire on
@@ -71,13 +147,16 @@ struct WorkerCallbacks {
 };
 
 /// Runs every request on a pool of `workers` subprocesses (each spawned as
-/// `worker_bin --worker`), retrying transport-failed cells on respawned
-/// workers. Returns outcomes indexed like `requests`. Throws CheckError
-/// when the worker binary cannot be spawned at all.
+/// `worker_bin --worker`), healing around failures per `farm` (deadline
+/// kills, backoff respawns, quarantine). Returns outcomes indexed like
+/// `requests`; `stats`, when non-null, receives the farm-health counters.
+/// Throws CheckError when the worker binary cannot be spawned at all.
 std::vector<WorkerOutcome> run_jobs_on_workers(
     const std::string& worker_bin, std::size_t workers,
     const std::vector<WorkerRequest>& requests,
-    const WorkerCallbacks& callbacks = {});
+    const WorkerCallbacks& callbacks = {},
+    const FarmOptions& farm = FarmOptions{},
+    FarmStats* stats = nullptr);
 
 /// Resolves the worker binary path: `requested` when non-empty, else
 /// $MANET_WORKER_BIN, else a sibling "manetsim" of the current executable,

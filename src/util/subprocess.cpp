@@ -2,11 +2,13 @@
 
 #include <errno.h>
 #include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
 #include <string.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <thread>
 #include <utility>
 
 #include "util/assert.h"
@@ -22,7 +24,87 @@ void close_quiet(int& fd) {
   }
 }
 
+/// Milliseconds until `deadline` clamped to [0, INT_MAX]; -1 for "forever".
+int poll_timeout_ms(const IoDeadline* deadline) {
+  if (deadline == nullptr) {
+    return -1;
+  }
+  const auto remaining = *deadline - std::chrono::steady_clock::now();
+  if (remaining <= std::chrono::milliseconds(0)) {
+    return 0;
+  }
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+          .count() +
+      1;  // round up so we never poll(0) while time remains
+  return ms > 60'000 ? 60'000 : static_cast<int>(ms);
+}
+
 }  // namespace
+
+IoDeadline deadline_after(double seconds) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds > 0.0 ? seconds : 0.0));
+}
+
+bool wait_readable(int fd, const IoDeadline* deadline) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int r = ::poll(&pfd, 1, poll_timeout_ms(deadline));
+    if (r > 0) {
+      return true;  // readable, HUP, or error — read() will tell which
+    }
+    if (r < 0 && errno != EINTR) {
+      return true;  // let read() surface the real errno
+    }
+    // r == 0 (poll timeout slice elapsed) or EINTR: recheck the deadline.
+    if (deadline != nullptr &&
+        std::chrono::steady_clock::now() >= *deadline) {
+      return false;
+    }
+  }
+}
+
+IoStatus read_exact(int fd, char* buf, std::size_t n,
+                    const IoDeadline* deadline) {
+  std::size_t got = 0;
+  while (got < n) {
+    if (!wait_readable(fd, deadline)) {
+      return IoStatus::kTimeout;
+    }
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    if (r < 0) {
+      return IoStatus::kError;
+    }
+    if (r == 0) {
+      return got == 0 ? IoStatus::kEof : IoStatus::kTorn;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return IoStatus::kOk;
+}
+
+bool write_all(int fd, const char* buf, std::size_t n) {
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t w = ::write(fd, buf + put, n - put);
+    if (w < 0 && errno == EINTR) {
+      continue;
+    }
+    if (w <= 0) {
+      return false;
+    }
+    put += static_cast<std::size_t>(w);
+  }
+  return true;
+}
 
 Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
   MANET_CHECK(!argv.empty(), "Subprocess::spawn: empty argv");
@@ -119,10 +201,66 @@ void Subprocess::close_stdin() {
   close_quiet(stdin_fd_);
 }
 
+void Subprocess::terminate() {
+  if (valid() && !reaped_) {
+    ::kill(pid_, SIGTERM);
+  }
+}
+
 void Subprocess::kill_hard() {
   if (valid() && !reaped_) {
     ::kill(pid_, SIGKILL);
   }
+}
+
+std::optional<int> Subprocess::try_wait() {
+  if (!valid()) {
+    return -1;
+  }
+  if (reaped_) {
+    return exit_code_;
+  }
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r == 0) {
+    return std::nullopt;  // still running
+  }
+  reaped_ = true;
+  if (r < 0) {
+    exit_code_ = -1;
+  } else if (WIFEXITED(status)) {
+    exit_code_ = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    exit_code_ = 128 + WTERMSIG(status);
+  } else {
+    exit_code_ = -1;
+  }
+  return exit_code_;
+}
+
+int Subprocess::terminate_then_kill(double grace_seconds) {
+  if (!valid()) {
+    return -1;
+  }
+  if (reaped_) {
+    return exit_code_;
+  }
+  terminate();
+  const IoDeadline grace = deadline_after(grace_seconds);
+  for (;;) {
+    if (const auto code = try_wait()) {
+      return *code;
+    }
+    if (std::chrono::steady_clock::now() >= grace) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  kill_hard();
+  return wait();
 }
 
 int Subprocess::wait() {

@@ -5,14 +5,53 @@
 // Deliberately tiny: spawn, talk over two pipes, wait or kill. No pty, no
 // shell, no async I/O — the worker protocol is strictly request/response,
 // so blocking reads from a dedicated client thread are exactly right.
+//
+// The fd I/O helpers below are the farm's robustness substrate: every loop
+// retries EINTR (a signal mid-read must never surface as a transport
+// failure) and every read can carry a deadline, so a wedged peer — hung
+// child, stalled pipe, half-written frame — becomes a kTimeout the caller
+// can act on instead of a read() that blocks forever.
 #pragma once
 
 #include <sys/types.h>
 
+#include <chrono>
+#include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace manet::util {
+
+/// Absolute deadline for fd I/O (monotonic clock — farm plumbing, not
+/// simulation time). Passed by pointer everywhere; nullptr = wait forever.
+using IoDeadline = std::chrono::steady_clock::time_point;
+
+/// Builds a deadline `seconds` from now (seconds <= 0 means "already due").
+IoDeadline deadline_after(double seconds);
+
+/// Outcome of a deadline-aware exact read.
+enum class IoStatus {
+  kOk,       // all n bytes arrived
+  kEof,      // peer closed before (or at) the first byte — clean EOF
+  kTorn,     // peer closed mid-transfer (some bytes arrived, then EOF)
+  kTimeout,  // the deadline expired while waiting for data
+  kError,    // read() failed with a non-EINTR errno
+};
+
+/// Blocks until `fd` is readable (POLLIN/POLLHUP) or the deadline expires.
+/// EINTR-safe: signals shorten neither the wait nor the deadline. Returns
+/// false only on timeout.
+bool wait_readable(int fd, const IoDeadline* deadline);
+
+/// Reads exactly `n` bytes, looping over short reads and EINTR. With a
+/// deadline, every wait for more data is bounded by it.
+IoStatus read_exact(int fd, char* buf, std::size_t n,
+                    const IoDeadline* deadline = nullptr);
+
+/// Writes all `n` bytes, looping over short writes and EINTR. Returns false
+/// when the peer is gone (EPIPE / closed fd) or write() fails otherwise.
+bool write_all(int fd, const char* buf, std::size_t n);
 
 class Subprocess {
  public:
@@ -45,8 +84,19 @@ class Subprocess {
   /// signal of the worker protocol.
   void close_stdin();
 
+  /// SIGTERM; safe on an already-dead or invalid handle.
+  void terminate();
+
   /// SIGKILL; safe to call on an already-dead or invalid handle.
   void kill_hard();
+
+  /// Non-blocking reap (WNOHANG). Returns the exit code once the child has
+  /// exited, nullopt while it is still running; -1 for an invalid handle.
+  std::optional<int> try_wait();
+
+  /// Graceful stop with escalation: SIGTERM, poll up to `grace_seconds` for
+  /// the child to exit, then SIGKILL. Always reaps; returns the exit code.
+  int terminate_then_kill(double grace_seconds);
 
   /// Reaps the child (blocking). Returns the exit code, or 128 + signal
   /// when it died on one; -1 for an invalid handle. Idempotent.

@@ -1,0 +1,279 @@
+// Sweep-farm self-healing (scenario/worker.h, DESIGN.md §7) against the
+// real `manetsim --worker` binary, with faults injected through the seeded
+// $MANET_FARM_CHAOS harness: hung workers are deadline-killed, garbage
+// speakers are respawned with backoff, poison cells are quarantined with an
+// in-process verdict, and a collapsed pool degrades to in-process execution
+// — in every case the sweep completes with output byte-identical to a
+// clean serial run.
+//
+// CTest exports MANET_WORKER_BIN=<built manetsim>; every test here needs
+// the real binary and skips without it.
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/cache.h"
+#include "scenario/runner.h"
+#include "scenario/worker.h"
+#include "util/assert.h"
+
+namespace manet::scenario {
+namespace {
+
+Scenario small_scenario() {
+  Scenario s;
+  s.n_nodes = 16;
+  s.fleet.field = geom::Rect(300.0, 300.0);
+  s.fleet.max_speed = 8.0;
+  s.tx_range = 120.0;
+  s.sim_time = 60.0;
+  s.warmup = 5.0;
+  s.seed = 7;
+  return s;
+}
+
+bool have_worker_bin() { return ::getenv("MANET_WORKER_BIN") != nullptr; }
+
+// Scoped environment overrides: chaos and $MANET_FARM_* knobs leak into
+// the worker subprocesses (and Runner's apply_env) via the environment, so
+// every test restores the previous state on exit.
+class EnvGuard {
+ public:
+  explicit EnvGuard(
+      std::initializer_list<std::pair<const char*, const char*>> vars) {
+    for (const auto& [key, value] : vars) {
+      const char* old = ::getenv(key);
+      saved_.emplace_back(key, old != nullptr
+                                   ? std::optional<std::string>(old)
+                                   : std::nullopt);
+      ::setenv(key, value, 1);
+    }
+  }
+  ~EnvGuard() {
+    for (auto it = saved_.rbegin(); it != saved_.rend(); ++it) {
+      if (it->second.has_value()) {
+        ::setenv(it->first.c_str(), it->second->c_str(), 1);
+      } else {
+        ::unsetenv(it->first.c_str());
+      }
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
+};
+
+std::vector<WorkerRequest> make_requests(int count) {
+  std::vector<WorkerRequest> requests;
+  for (int k = 0; k < count; ++k) {
+    Scenario s = small_scenario();
+    s.seed = static_cast<std::uint64_t>(30 + k);
+    requests.push_back({"mobic", canonical_scenario_text(s)});
+  }
+  return requests;
+}
+
+// A worker that never answers is reaped by the per-cell deadline
+// (SIGTERM→SIGKILL) and the cell retried; once the attempt budget runs out
+// it is quarantined instead of hanging the sweep forever.
+TEST(FarmResilienceTest, HungWorkerIsDeadlineKilledAndQuarantined) {
+  if (!have_worker_bin()) {
+    GTEST_SKIP() << "MANET_WORKER_BIN not set (run under ctest)";
+  }
+  const EnvGuard env({{"MANET_FARM_CHAOS", "seed=5,hang=1,hang_s=600"}});
+
+  FarmOptions farm;
+  farm.max_attempts = 2;
+  farm.initial_deadline_s = 0.25;
+  farm.min_deadline_s = 0.05;
+  farm.term_grace_s = 0.1;
+  farm.backoff_base_ms = 1.0;
+  farm.backoff_max_ms = 4.0;
+
+  FarmStats stats;
+  const auto outcomes = run_jobs_on_workers(
+      resolve_worker_bin(""), 1, make_requests(1), {}, farm, &stats);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].cell.has_value());
+  EXPECT_TRUE(outcomes[0].quarantined);
+  ASSERT_TRUE(outcomes[0].error.has_value());
+  EXPECT_NE(outcomes[0].error->find("deadline overrun"), std::string::npos)
+      << *outcomes[0].error;
+  EXPECT_EQ(stats.deadline_kills, 2u);
+  EXPECT_EQ(stats.transport_failures, 2u);
+  EXPECT_EQ(stats.quarantined_cells, 1u);
+  EXPECT_GE(stats.respawns, 1u);
+}
+
+// A worker that answers with well-formed frames carrying a non-protocol
+// payload is killed and respawned with backoff; the afflicted cells burn
+// their attempt budget (the chaos fate is payload-keyed, so every retry
+// meets the same garbage) and end up quarantined — never reported as
+// success, never aborting the farm.
+TEST(FarmResilienceTest, GarbageFramesRespawnWithBackoffThenQuarantine) {
+  if (!have_worker_bin()) {
+    GTEST_SKIP() << "MANET_WORKER_BIN not set (run under ctest)";
+  }
+  const EnvGuard env({{"MANET_FARM_CHAOS", "seed=5,garbage=1"}});
+
+  FarmOptions farm;
+  farm.max_attempts = 3;
+  farm.backoff_base_ms = 2.0;
+  farm.backoff_max_ms = 8.0;
+
+  FarmStats stats;
+  const auto outcomes = run_jobs_on_workers(
+      resolve_worker_bin(""), 2, make_requests(2), {}, farm, &stats);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const WorkerOutcome& out : outcomes) {
+    EXPECT_FALSE(out.cell.has_value());
+    EXPECT_TRUE(out.quarantined);
+    ASSERT_TRUE(out.error.has_value());
+    EXPECT_NE(out.error->find("transport failure"), std::string::npos)
+        << *out.error;
+  }
+  EXPECT_EQ(stats.transport_failures, 6u);  // 2 cells x 3 attempts
+  EXPECT_EQ(stats.quarantined_cells, 2u);
+  EXPECT_GE(stats.respawns, 1u);
+  EXPECT_GE(stats.backoff_waits, 1u);
+  EXPECT_EQ(stats.deadline_kills, 0u);
+}
+
+// Runner-level quarantine: a sweep whose every cell is poisoned at the
+// transport layer still completes, each cell re-executed in-process for a
+// definitive verdict — and the results are byte-identical to a clean
+// serial run. The run log records structured "quarantined" rows plus the
+// end-of-sweep farm_summary.
+TEST(FarmResilienceTest, QuarantinedCellsGetInProcessVerdict) {
+  if (!have_worker_bin()) {
+    GTEST_SKIP() << "MANET_WORKER_BIN not set (run under ctest)";
+  }
+  const std::string run_log =
+      ::testing::TempDir() + "farm_quarantine_run_log.jsonl";
+  const EnvGuard env({{"MANET_FARM_CHAOS", "seed=5,garbage=1"},
+                      {"MANET_FARM_MAX_ATTEMPTS", "2"},
+                      {"MANET_FARM_MAX_RESPAWNS", "50"},
+                      {"MANET_FARM_BACKOFF_MS", "1"},
+                      {"MANET_FARM_BACKOFF_MAX_MS", "4"}});
+
+  const Scenario s = small_scenario();
+  const OptionsFactory factory = factory_by_name("mobic");
+
+  RunnerOptions serial;
+  serial.jobs = 1;
+  const auto clean = Runner(serial).replications(s, factory, 3, "mobic");
+
+  RunnerOptions farmed;
+  farmed.jobs = 1;
+  farmed.workers = 2;
+  farmed.run_log_path = run_log;
+  std::vector<std::string> statuses;
+  farmed.on_run = [&](const RunRecord& record) {
+    statuses.push_back(record.status);
+    EXPECT_NE(record.error.find("transport failure"), std::string::npos)
+        << record.error;
+  };
+  const Runner runner(farmed);
+  const auto healed = runner.replications(s, factory, 3, "mobic");
+
+  EXPECT_TRUE(clean == healed);
+  EXPECT_EQ(statuses, std::vector<std::string>(3, "quarantined"));
+  EXPECT_EQ(runner.farm_stats().quarantined_cells, 3u);
+  EXPECT_FALSE(runner.farm_stats().pool_collapsed);
+
+  std::ifstream in(run_log);
+  std::stringstream log;
+  log << in.rdbuf();
+  EXPECT_NE(log.str().find("\"status\":\"quarantined\""), std::string::npos);
+  EXPECT_NE(log.str().find("\"farm_summary\""), std::string::npos);
+  EXPECT_NE(log.str().find("farm.quarantined_cells"), std::string::npos);
+  ::remove(run_log.c_str());
+}
+
+// Graceful degradation: every request kills its worker mid-frame and the
+// respawn budget is zero, so the pool collapses with nothing executed. The
+// Runner drains every cell in-process ("degraded") and the output stays
+// byte-identical to a clean --jobs 1 run.
+TEST(FarmResilienceTest, PoolCollapseDegradesToInProcessExecution) {
+  if (!have_worker_bin()) {
+    GTEST_SKIP() << "MANET_WORKER_BIN not set (run under ctest)";
+  }
+  const EnvGuard env({{"MANET_FARM_CHAOS", "seed=5,exit=1"},
+                      {"MANET_FARM_MAX_RESPAWNS", "0"},
+                      {"MANET_FARM_BACKOFF_MS", "1"},
+                      {"MANET_FARM_BACKOFF_MAX_MS", "4"}});
+
+  const Scenario s = small_scenario();
+  const OptionsFactory factory = factory_by_name("mobic");
+
+  RunnerOptions serial;
+  serial.jobs = 1;
+  const auto clean = Runner(serial).replications(s, factory, 3, "mobic");
+
+  RunnerOptions farmed;
+  farmed.jobs = 1;
+  farmed.workers = 2;
+  std::vector<std::string> statuses;
+  farmed.on_run = [&](const RunRecord& record) {
+    statuses.push_back(record.status);
+  };
+  const Runner runner(farmed);
+  const auto degraded = runner.replications(s, factory, 3, "mobic");
+
+  EXPECT_TRUE(clean == degraded);
+  ASSERT_EQ(statuses.size(), 3u);
+  for (const std::string& status : statuses) {
+    EXPECT_EQ(status, "degraded");
+  }
+  EXPECT_TRUE(runner.farm_stats().pool_collapsed);
+  EXPECT_EQ(runner.farm_stats().degraded_cells, 3u);
+  EXPECT_GE(runner.farm_stats().transport_failures, 1u);
+}
+
+// The chaos fate is keyed on (seed, request payload) only: the same cell
+// draws the same fate on any worker slot and any scheduling, which is what
+// makes chaos runs reproducible and farm healing scheduling-independent.
+TEST(FarmResilienceTest, ChaosFateIsSchedulingIndependent) {
+  if (!have_worker_bin()) {
+    GTEST_SKIP() << "MANET_WORKER_BIN not set (run under ctest)";
+  }
+  // At garbage=0.5 with this seed, some cells pass and some are poisoned;
+  // both pool shapes must agree exactly on which.
+  const EnvGuard env({{"MANET_FARM_CHAOS", "seed=11,garbage=0.5"}});
+
+  FarmOptions farm;
+  farm.max_attempts = 2;
+  farm.backoff_base_ms = 1.0;
+  farm.backoff_max_ms = 4.0;
+
+  const auto requests = make_requests(6);
+  const auto one = run_jobs_on_workers(resolve_worker_bin(""), 1, requests,
+                                       {}, farm, nullptr);
+  const auto four = run_jobs_on_workers(resolve_worker_bin(""), 4, requests,
+                                        {}, farm, nullptr);
+  ASSERT_EQ(one.size(), four.size());
+  bool any_ok = false;
+  bool any_poisoned = false;
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].cell.has_value(), four[i].cell.has_value()) << i;
+    EXPECT_EQ(one[i].quarantined, four[i].quarantined) << i;
+    if (one[i].cell.has_value()) {
+      EXPECT_EQ(*one[i].cell, *four[i].cell) << i;
+      any_ok = true;
+    }
+    any_poisoned = any_poisoned || one[i].quarantined;
+  }
+  EXPECT_TRUE(any_ok) << "chaos seed poisoned every cell; pick another";
+  EXPECT_TRUE(any_poisoned) << "chaos seed poisoned no cell; pick another";
+}
+
+}  // namespace
+}  // namespace manet::scenario

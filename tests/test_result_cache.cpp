@@ -309,7 +309,8 @@ TEST(RunnerCacheTest, CacheContentsIndependentOfJobs) {
   const auto r4 = Runner(o4).replications(s, factory, 4, "mobic");
   EXPECT_TRUE(r1 == r4);
 
-  // Same cells, same names, same bytes.
+  // Same cells, same names, same bytes — and every cell carries its .meta
+  // provenance sidecar (what --scrub-cache repair recomputes from).
   std::set<std::string> names1, names4;
   for (const auto& entry : fs::directory_iterator(dir1)) {
     names1.insert(entry.path().filename().string());
@@ -318,7 +319,16 @@ TEST(RunnerCacheTest, CacheContentsIndependentOfJobs) {
     names4.insert(entry.path().filename().string());
   }
   ASSERT_EQ(names1, names4);
-  ASSERT_EQ(names1.size(), 4u);
+  ASSERT_EQ(names1.size(), 8u);  // 4 cells + 4 .meta sidecars
+  std::size_t metas = 0;
+  for (const std::string& name : names1) {
+    if (name.size() > 5 && name.compare(name.size() - 5, 5, ".meta") == 0) {
+      ++metas;
+      EXPECT_TRUE(names1.count(name.substr(0, name.size() - 5)))
+          << "orphan sidecar " << name;
+    }
+  }
+  EXPECT_EQ(metas, 4u);
   for (const std::string& name : names1) {
     std::ifstream a(dir1 / name, std::ios::binary);
     std::ifstream b(dir4 / name, std::ios::binary);
@@ -364,9 +374,94 @@ TEST(RunnerCacheTest, ResumeVerifiesHitsAndCatchesForgedCells) {
     std::ofstream out(dir / filename, std::ios::binary | std::ios::trunc);
     out << encode_cell(forged);
   }
-  EXPECT_THROW(Runner(options).replications(s, factory, 2, "mobic"),
-               util::CheckError);
+  // The mismatch diagnostic must name the cell and the first differing
+  // field — that is what makes quarantine verdicts debuggable.
+  try {
+    Runner(options).replications(s, factory, 2, "mobic");
+    FAIL() << "forged cell passed resume verification";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(filename), std::string::npos) << what;
+    EXPECT_NE(what.find("ch_changes"), std::string::npos) << what;
+  }
   fs::remove_all(dir);
+}
+
+TEST(ScrubCacheTest, QuarantinesCorruptCellsAndRepairsFromMeta) {
+  const fs::path dir = scratch_dir("scrub");
+  const Scenario s = small_scenario();
+  const OptionsFactory factory = factory_by_name("mobic");
+  RunnerOptions options;
+  options.jobs = 1;
+  options.cache_dir = dir.string();
+  Runner(options).replications(s, factory, 2, "mobic");
+
+  const auto read_bytes = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string victim = cache_cell_filename(s, "mobic");
+  const std::string victim_bytes = read_bytes(dir / victim);
+  ASSERT_FALSE(victim_bytes.empty());
+
+  // Truncate one cell (torn write) and drop a stray temp file (killed
+  // sweep leftover).
+  {
+    std::ofstream out(dir / victim, std::ios::binary | std::ios::trunc);
+    out << victim_bytes.substr(0, victim_bytes.size() / 2);
+  }
+  {
+    std::ofstream out(dir / ".tmp-99-junk", std::ios::binary);
+    out << "half a cell";
+  }
+
+  // Verify-only pass: corruption is quarantined, never silently kept.
+  const ScrubReport report = scrub_cache(dir.string(), /*repair=*/false);
+  EXPECT_EQ(report.scanned, 2u);
+  EXPECT_EQ(report.ok, 1u);
+  EXPECT_EQ(report.corrupt, 1u);
+  EXPECT_EQ(report.repaired, 0u);
+  EXPECT_EQ(report.stray_tmp, 1u);
+  EXPECT_FALSE(fs::exists(dir / victim));
+  EXPECT_TRUE(fs::exists(dir / "quarantine" / victim));
+  EXPECT_TRUE(fs::exists(dir / "quarantine" / ".tmp-99-junk"));
+  // The provenance sidecar stays behind for a later repair pass.
+  EXPECT_TRUE(fs::exists(dir / (victim + ".meta")));
+
+  // Repair pass: corrupt the other cell, then recompute it from its .meta
+  // sidecar — the repaired cell is byte-identical to the original.
+  Scenario s2 = s;
+  s2.seed = s.seed + 1;
+  const std::string victim2 = cache_cell_filename(s2, "mobic");
+  const std::string victim2_bytes = read_bytes(dir / victim2);
+  ASSERT_FALSE(victim2_bytes.empty());
+  {
+    std::ofstream out(dir / victim2, std::ios::binary | std::ios::trunc);
+    out << "manet-cell/1\nch_changes = garbage\n";
+  }
+  const ScrubReport repair = scrub_cache(dir.string(), /*repair=*/true);
+  EXPECT_EQ(repair.corrupt, 1u);
+  EXPECT_EQ(repair.repaired, 1u);
+  EXPECT_EQ(repair.unrepairable, 0u);
+  EXPECT_EQ(read_bytes(dir / victim2), victim2_bytes);
+
+  // A clean cache scrubs clean.
+  const ScrubReport clean = scrub_cache(dir.string(), /*repair=*/true);
+  EXPECT_EQ(clean.corrupt, 0u);
+  EXPECT_EQ(clean.ok, clean.scanned);
+  fs::remove_all(dir);
+}
+
+TEST(ScrubCacheTest, FirstCellDifferenceNamesTheField) {
+  EXPECT_EQ(first_cell_difference("a = 1\nb = 2\n", "a = 1\nb = 2\n"), "");
+  const std::string diff =
+      first_cell_difference("a = 1\nb = 2\n", "a = 1\nb = 3\n");
+  EXPECT_NE(diff.find("field 'b'"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("'b = 2'"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("'b = 3'"), std::string::npos) << diff;
+  const std::string trunc = first_cell_difference("a = 1\nb = 2\n", "a = 1\n");
+  EXPECT_NE(trunc.find("record ended"), std::string::npos) << trunc;
 }
 
 }  // namespace

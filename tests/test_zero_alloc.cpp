@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/injector.h"
 #include "mobility/factory.h"
 #include "net/network.h"
 #include "obs/hooks.h"
@@ -155,6 +156,72 @@ TEST(ZeroAlloc, ObsInstrumentedHelloDeliverySteadyState) {
             network.stats().hellos_delivered);
   EXPECT_GT(sim_hooks.queue_depth->total_count(), 0u);
 #endif
+}
+
+// The fault injector pre-sizes its timeline and active-window set at
+// construction (worst case: every window open at once), so executing the
+// schedule — window activations, expiries, and the per-delivery
+// drop_probability() walk — allocates nothing once the substrate has warmed
+// up.
+TEST(ZeroAlloc, FaultInjectorSteadyState) {
+  sim::Simulator sim;
+  util::Rng root(77);
+  const geom::Rect field(670.0, 670.0);
+  radio::Medium medium(radio::make_propagation("free_space", 2.7, 4.0),
+                       radio::RadioParams{}, 250.0);
+  net::NetworkParams params;
+  net::Network network(sim, std::move(medium), field, params,
+                       root.substream("network"));
+
+  mobility::FleetParams fleet;
+  fleet.duration = 300.0;
+  network.add_fleet(mobility::make_fleet(fleet, 50, root.substream("mob")));
+  for (auto& node : network.nodes()) {
+    node->set_agent(std::make_unique<NullAgent>());
+  }
+
+  // Two identical rounds of a dense overlapping window workload — per-node
+  // loss bursts plus a jam zone, several active at once. Round one is
+  // warm-up: faulty traffic shifts the delivery-batch concurrency
+  // high-water mark, and the substrate pools must reach it before the
+  // measured round.
+  fault::Schedule schedule;
+  for (const double base : {45.0, 145.0}) {
+    for (int i = 0; i < 12; ++i) {
+      fault::FaultEvent burst;
+      burst.kind = fault::FaultKind::kLossBurst;
+      burst.at = base + 5.0 * i;
+      burst.until = burst.at + 12.0;
+      burst.node = static_cast<net::NodeId>(i * 4);
+      burst.probability = 0.8;
+      schedule.add(burst);
+    }
+    fault::FaultEvent jam;
+    jam.kind = fault::FaultKind::kJam;
+    jam.at = base + 15.0;
+    jam.until = base + 55.0;
+    jam.center = geom::Vec2{335.0, 335.0};
+    jam.radius = 200.0;
+    jam.probability = 0.9;
+    schedule.add(jam);
+  }
+
+  fault::Injector injector(network, std::move(schedule));
+  injector.arm();
+  network.start();
+
+  // Warm-up covers the whole first fault round (last window closes at
+  // t=116); the second, identical round runs inside the measured window.
+  sim.run_until(140.0);
+  ASSERT_EQ(injector.timeline().size(), 13u);
+
+  const util::AllocWindow window;
+  sim.run_until(220.0);
+  EXPECT_EQ(window.allocs(), 0u)
+      << "fault injection allocated on the steady-state path";
+  EXPECT_EQ(injector.timeline().size(), 26u);
+  EXPECT_EQ(injector.active_windows(), 0u);
+  EXPECT_GT(network.stats().hellos_lost, 0u);
 }
 
 TEST(ZeroAlloc, FullScenarioAllocBudget) {
