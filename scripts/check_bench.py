@@ -22,6 +22,15 @@ Exit status is non-zero when any workload regresses:
     (cold simulation wall over warm cache-served wall, measured within one
     run) must stay >= MIN_CACHED_SPEEDUP. Like the obs pair this is an
     intra-run ratio, so it gates on any machine.
+  * sharded scaling: each fig_scale_nN / fig_scale_nN_sharded pair yields
+    the intra-run sharded/serial events_per_sec ratio. The gate is
+    machine-aware via the recorded "sim_jobs": with >= 8 workers the
+    N = 10k ratio must reach MIN_SHARDED_SPEEDUP; with >= 2 workers every
+    ratio must stay above SHARDED_RATIO_FLOOR (sharding must never make a
+    run pathologically slower); on a single-core box (sim_jobs == 1 after
+    auto-detection) the ratios are reported but not gated. These rows are
+    deliberately absent from the checked-in baseline — absolute scale
+    throughput says more about the machine than the code.
 
 Absolute wall_ms and RSS are reported but never gated: they say more
 about the machine than the code.
@@ -44,6 +53,14 @@ OBS_PAIR = ("fig3_full_run", "fig3_obs_run")
 # least this factor — the sweep-farm cache's reason to exist.
 MIN_CACHED_SPEEDUP = 10.0
 CACHED_RERUN = "fig3_cached_rerun"
+
+# Sharded scaling (fig_scale family). With a wide pool the N = 10k sharded
+# run must clearly beat serial; with any pool at all it must never be
+# pathologically slower than serial.
+MIN_SHARDED_SPEEDUP = 2.0    # N = 10k, sim_jobs >= 8
+SHARDED_RATIO_FLOOR = 0.7    # every N, sim_jobs >= 2
+SCALE_NS = (50, 1000, 10000)
+SPEEDUP_GATED_N = 10000
 
 THROUGHPUT_KEYS = ("events_per_sec", "sim_s_per_s")
 
@@ -126,6 +143,31 @@ def main():
             failures.append(
                 f"{CACHED_RERUN}: cold/warm speedup {ratio:.4g} below "
                 f"{MIN_CACHED_SPEEDUP:.4g}")
+
+    for n in SCALE_NS:
+        serial = current.get(f"fig_scale_n{n}")
+        sharded = current.get(f"fig_scale_n{n}_sharded")
+        if not serial or not sharded:
+            continue
+        base = serial.get("events_per_sec", 0.0)
+        if base <= 0.0:
+            continue
+        jobs = int(sharded.get("sim_jobs", 1))
+        ratio = sharded.get("events_per_sec", 0.0) / base
+        if jobs >= 8 and n == SPEEDUP_GATED_N:
+            need, gated = MIN_SHARDED_SPEEDUP, True
+        elif jobs >= 2:
+            need, gated = SHARDED_RATIO_FLOOR, True
+        else:
+            need, gated = 0.0, False
+        verdict = "info" if not gated else ("FAIL" if ratio < need else "ok")
+        print(f"{f'fig_scale_n{n}':22s} {'sharded/serial':16s} "
+              f"{base:12.4g} -> {sharded.get('events_per_sec', 0.0):12.4g}  "
+              f"({ratio:6.2f}x, sim_jobs={jobs}) {verdict}")
+        if gated and ratio < need:
+            failures.append(
+                f"fig_scale_n{n}: sharded/serial events_per_sec ratio "
+                f"{ratio:.2f} below {need:.2f} at sim_jobs={jobs}")
 
     if failures:
         print("\nPerformance regressions detected:", file=sys.stderr)

@@ -37,7 +37,8 @@ void ConvergenceMonitor::note_fault(sim::Time t) {
 
 void ConvergenceMonitor::sample() {
   const sim::Time t = sim_.now();
-  const ValidationReport report = validate_clusters(network_, agents_, t);
+  const ValidationReport report =
+      validate_clusters(network_, agents_, t, scratch_);
 
   ++summary_.samples;
   if (!report.clean()) {

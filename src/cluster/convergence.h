@@ -57,6 +57,10 @@ class ConvergenceMonitor {
   sim::Simulator& sim_;
   net::Network& network_;
   std::vector<const WeightedClusterAgent*> agents_;
+  /// Reused ground-truth adjacency buffers: after the first sample warms
+  /// their capacity, the periodic validation path stays allocation-free
+  /// (tests/test_zero_alloc.cpp pins this).
+  net::Network::AdjacencyScratch scratch_;
 
   Summary summary_;
   sim::Time period_ = 0.0;

@@ -22,11 +22,20 @@ std::string ValidationReport::to_string() const {
 ValidationReport validate_clusters(
     net::Network& network,
     const std::vector<const WeightedClusterAgent*>& agents, sim::Time t) {
+  net::Network::AdjacencyScratch scratch;
+  return validate_clusters(network, agents, t, scratch);
+}
+
+ValidationReport validate_clusters(
+    net::Network& network,
+    const std::vector<const WeightedClusterAgent*>& agents, sim::Time t,
+    net::Network::AdjacencyScratch& scratch) {
   MANET_CHECK(agents.size() == network.size(),
               "agents/nodes size mismatch: " << agents.size() << " vs "
                                              << network.size());
   ValidationReport report;
-  const auto adj = network.true_adjacency(t);
+  network.true_adjacency_into(t, scratch);
+  const auto& adj = scratch;
 
   // Fault-injection runs crash and churn nodes; a dead node neither beacons
   // nor holds a role, so the invariants are evaluated over the survivors and
@@ -39,7 +48,7 @@ ValidationReport validate_clusters(
       ++report.dead_nodes;
       continue;
     }
-    for (const net::NodeId j : adj[i]) {
+    for (const net::NodeId j : adj.neighbors(i)) {
       if (alive(j)) {
         ++report.connected_nodes;
         break;
@@ -51,7 +60,7 @@ ValidationReport validate_clusters(
         ++report.undecided;
         break;
       case Role::kHead:
-        for (const net::NodeId j : adj[i]) {
+        for (const net::NodeId j : adj.neighbors(i)) {
           if (j > i && alive(j) && agents[j]->role() == Role::kHead) {
             ++report.head_pairs_in_range;
           }
@@ -64,7 +73,7 @@ ValidationReport validate_clusters(
           ++report.members_of_non_head;
         }
         bool in_range = false;
-        for (const net::NodeId j : adj[i]) {
+        for (const net::NodeId j : adj.neighbors(i)) {
           if (j == head) {
             in_range = alive(head);
             break;

@@ -46,4 +46,13 @@ ValidationReport validate_clusters(
     net::Network& network,
     const std::vector<const WeightedClusterAgent*>& agents, sim::Time t);
 
+/// Allocation-free variant for periodic callers (the convergence monitor):
+/// the ground-truth adjacency is built into `scratch`, whose buffers keep
+/// their capacity across calls, so repeated validation is heap-quiet once
+/// warmed up. Produces the identical report.
+ValidationReport validate_clusters(
+    net::Network& network,
+    const std::vector<const WeightedClusterAgent*>& agents, sim::Time t,
+    net::Network::AdjacencyScratch& scratch);
+
 }  // namespace manet::cluster

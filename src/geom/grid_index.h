@@ -32,6 +32,13 @@ class GridIndex {
 
   std::size_t size() const { return points_.size(); }
 
+  /// Number of grid cells; cell ids are row-major in [0, cell_count()).
+  std::size_t cell_count() const { return cols_ * rows_; }
+
+  /// Row-major cell id of a position (clamped into the field) — the tile
+  /// coordinate shard planners partition the field on.
+  std::size_t cell_index(Vec2 p) const { return cell_of(p); }
+
   /// Appends the indices of all points within `radius` of `center`
   /// (inclusive) to `out`. The queried set may include the querying point
   /// itself if it is in the index; callers filter by index.
@@ -59,5 +66,19 @@ class GridIndex {
   std::vector<std::size_t> order_;
   std::vector<std::size_t> cursor_;  // rebuild scratch (capacity reused)
 };
+
+/// Maps a row-major cell id to one of `n_shards` contiguous tile blocks.
+/// Row-major contiguity means a shard covers whole grid rows (plus a
+/// partial row at each end), so tile-local work stays field-local; shard
+/// assignment is a pure function of the cell id, independent of thread
+/// count or timing.
+inline std::size_t tile_shard(std::size_t cell, std::size_t n_cells,
+                              std::size_t n_shards) {
+  if (n_shards <= 1 || n_cells == 0) {
+    return 0;
+  }
+  const std::size_t shard = cell * n_shards / n_cells;
+  return shard < n_shards ? shard : n_shards - 1;
+}
 
 }  // namespace manet::geom

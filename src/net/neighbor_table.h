@@ -54,6 +54,10 @@ class NeighborTable {
   /// upper bound on neighbors, so steady-state inserts never reallocate).
   void reserve(std::size_t capacity) { entries_.reserve(capacity); }
 
+  /// Drops every entry but keeps the allocated capacity — outage recovery
+  /// wipes state without re-entering the allocator.
+  void clear() { entries_.clear(); }
+
   /// Records a Hello from `pkt.sender` heard at time `t` with power `rx_w`.
   void on_hello(sim::Time t, const HelloPacket& pkt, double rx_w);
 

@@ -26,6 +26,8 @@
 
 namespace manet::net {
 
+class ShardPlanner;
+
 struct NetworkParams {
   double broadcast_interval = 2.0;  // BI, seconds (paper: 2.0)
   double neighbor_timeout = 3.0;    // TP, seconds (paper: 3.0)
@@ -98,6 +100,34 @@ class Network {
   /// used by validators and the routing experiments, not by the protocols.
   std::vector<std::vector<NodeId>> true_adjacency(sim::Time t);
 
+  /// Reusable CSR ground-truth adjacency: node i's neighbors occupy
+  /// flat[offsets[i] .. offsets[i+1]) after true_adjacency_into(). Owns its
+  /// own spatial grid so repeated validation sweeps are O(N·deg) without
+  /// touching the network's delivery snapshot (whose refresh timeline is
+  /// behavior-affecting). All buffers keep their capacity across calls, so
+  /// periodic validation is allocation-free once warmed up.
+  struct AdjacencyScratch {
+    std::vector<geom::Vec2> pos;
+    std::vector<std::size_t> offsets;  // n + 1 entries
+    std::vector<NodeId> flat;
+
+    std::span<const NodeId> neighbors(std::size_t i) const {
+      return {flat.data() + offsets[i], offsets[i + 1] - offsets[i]};
+    }
+
+   private:
+    friend class Network;
+    std::vector<std::size_t> query;
+    std::unique_ptr<geom::GridIndex> grid;
+  };
+  void true_adjacency_into(sim::Time t, AdjacencyScratch& out);
+
+  /// Attaches a shard planner for intra-run parallel candidate scans
+  /// (scenario::run_scenario wires one up for --sim-jobs > 1). Must be
+  /// called before start(); the planner must outlive the run and detaches
+  /// itself in ShardPlanner::shutdown().
+  void enable_sharding(ShardPlanner* planner);
+
   /// Exact current distance between two nodes (ground truth helper).
   double distance(NodeId a, NodeId b, sim::Time t);
 
@@ -146,6 +176,7 @@ class Network {
 
  private:
   friend class Node;
+  friend class ShardPlanner;
 
   /// One scheduled Hello delivery batch: the packet stored once by value
   /// plus every receiver that passed the propagation/loss checks. Batches
@@ -173,6 +204,17 @@ class Network {
 
   /// Called by a node when its beacon timer fires.
   void broadcast(Node& sender, const HelloPacket& pkt);
+
+  /// Called by nodes when a jittered broadcast is scheduled / liveness
+  /// flips; forwarded to the shard planner (no-ops when serial).
+  void note_pending_broadcast(NodeId sender, sim::Time fire_at);
+  void note_liveness(NodeId id, bool alive);
+
+  /// Pooled HelloPacket for the rare in-flight-beacon fallback in
+  /// Node::beacon(): keeps that path off the allocator (the packet's
+  /// neighbor capacity is reused across acquisitions).
+  HelloPacket* acquire_hello();
+  void release_hello(HelloPacket* pkt);
 
   DeliveryBatch* acquire_batch();
   void release_batch(DeliveryBatch* batch);
@@ -213,6 +255,11 @@ class Network {
   // the candidate scan so a receiving agent that transmits cannot clobber
   // query_buf_ mid-iteration.
   std::vector<DeliveryBatch::Rx> immediate_buf_;
+  // Fallback-Hello pool (see acquire_hello()).
+  std::vector<std::unique_ptr<HelloPacket>> hello_pool_;
+  std::vector<HelloPacket*> free_hellos_;
+
+  ShardPlanner* planner_ = nullptr;  // non-owning; null = serial run
 
   NetworkStats stats_;
   const obs::NetHooks* hooks_ = nullptr;

@@ -52,6 +52,9 @@ void Node::fail() {
   if (beacon_timer_ != nullptr) {
     beacon_timer_->stop();
   }
+  if (network_ != nullptr) {
+    network_->note_liveness(id_, false);
+  }
   if (network_ != nullptr && agent_ != nullptr) {
     agent_->on_reset(*this);  // a crash loses protocol state
   }
@@ -63,7 +66,8 @@ void Node::recover() {
     return;
   }
   alive_ = true;
-  table_ = NeighborTable();  // stale state is gone after an outage
+  network_->note_liveness(id_, true);
+  table_.clear();  // stale state is gone after an outage (capacity kept)
   const double jitter =
       rng_.uniform(0.0, network_->params().broadcast_interval);
   beacon_timer_->start(simulator().now() + jitter,
@@ -80,22 +84,25 @@ void Node::beacon() {
       table_.purge(now, network_->params().neighbor_timeout));
 
   // The previous jittered broadcast still pending means the beacon period
-  // has been pushed below the jitter window; fall back to a one-off packet
-  // so the in-flight one is not overwritten. Never taken at sane configs.
+  // has been pushed below the jitter window; fall back to a pooled one-off
+  // packet so the in-flight one is not overwritten. Never taken at sane
+  // configs, and never speculated on (the sender's scan slot is busy).
   if (beacon_in_flight_) {
-    HelloPacket pkt;
-    pkt.sender = id_;
-    pkt.seq = ++seq_;
-    pkt.neighbors = table_.ids();
-    agent_->on_beacon(*this, pkt);
-    // manet-lint: allow(hot-path): fallback when a beacon is still in flight
-    auto delayed = std::make_shared<HelloPacket>(std::move(pkt));
+    HelloPacket* pkt = network_->acquire_hello();
+    pkt->sender = id_;
+    pkt->seq = ++seq_;
+    pkt->weight = 0.0;
+    pkt->role = AdvertRole::kUndecided;
+    pkt->cluster_head = kInvalidNode;
+    table_.ids_into(pkt->neighbors);
+    agent_->on_beacon(*this, *pkt);
     simulator().schedule_in(
         rng_.uniform(0.0, network_->params().per_beacon_jitter),
-        [this, delayed]() {
+        [this, pkt]() {
           if (alive_) {
-            network_->broadcast(*this, *delayed);
+            network_->broadcast(*this, *pkt);
           }
+          network_->release_hello(pkt);
         });
     return;
   }
@@ -115,7 +122,11 @@ void Node::beacon() {
   const double jitter = network_->params().per_beacon_jitter;
   if (jitter > 0.0) {
     beacon_in_flight_ = true;
-    simulator().schedule_in(rng_.uniform(0.0, jitter), [this]() {
+    const double delay = rng_.uniform(0.0, jitter);
+    // schedule_in resolves to now + delay exactly; the planner speculates
+    // the candidate scan for that fire time while other events execute.
+    network_->note_pending_broadcast(id_, now + delay);
+    simulator().schedule_in(delay, [this]() {
       beacon_in_flight_ = false;
       if (alive_) {
         network_->broadcast(*this, scratch_pkt_);

@@ -28,6 +28,10 @@ class Node {
   geom::Vec2 position(sim::Time t) { return mobility_->position(t); }
   geom::Vec2 velocity(sim::Time t) { return mobility_->velocity(t); }
 
+  /// The mobility model itself (shard planners unroll it into leg tables).
+  mobility::MobilityModel& mobility() { return *mobility_; }
+  const mobility::MobilityModel& mobility() const { return *mobility_; }
+
   NeighborTable& table() { return table_; }
   const NeighborTable& table() const { return table_; }
 

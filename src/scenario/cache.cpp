@@ -269,6 +269,10 @@ std::string canonical_scenario_text(const Scenario& s) {
   if (!s.obs.tag.empty()) {
     put(os, "obs_tag", s.obs.tag);
   }
+  // Scenario::sim_jobs is deliberately NOT encoded: the sharded scan
+  // pipeline is bit-identical to the serial run for every worker count, so
+  // a cell computed at any --sim-jobs must hit for all of them (and the
+  // golden cache-key pin in test_result_cache stays valid).
   return os.str();
 }
 

@@ -6,10 +6,12 @@
 #include "cluster/convergence.h"
 #include "cluster/obs_sink.h"
 #include "fault/injector.h"
+#include "net/shard_planner.h"
 #include "obs/trace.h"
 #include "radio/medium.h"
 #include "sim/simulator.h"
 #include "util/assert.h"
+#include "util/thread_pool.h"
 
 namespace manet::scenario {
 
@@ -117,6 +119,21 @@ RunResult run_scenario(const Scenario& scenario,
       mobility::make_fleet(fleet, scenario.n_nodes,
                            root.substream("mobility")));
 
+  // Intra-run parallelism: a shard planner speculating broadcast scans on
+  // a worker pool. Results are bit-identical to the serial path for any
+  // worker count (the planner replays all side effects in serial order),
+  // so this changes wall time only. Declared pool-before-planner: the
+  // planner's destructor drains the pool.
+  std::unique_ptr<util::ThreadPool> sim_pool;
+  std::unique_ptr<net::ShardPlanner> planner;
+  const int sim_jobs = net::ShardPlanner::resolve_sim_jobs(scenario.sim_jobs);
+  if (sim_jobs > 1 && net::ShardPlanner::supported(network)) {
+    sim_pool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(sim_jobs));
+    planner = std::make_unique<net::ShardPlanner>(network, *sim_pool);
+    network.enable_sharding(planner.get());
+  }
+
   std::unique_ptr<ObsBundle> bundle;
   if (scenario.obs.any()) {
     bundle = std::make_unique<ObsBundle>(
@@ -212,6 +229,10 @@ RunResult run_scenario(const Scenario& scenario,
     on_start(ctx);
   }
   sim.run_until(scenario.sim_time);
+  if (planner != nullptr) {
+    // Drain speculation before validators touch nodes and mobility state.
+    planner->shutdown();
+  }
   stats.finish(scenario.sim_time);
   if (bundle != nullptr) {
     bundle->cluster_sink.finish(scenario.sim_time);

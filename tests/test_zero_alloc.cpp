@@ -16,7 +16,10 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/presets.h"
+#include "cluster/validation.h"
 #include "fault/injector.h"
+#include "helpers.h"
 #include "mobility/factory.h"
 #include "net/network.h"
 #include "obs/hooks.h"
@@ -222,6 +225,60 @@ TEST(ZeroAlloc, FaultInjectorSteadyState) {
   EXPECT_EQ(injector.timeline().size(), 26u);
   EXPECT_EQ(injector.active_windows(), 0u);
   EXPECT_GT(network.stats().hellos_lost, 0u);
+}
+
+// Ground-truth validation through a warmed AdjacencyScratch is strictly
+// allocation-free — the convergence monitor calls it once per sample, so
+// this is the contract that keeps resilience runs heap-quiet.
+TEST(ZeroAlloc, ValidationScratchSteadyState) {
+  auto world = test::make_static_world(test::figure1_positions(), 100.0,
+                                       cluster::mobic_options());
+  world->run(12.0);
+  const auto agents = world->const_agents();
+
+  net::Network::AdjacencyScratch scratch;
+  const cluster::ValidationReport warm =
+      cluster::validate_clusters(*world->network, agents, 12.0, scratch);
+  // The scratch overload must agree with the allocating one exactly.
+  const cluster::ValidationReport reference =
+      cluster::validate_clusters(*world->network, agents, 12.0);
+  ASSERT_TRUE(warm == reference);
+
+  const util::AllocWindow window;
+  for (int i = 0; i < 200; ++i) {
+    const cluster::ValidationReport rep = cluster::validate_clusters(
+        *world->network, agents, 12.0 + 0.01 * i, scratch);
+    EXPECT_TRUE(rep == warm);
+  }
+  EXPECT_EQ(window.allocs(), 0u)
+      << "scratch-based validation allocated after warm-up";
+}
+
+// A full resilience run (crash/recover churn + loss bursts, convergence
+// monitor sampling every second) must stay within the same tiny per-event
+// budget as the fault-free scenario — before the validation scratch this
+// path ran at ~3.7 allocations per event.
+TEST(ZeroAlloc, ResilienceScenarioAllocBudget) {
+  scenario::Scenario s = scenario::paper_scenario();
+  s.sim_time = 120.0;
+  s.faults.begin = 30.0;
+  s.faults.end = 90.0;
+  s.faults.crash_rate = 0.03;
+  s.faults.mean_downtime = 30.0;
+  s.faults.loss_burst_rate = 0.02;
+  s.faults.loss_burst_duration = 8.0;
+  s.faults.loss_burst_probability = 0.9;
+  const util::AllocWindow window;
+  const scenario::RunResult r =
+      scenario::run_scenario(s, scenario::factory_by_name("mobic"));
+  ASSERT_GT(r.events_executed, 0u);
+  ASSERT_GT(r.faults_injected, 0u);
+  ASSERT_GT(r.convergence_samples, 0u);
+  const double per_event = static_cast<double>(window.allocs()) /
+                           static_cast<double>(r.events_executed);
+  EXPECT_LT(per_event, 0.25)
+      << "resilience allocations per simulator event regressed: "
+      << per_event;
 }
 
 TEST(ZeroAlloc, FullScenarioAllocBudget) {
