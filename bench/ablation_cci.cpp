@@ -53,6 +53,13 @@ int main(int argc, char** argv) {
          }});
     variants.push_back({"mobic", util::Table::fmt(cci, 0), cci});
   }
+  // The composite-weight contenders (CCI here is the paper default, 4 s;
+  // the CSV carries -1 so these rows never alias a CCI-sweep row).
+  spec.algorithms.push_back({"cci", scenario::factory_by_name("cci")});
+  variants.push_back({"cci", "-", -1.0});
+  spec.algorithms.push_back(
+      {"sd_dwca", scenario::factory_by_name("sd_dwca")});
+  variants.push_back({"sd_dwca", "-", -1.0});
 
   const auto result = cfg.runner().run(spec);
 

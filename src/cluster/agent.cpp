@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/composite.h"
+#include "net/energy.h"
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -27,6 +29,14 @@ void WeightedClusterAgent::on_attach(net::Node& node) {
   // Rival heads in range at once are few; pre-size so steady-state
   // contention tracking stays off the allocator.
   contention_.reserve(8);
+  if (is_composite(options_.kind)) {
+    // The Pareto-prefilter scratch is bounded by the neighbor count, whose
+    // hard ceiling is the network population.
+    const std::size_t n = node.network().size();
+    head_scratch_.reserve(n);
+    weight_scratch_.reserve(n);
+    frontier_scratch_.reserve(n);
+  }
 }
 
 void WeightedClusterAgent::on_reset(net::Node& node) {
@@ -35,6 +45,8 @@ void WeightedClusterAgent::on_reset(net::Node& node) {
   become_undecided(node.simulator().now());
   estimator_.reset();
   metric_ = 0.0;
+  extra_ = {};
+  extra_count_ = 0;
   gateway_ = false;
   decisions_ = 0;  // the boot-beacon guard applies again after recovery
 }
@@ -51,6 +63,16 @@ Weight WeightedClusterAgent::neighbor_weight(
     case WeightKind::kCombined:
       // The sender computed and advertised its own metric.
       return Weight{e.weight, e.id};
+    case WeightKind::kCci:
+    case WeightKind::kSdDwca: {
+      // Composite advertisement: primary metric plus the extra utility
+      // components, in advertised significance order.
+      Weight w{e.weight, e.id};
+      for (std::uint8_t i = 0; i < e.extra_weight_count; ++i) {
+        w.push(e.extra_weights[i]);
+      }
+      return w;
+    }
   }
   return Weight{0.0, e.id};
 }
@@ -79,21 +101,83 @@ void WeightedClusterAgent::refresh_metric(net::Node& node) {
                 options_.combined_degree_weight * degree_penalty;
       break;
     }
+    case WeightKind::kCci: {
+      // Combined Closeness Index: the primary utility is closeness of the
+      // degree to the ideal; among equally-close candidates the calmer node
+      // (lower saturating mobility utility) wins, then the id.
+      const double m = estimator_.update(node.table(), node.simulator().now());
+      metric_ = deviation_utility(static_cast<double>(node.table().size()),
+                                  options_.combined_ideal_degree);
+      extra_[0] = saturating_utility(m, options_.composite_mobility_ref);
+      extra_count_ = 1;
+      break;
+    }
+    case WeightKind::kSdDwca: {
+      // SD_DWCA: a normalized stability / degree / residual-energy blend as
+      // the primary utility, with the raw energy deficit as the tie-break
+      // (among equally-blended candidates the fuller battery serves).
+      const double m = estimator_.update(node.table(), node.simulator().now());
+      const double stability =
+          saturating_utility(m, options_.composite_mobility_ref);
+      const double ideal = options_.combined_ideal_degree;
+      const double degree_dev = saturating_utility(
+          deviation_utility(static_cast<double>(node.table().size()), ideal),
+          ideal > 0.0 ? ideal : 1.0);
+      const double energy_deficit = complement_utility(
+          options_.energy != nullptr ? options_.energy->residual_ratio(self_)
+                                     : 1.0);
+      metric_ = options_.combined_mobility_weight * stability +
+                options_.combined_degree_weight * degree_dev +
+                options_.composite_energy_weight * energy_deficit;
+      extra_[0] = energy_deficit;
+      extra_count_ = 1;
+      break;
+    }
   }
 }
 
 const net::NeighborEntry* WeightedClusterAgent::best_head(
     const std::vector<net::NeighborEntry>& entries) const {
-  const net::NeighborEntry* best = nullptr;
-  for (const net::NeighborEntry& e : entries) {
-    if (e.role != net::AdvertRole::kHead) {
-      continue;
+  if (!is_composite(options_.kind)) {
+    const net::NeighborEntry* best = nullptr;
+    for (const net::NeighborEntry& e : entries) {
+      if (e.role != net::AdvertRole::kHead) {
+        continue;
+      }
+      if (best == nullptr || neighbor_weight(e) < neighbor_weight(*best)) {
+        best = &e;
+      }
     }
-    if (best == nullptr || neighbor_weight(e) < neighbor_weight(*best)) {
-      best = &e;
+    return best;
+  }
+  // Composite kinds run the STELLAR election idiom: collect the advertised
+  // utility vectors, narrow to the Pareto frontier, then take the
+  // lexicographic minimum with the id as the final tie-break. The frontier
+  // is a pure prefilter — the lexicographic minimum is always non-dominated
+  // (test_weight_properties pins the equivalence) — so Theorem 1's
+  // totally-ordered-weight argument carries over unchanged.
+  head_scratch_.clear();
+  weight_scratch_.clear();
+  for (const net::NeighborEntry& e : entries) {
+    if (e.role == net::AdvertRole::kHead) {
+      head_scratch_.push_back(&e);
+      weight_scratch_.push_back(neighbor_weight(e));
     }
   }
-  return best;
+  if (head_scratch_.empty()) {
+    return nullptr;
+  }
+  pareto_frontier(weight_scratch_, frontier_scratch_);
+  std::size_t best = weight_scratch_.size();
+  for (std::size_t i = 0; i < weight_scratch_.size(); ++i) {
+    if (frontier_scratch_[i] != 0 &&
+        (best == weight_scratch_.size() ||
+         weight_scratch_[i] < weight_scratch_[best])) {
+      best = i;
+    }
+  }
+  MANET_ASSERT(best < weight_scratch_.size());
+  return head_scratch_[best];
 }
 
 void WeightedClusterAgent::set_state(sim::Time t, Role role,
@@ -345,6 +429,8 @@ void WeightedClusterAgent::on_beacon(net::Node& node, net::HelloPacket& out) {
   refresh_metric(node);
   decide(node);
   out.weight = metric_;
+  out.extra_weights = extra_;
+  out.extra_weight_count = extra_count_;
   out.role = to_advert(role_);
   out.cluster_head = head_;
   maybe_adapt_beacon(node);

@@ -15,6 +15,8 @@
 // {M, role, clusterhead} into the outgoing Hello — the sequencing of §3.2.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -25,6 +27,10 @@
 #include "net/agent.h"
 #include "net/node.h"
 #include "obs/hooks.h"
+
+namespace manet::net {
+class EnergyModel;
+}
 
 namespace manet::cluster {
 
@@ -52,6 +58,17 @@ struct ClusterOptions {
   double combined_mobility_weight = 1.0;
   double combined_degree_weight = 1.0;
   double combined_ideal_degree = 8.0;
+
+  /// Composite kinds (kCci, kSdDwca): half-utility reference of the
+  /// saturating mobility transform u(M) = M / (M + ref) — the M value that
+  /// maps to utility 0.5.
+  double composite_mobility_ref = 10.0;
+  /// kSdDwca: weight of the residual-energy deficit term (1 - E/E0).
+  double composite_energy_weight = 1.0;
+  /// kSdDwca residual-energy source (not owned; may be nullptr, meaning
+  /// every node reads a full battery). scenario::run_scenario wires the
+  /// run's EnergyModel in when the scenario enables energy.
+  const net::EnergyModel* energy = nullptr;
 
   /// Aggregate-mobility estimator settings (WeightKind::kMobility).
   metrics::AggregateMobilityConfig mobility{};
@@ -83,10 +100,18 @@ class WeightedClusterAgent final : public net::Agent {
   /// True if the last decision round saw >= 2 clusterheads in range while
   /// this node is a member.
   bool is_gateway() const { return gateway_; }
-  /// Current metric value (M for MOBIC; 0 / -degree / static otherwise).
+  /// Current metric value (M for MOBIC; 0 / -degree / static otherwise;
+  /// the primary utility component for the composite kinds).
   double metric() const { return metric_; }
-  /// The full comparison weight {metric, id} of this node.
-  Weight weight() const { return Weight{metric_, self_}; }
+  /// The full comparison weight of this node: {metric, id} for the scalar
+  /// kinds, the metric plus the extra utility components for kCci/kSdDwca.
+  Weight weight() const {
+    Weight w{metric_, self_};
+    for (std::uint8_t i = 0; i < extra_count_; ++i) {
+      w.push(extra_[i]);
+    }
+    return w;
+  }
 
   std::uint64_t decisions() const { return decisions_; }
 
@@ -121,7 +146,16 @@ class WeightedClusterAgent final : public net::Agent {
   net::NodeId head_ = net::kInvalidNode;
   bool gateway_ = false;
   double metric_ = 0.0;
+  /// Extra advertised utility components (composite kinds; count 0 for the
+  /// scalar kinds, keeping their Hellos and weights bit-identical).
+  std::array<double, net::HelloPacket::kMaxExtraWeights> extra_{};
+  std::uint8_t extra_count_ = 0;
   metrics::AggregateMobilityEstimator estimator_;
+  /// Scratch for the Pareto-prefiltered composite head election; reserved
+  /// at attach so steady-state elections stay off the allocator.
+  mutable std::vector<const net::NeighborEntry*> head_scratch_;
+  mutable std::vector<Weight> weight_scratch_;
+  mutable std::vector<std::uint8_t> frontier_scratch_;
   /// Head-vs-head contention: {contender id, first continuous contact time},
   /// ascending by id so every walk over the rivals is hash-order-free (a
   /// handful of entries at most; flat storage also keeps the hot loop out of

@@ -1,0 +1,43 @@
+#include "cluster/composite.h"
+
+#include "util/assert.h"
+
+namespace manet::cluster {
+
+bool pareto_dominates(const Weight& a, const Weight& b) {
+  bool strict = false;
+  for (std::size_t i = 0; i < Weight::kMaxComponents; ++i) {
+    if (a.v[i] > b.v[i]) {
+      return false;
+    }
+    if (a.v[i] < b.v[i]) {
+      strict = true;
+    }
+  }
+  return strict;
+}
+
+void pareto_frontier(std::span<const Weight> candidates,
+                     std::vector<std::uint8_t>& frontier) {
+  frontier.resize(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < candidates.size() && !dominated; ++j) {
+      dominated = j != i && pareto_dominates(candidates[j], candidates[i]);
+    }
+    frontier[i] = dominated ? 0 : 1;
+  }
+}
+
+std::size_t lex_min_index(std::span<const Weight> candidates) {
+  MANET_CHECK(!candidates.empty(), "lex_min_index of empty candidate set");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i] < candidates[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace manet::cluster

@@ -1,0 +1,59 @@
+// Composite-weight election helpers: per-metric utility transforms, the
+// Pareto-frontier candidate filter, and the lexicographic minimum — the
+// STELLAR election idiom. Raw node attributes (mobility, degree deviation,
+// residual-energy deficit) are first mapped into comparable utilities, the
+// candidate set is narrowed to its Pareto frontier (nobody componentwise
+// dominated survives), and the winner is the lexicographic minimum with the
+// node id as the final tie-break.
+//
+// Correctness: the lexicographic minimum of a candidate set is always on its
+// Pareto frontier (a componentwise dominator would also precede it
+// lexicographically), so the frontier is a pure prefilter — it never changes
+// the elected head, only prunes the comparison set. test_weight_properties
+// pins this equivalence against a brute-force oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/weight.h"
+
+namespace manet::cluster {
+
+/// Maps x in [0, inf) to [0, 1): x / (x + ref). `ref` is the half-utility
+/// point (u(ref) = 0.5); negative x clamps to 0. Lower is better on both
+/// sides of the transform.
+constexpr double saturating_utility(double x, double ref) {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  return x / (x + ref);
+}
+
+/// Distance from the ideal operating point: |x - ideal| (the WCA/CCI degree
+/// closeness term).
+constexpr double deviation_utility(double x, double ideal) {
+  const double d = x - ideal;
+  return d < 0.0 ? -d : d;
+}
+
+/// Flips a [0, 1] utility (residual-energy ratio -> energy deficit).
+constexpr double complement_utility(double u) { return 1.0 - u; }
+
+/// True if `a` componentwise dominates `b` (a <= b everywhere over the
+/// padded arrays, strictly < somewhere; lower is better). The id tie-break
+/// plays no part in domination.
+bool pareto_dominates(const Weight& a, const Weight& b);
+
+/// Marks the Pareto frontier of `candidates`: on return `frontier[i]` is
+/// nonzero iff no other candidate dominates candidates[i]. `frontier` is
+/// caller-owned scratch (resized, reserve it once to stay alloc-free).
+void pareto_frontier(std::span<const Weight> candidates,
+                     std::vector<std::uint8_t>& frontier);
+
+/// Index of the lexicographic minimum (full Weight order, id tie-break
+/// included); candidates must be non-empty.
+std::size_t lex_min_index(std::span<const Weight> candidates);
+
+}  // namespace manet::cluster

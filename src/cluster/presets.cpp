@@ -71,6 +71,18 @@ ClusterOptions combined_options(double mobility_weight, double degree_weight,
   return o;
 }
 
+ClusterOptions cci_options(ClusterEventSink* sink) {
+  ClusterOptions o = mobic_options(sink);
+  o.kind = WeightKind::kCci;
+  return o;
+}
+
+ClusterOptions sd_dwca_options(ClusterEventSink* sink) {
+  ClusterOptions o = mobic_options(sink);
+  o.kind = WeightKind::kSdDwca;
+  return o;
+}
+
 ClusterOptions options_by_name(std::string_view name,
                                ClusterEventSink* sink) {
   const std::string n = util::to_lower(name);
@@ -88,6 +100,12 @@ ClusterOptions options_by_name(std::string_view name,
   }
   if (n == "combined" || n == "wca") {
     return combined_options(1.0, 1.0, 8.0, sink);
+  }
+  if (n == "cci") {
+    return cci_options(sink);
+  }
+  if (n == "sd_dwca" || n == "sddwca") {
+    return sd_dwca_options(sink);
   }
   if (util::starts_with(n, "mobic_history:")) {
     const std::string alpha_str = n.substr(std::string("mobic_history:").size());

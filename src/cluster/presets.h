@@ -36,9 +36,20 @@ ClusterOptions combined_options(double mobility_weight = 1.0,
                                 double ideal_degree = 8.0,
                                 ClusterEventSink* sink = nullptr);
 
+/// Combined Closeness Index (arXiv:1104.5705): composite lexicographic
+/// weight {degree closeness, mobility utility, id} elected through the
+/// Pareto-frontier prefilter. Uses MOBIC's LCC + CCI machinery.
+ClusterOptions cci_options(ClusterEventSink* sink = nullptr);
+
+/// SD_DWCA (arXiv:1105.5521): stability / degree / residual-energy blend
+/// with the energy deficit as the tie-break. The energy source is wired in
+/// by the scenario driver (ClusterOptions::energy); without one every node
+/// reads a full battery and the energy terms are inert.
+ClusterOptions sd_dwca_options(ClusterEventSink* sink = nullptr);
+
 /// Named algorithm lookup for CLI-driven benches: "mobic",
 /// "lowest_id" (LCC), "lowest_id_plain", "max_connectivity",
-/// "mobic_history:<alpha>".
+/// "mobic_history:<alpha>", "cci", "sd_dwca".
 ClusterOptions options_by_name(std::string_view name,
                                ClusterEventSink* sink = nullptr);
 

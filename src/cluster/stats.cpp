@@ -38,6 +38,7 @@ void ClusterStats::on_role_change(sim::Time t, net::NodeId node,
     const auto it = reign_lower_bound(reign_since_, node);
     if (it != reign_since_.end() && it->first == node) {
       head_lifetimes_.add(t - it->second);
+      add_tenure(node, t - it->second);
       reign_since_.erase(it);
     }
   }
@@ -71,8 +72,20 @@ void ClusterStats::finish(sim::Time end) {
   // the accumulator in a reproducible order.
   for (const auto& [node, since] : reign_since_) {
     head_lifetimes_.add(end - since);
+    add_tenure(node, end - since);
   }
   reign_since_.clear();
+}
+
+void ClusterStats::add_tenure(net::NodeId node, double seconds) {
+  const auto it = std::lower_bound(
+      head_tenure_.begin(), head_tenure_.end(), node,
+      [](const auto& r, net::NodeId id) { return r.first < id; });
+  if (it == head_tenure_.end() || it->first != node) {
+    head_tenure_.insert(it, {node, seconds});
+  } else {
+    it->second += seconds;
+  }
 }
 
 ClusterSampler::ClusterSampler(sim::Simulator& sim,

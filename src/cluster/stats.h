@@ -51,6 +51,22 @@ class ClusterStats final : public ClusterEventSink {
   /// closed by finish().
   const util::RunningStats& head_lifetimes() const { return head_lifetimes_; }
 
+  /// Cumulative clusterhead tenure per node (seconds served as head across
+  /// all reigns, censored ones folded in by finish()), ascending by node
+  /// id. Only nodes that ever served appear. The tenure-fairness metric
+  /// (Jain's index in RunResult::head_tenure_fairness) is computed from
+  /// this.
+  const std::vector<std::pair<net::NodeId, double>>& head_tenure() const {
+    return head_tenure_;
+  }
+
+  /// Pre-sizes the per-node bookkeeping so mid-run reign/tenure inserts
+  /// never reallocate (part of the steady-state zero-allocation contract).
+  void reserve_nodes(std::size_t n) {
+    reign_since_.reserve(n);
+    head_tenure_.reserve(n);
+  }
+
   double warmup() const { return warmup_; }
 
  private:
@@ -64,7 +80,12 @@ class ClusterStats final : public ClusterEventSink {
   /// finish() feeds censored lifetimes into the Welford accumulator in a
   /// hash-order-free, reproducible order.
   std::vector<std::pair<net::NodeId, sim::Time>> reign_since_;
+  /// Cumulative head tenure per node, ascending by node id (see
+  /// head_tenure()).
+  std::vector<std::pair<net::NodeId, double>> head_tenure_;
   bool finished_ = false;
+
+  void add_tenure(net::NodeId node, double seconds);
 };
 
 /// Periodic role-distribution sampler driven by the simulator.

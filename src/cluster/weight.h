@@ -1,11 +1,18 @@
 // Totally ordered clustering weights (lower wins), following the DCA
-// generalization [2] the paper invokes in Theorem 1: the effective weight is
-// the lexicographic pair {metric, id}, so even when metrics tie (e.g. two
-// fresh nodes with M = 0) the order is total and the Lowest-ID rule is the
-// tie-break — exactly the paper's augmented weight {M, ID}.
+// generalization [2] the paper invokes in Theorem 1: any totally ordered
+// weight yields a correct distributed election, so the effective weight is a
+// fixed-capacity lexicographic utility vector whose final tie-break is the
+// node id — the paper's augmented weight {M, ID} is the single-component
+// instance. Composite protocols (CCI, SD_DWCA) append extra utility
+// components; unused slots stay 0.0 so comparison over the padded array is
+// exactly the legacy {metric, id} order for every scalar protocol (golden
+// hashes are bit-identical).
 #pragma once
 
+#include <array>
 #include <compare>
+#include <cstddef>
+#include <cstdint>
 #include <string_view>
 
 #include "net/types.h"
@@ -13,20 +20,74 @@
 namespace manet::cluster {
 
 struct Weight {
-  double metric = 0.0;
+  /// Primary metric + up to 3 extra utility components (matches
+  /// net::HelloPacket::kMaxExtraWeights + 1 so every advertised vector fits).
+  static constexpr std::size_t kMaxComponents = 4;
+
+  /// Utility components, most significant first; lower is better. Slots at
+  /// index >= n are 0.0 and still semantic: a shorter vector compares as if
+  /// padded with zeros.
+  std::array<double, kMaxComponents> v{};
+  /// How many components are in use (metadata for introspection/serialization
+  /// only — comparison always runs over the padded array).
+  std::uint8_t n = 1;
   net::NodeId id = net::kInvalidNode;
 
-  friend constexpr auto operator<=>(const Weight&, const Weight&) = default;
+  constexpr Weight() = default;
+  /// The legacy scalar weight {metric, id}; all existing call sites build
+  /// this shape.
+  constexpr Weight(double metric, net::NodeId node) : v{metric}, id(node) {}
+
+  constexpr double metric() const { return v[0]; }
+
+  /// Appends a lower-significance component (no-op past capacity; callers
+  /// advertise at most kMaxComponents - 1 extras).
+  constexpr void push(double component) {
+    if (n < kMaxComponents) {
+      v[n++] = component;
+    }
+  }
+
+  /// Lexicographic over the padded component array, then the node id — the
+  /// strict multi-level tie-break chain. Returns partial_ordering like the
+  /// old defaulted operator on {double metric, NodeId id}: NaN components
+  /// compare unordered (simulation metrics are never NaN), everything else
+  /// is total, and single-component weights order bit-identically to the
+  /// legacy pair.
+  friend constexpr std::partial_ordering operator<=>(const Weight& a,
+                                                     const Weight& b) {
+    for (std::size_t i = 0; i < kMaxComponents; ++i) {
+      if (const auto c = a.v[i] <=> b.v[i]; c != 0) {
+        return c;
+      }
+    }
+    return a.id <=> b.id;
+  }
+
+  friend constexpr bool operator==(const Weight& a, const Weight& b) {
+    return a.v == b.v && a.id == b.id;
+  }
 };
 
-/// Which quantity fills Weight::metric.
+/// Which quantities fill Weight's components.
 enum class WeightKind {
   kLowestId,         // metric = 0 for everyone: pure Lowest-ID [4, 5]
   kMaxConnectivity,  // metric = -degree: highest-degree wins [5]
   kMobility,         // metric = aggregate local mobility M: MOBIC (this paper)
   kStaticWeight,     // metric = externally assigned constant: DCA [2]
   kCombined,         // metric = wm*M + wd*|degree - ideal|: WCA-style blend
+  kCci,        // {|degree - ideal|, mobility utility}: Combined Closeness
+               // Index (arXiv:1104.5705), composite lexicographic weight
+  kSdDwca,     // {wm*u(M) + wd*u(|deg-ideal|) + we*(1-E/E0), 1-E/E0}:
+               // stability/degree/residual-energy blend (arXiv:1105.5521)
 };
+
+/// True for kinds whose weight carries extra utility components beyond the
+/// primary metric (these advertise the extras in Hellos and elect through
+/// the Pareto-frontier prefilter).
+constexpr bool is_composite(WeightKind k) {
+  return k == WeightKind::kCci || k == WeightKind::kSdDwca;
+}
 
 inline std::string_view weight_kind_name(WeightKind k) {
   switch (k) {
@@ -40,6 +101,10 @@ inline std::string_view weight_kind_name(WeightKind k) {
       return "dca_static";
     case WeightKind::kCombined:
       return "combined";
+    case WeightKind::kCci:
+      return "cci";
+    case WeightKind::kSdDwca:
+      return "sd_dwca";
   }
   return "?";
 }

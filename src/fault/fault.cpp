@@ -17,6 +17,7 @@ bool is_window(FaultKind kind) {
     case FaultKind::kRecover:
     case FaultKind::kChurnLeave:
     case FaultKind::kChurnJoin:
+    case FaultKind::kBatteryDepleted:
       return false;
   }
   return false;
@@ -38,6 +39,8 @@ const char* kind_name(FaultKind kind) {
       return "jam";
     case FaultKind::kPartition:
       return "partition";
+    case FaultKind::kBatteryDepleted:
+      return "battery_depleted";
   }
   return "unknown";
 }
@@ -110,6 +113,7 @@ void Schedule::validate(std::size_t n_nodes) const {
       case FaultKind::kRecover:
       case FaultKind::kChurnLeave:
       case FaultKind::kChurnJoin:
+      case FaultKind::kBatteryDepleted:
         MANET_CHECK(e.node < n_nodes,
                     "" << kind_name(e.kind) << " targets node " << e.node
                                       << " of " << n_nodes);

@@ -33,6 +33,9 @@ enum class FaultKind : std::uint8_t {
   kLossBurst,   // window [at, until): matching links drop with `probability`
   kJam,         // window: receivers inside the zone drop with `probability`
   kPartition,   // window: packets crossing the bisection line are dropped
+  kBatteryDepleted,  // node's battery reached zero (energy model; injected
+                     // at drain time via Injector::inject_now, never
+                     // scheduled — same mechanics as kCrash, no recovery)
 };
 
 /// True for window faults (have a duration); false for point faults.

@@ -47,7 +47,8 @@ void Injector::activate(std::size_t index) {
   bool applied = true;
   switch (e.kind) {
     case FaultKind::kCrash:
-    case FaultKind::kChurnLeave: {
+    case FaultKind::kChurnLeave:
+    case FaultKind::kBatteryDepleted: {
       net::Node& node = network_.node(e.node);
       applied = node.alive();
       if (applied) {
@@ -92,6 +93,34 @@ void Injector::activate(std::size_t index) {
   // the timeline but not reported: observers such as the convergence
   // monitor would otherwise book a disruption for a fault that changed
   // nothing and could never produce a matching recovery.
+  if (applied && on_fault_ != nullptr) {
+    on_fault_(e);
+  }
+}
+
+void Injector::reserve_external(std::size_t n) {
+  timeline_.reserve(schedule_.size() + n);
+}
+
+void Injector::inject_now(const FaultEvent& e) {
+  MANET_CHECK(!is_window(e.kind), "inject_now() takes point faults only");
+  MANET_CHECK(e.node < network_.size(),
+              "" << kind_name(e.kind) << " targets node " << e.node << " of "
+                 << network_.size());
+  net::Node& node = network_.node(e.node);
+  const bool applied = node.alive();
+  if (applied) {
+    node.fail();
+  }
+  timeline_.push_back({e, applied});
+  if (hooks_ != nullptr) {
+    (applied ? hooks_->activated : hooks_->moot)->inc();
+    if (hooks_->trace != nullptr && applied) {
+      hooks_->trace->instant(obs::TraceSink::kNodePid,
+                             static_cast<int>(e.node), kind_name(e.kind),
+                             e.at);
+    }
+  }
   if (applied && on_fault_ != nullptr) {
     on_fault_(e);
   }

@@ -53,6 +53,20 @@ class Injector final : public net::LossLayer {
   /// network start (all events must lie in the future).
   void arm();
 
+  /// Extends the timeline's capacity by `n` beyond the schedule, for
+  /// externally generated faults delivered through inject_now() (the energy
+  /// model's battery deaths: at most one per node). Keeps mid-run injection
+  /// off the allocator; call before the run starts.
+  void reserve_external(std::size_t n);
+
+  /// Applies an externally generated point fault immediately: fails the
+  /// target (kill mechanics — the node loses protocol state and its beacon
+  /// stops), records the event on the timeline, and reports it to hooks and
+  /// the on_fault observer exactly like a scheduled activation. The energy
+  /// model feeds battery depletions through this path at drain time, so the
+  /// fault lands at the exact deterministic instant the battery empties.
+  void inject_now(const FaultEvent& e);
+
   const Schedule& schedule() const { return schedule_; }
   const std::vector<Applied>& timeline() const { return timeline_; }
   std::size_t active_windows() const { return active_.size(); }

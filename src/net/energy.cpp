@@ -1,0 +1,116 @@
+#include "net/energy.h"
+
+#include "obs/metrics.h"
+#include "util/assert.h"
+
+namespace manet::net {
+
+EnergyModel::EnergyModel(const EnergyParams& params, std::size_t n_nodes,
+                         util::Rng rng)
+    : params_(params) {
+  MANET_CHECK(params_.capacity_j > 0.0,
+              "energy capacity_j=" << params_.capacity_j);
+  MANET_CHECK(params_.capacity_jitter >= 0.0 && params_.capacity_jitter < 1.0,
+              "energy capacity_jitter=" << params_.capacity_jitter);
+  MANET_CHECK(params_.idle_drain_w >= 0.0 && params_.hello_tx_cost_j >= 0.0 &&
+                  params_.hello_rx_cost_j >= 0.0 &&
+                  params_.msg_tx_cost_j >= 0.0 && params_.msg_rx_cost_j >= 0.0,
+              "negative energy cost");
+  initial_.resize(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const double jitter = params_.capacity_jitter > 0.0
+                              ? params_.capacity_jitter * rng.uniform()
+                              : 0.0;
+    initial_[i] = params_.capacity_j * (1.0 - jitter);
+  }
+  residual_ = initial_;
+  drained_.assign(n_nodes, 0.0);
+  last_settle_.assign(n_nodes, 0.0);
+  dead_.assign(n_nodes, 0);
+}
+
+void EnergyModel::drain(NodeId node, sim::Time t, double cost) {
+  if (dead_[node] != 0) {
+    return;
+  }
+  settle(node, t, /*notify=*/true);
+  if (dead_[node] != 0 || cost <= 0.0) {
+    return;
+  }
+  take(node, cost);
+  if (hooks_ != nullptr && hooks_->drains != nullptr) {
+    hooks_->drains->inc();
+  }
+  if (residual_[node] <= 0.0) {
+    deplete(node, t);
+  }
+}
+
+void EnergyModel::settle(NodeId node, sim::Time t, bool notify) {
+  const sim::Time last = last_settle_[node];
+  last_settle_[node] = t;
+  if (params_.idle_drain_w <= 0.0 || t <= last) {
+    return;
+  }
+  take(node, params_.idle_drain_w * (t - last));
+  if (notify && dead_[node] == 0 && residual_[node] <= 0.0) {
+    deplete(node, t);
+  }
+}
+
+void EnergyModel::take(NodeId node, double amount) {
+  double& residual = residual_[node];
+  if (amount >= residual) {
+    drained_[node] += residual;
+    residual = 0.0;
+  } else {
+    drained_[node] += amount;
+    residual -= amount;
+  }
+}
+
+void EnergyModel::deplete(NodeId node, sim::Time t) {
+  dead_[node] = 1;
+  ++deaths_;
+  if (hooks_ != nullptr && hooks_->depleted != nullptr) {
+    hooks_->depleted->inc();
+  }
+  if (on_depleted_ != nullptr) {
+    on_depleted_(on_depleted_ctx_, node, t);
+  }
+}
+
+void EnergyModel::settle_all(sim::Time t) {
+  for (std::size_t i = 0; i < residual_.size(); ++i) {
+    settle(static_cast<NodeId>(i), t, /*notify=*/false);
+    if (hooks_ != nullptr && hooks_->residual_ratio != nullptr) {
+      hooks_->residual_ratio->record(residual_ratio(static_cast<NodeId>(i)));
+    }
+  }
+}
+
+double EnergyModel::total_initial_j() const {
+  double total = 0.0;
+  for (const double j : initial_) {
+    total += j;
+  }
+  return total;
+}
+
+double EnergyModel::total_residual_j() const {
+  double total = 0.0;
+  for (const double j : residual_) {
+    total += j;
+  }
+  return total;
+}
+
+double EnergyModel::total_drained_j() const {
+  double total = 0.0;
+  for (const double j : drained_) {
+    total += j;
+  }
+  return total;
+}
+
+}  // namespace manet::net

@@ -5,6 +5,7 @@
 // their neighbor set; Max-Connectivity derives degree from it).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -38,11 +39,21 @@ struct HelloPacket {
   /// The sender's current 1-hop neighbor set (excluding itself).
   std::vector<NodeId> neighbors;
 
+  /// Composite-weight protocols (CCI, SD_DWCA) advertise up to this many
+  /// extra utility components after the primary weight. Scalar protocols
+  /// leave the count at 0 and their wire size unchanged.
+  static constexpr std::size_t kMaxExtraWeights = 3;
+  std::array<double, kMaxExtraWeights> extra_weights{};
+  std::uint8_t extra_weight_count = 0;
+
   /// Wire size in bytes: 4 (sender) + 4 (seq) + 1 (role) + 4 (clusterhead)
   /// + 2 (neighbor count) + 4 per neighbor, plus the paper's 8-byte mobility
-  /// field.
+  /// field. Composite advertisements append 1 count byte + 8 per extra
+  /// component; scalar protocols pay nothing.
   std::size_t serialized_bytes() const {
-    return 4 + 4 + 1 + 4 + 2 + 4 * neighbors.size() + 8;
+    return 4 + 4 + 1 + 4 + 2 + 4 * neighbors.size() + 8 +
+           (extra_weight_count > 0 ? 1 + 8 * std::size_t{extra_weight_count}
+                                   : 0);
   }
 };
 

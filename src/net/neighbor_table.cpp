@@ -39,6 +39,8 @@ void NeighborTable::on_hello(sim::Time t, const HelloPacket& pkt,
   it->weight = pkt.weight;
   it->role = pkt.role;
   it->cluster_head = pkt.cluster_head;
+  it->extra_weights = pkt.extra_weights;
+  it->extra_weight_count = pkt.extra_weight_count;
   it->degree = static_cast<std::uint16_t>(
       std::min<std::size_t>(pkt.neighbors.size(), 0xFFFF));
 }

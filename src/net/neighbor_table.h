@@ -15,6 +15,7 @@
 // nothing to drop) never allocates.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "net/hello.h"
@@ -39,6 +40,10 @@ struct NeighborEntry {
   AdvertRole role = AdvertRole::kUndecided;
   NodeId cluster_head = kInvalidNode;
   std::uint16_t degree = 0;  // size of the advertised neighbor list
+  // Extra utility components of a composite advertisement (all 0 with
+  // count 0 for scalar protocols).
+  std::array<double, HelloPacket::kMaxExtraWeights> extra_weights{};
+  std::uint8_t extra_weight_count = 0;
 
   /// True if the two stored receptions are successive beacons: both exist
   /// and their spacing does not exceed `max_gap` (the paper's heuristic

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/energy.h"
 #include "net/shard_planner.h"
 #include "util/assert.h"
 #include "util/logging.h"
@@ -400,6 +401,16 @@ std::size_t Network::send(Node& sender, Message msg) {
   stats_.message_bytes += msg.bytes;
   if (hooks_ != nullptr) {
     hooks_->msg_sent->inc();
+  }
+
+  // The transmission cost is paid up front; if it empties the battery the
+  // depletion fault fails the sender and nothing reaches the air (the frame
+  // died in the radio).
+  if (energy_ != nullptr) {
+    energy_->drain_msg_tx(sender.id(), now);
+    if (!sender.alive()) {
+      return 0;
+    }
   }
 
   util::Rng& fading = sender.rng();

@@ -26,6 +26,7 @@
 
 namespace manet::net {
 
+class EnergyModel;
 class ShardPlanner;
 
 struct NetworkParams {
@@ -152,6 +153,13 @@ class Network {
   /// and its counters must outlive the network.
   void set_hooks(const obs::NetHooks* hooks) { hooks_ = hooks; }
 
+  /// Attaches the battery model (not owned, must outlive the network; null
+  /// = energy-free, the default). Nodes charge Hello/Message TX+RX costs
+  /// against it on the commit thread; a drain that empties a battery fails
+  /// the node mid-action via the model's on_depleted callback.
+  void set_energy(EnergyModel* energy) { energy_ = energy; }
+  EnergyModel* energy() { return energy_; }
+
   /// Registers a reception-loss layer (see net/loss.h). The layer is not
   /// owned and must outlive the network; layers may be added before or
   /// during the run (fault injectors register theirs at arm time). The
@@ -260,6 +268,7 @@ class Network {
   std::vector<HelloPacket*> free_hellos_;
 
   ShardPlanner* planner_ = nullptr;  // non-owning; null = serial run
+  EnergyModel* energy_ = nullptr;    // non-owning; null = energy-free
 
   NetworkStats stats_;
   const obs::NetHooks* hooks_ = nullptr;

@@ -1,5 +1,6 @@
 #include "net/node.h"
 
+#include "net/energy.h"
 #include "net/network.h"
 #include "util/assert.h"
 #include "util/logging.h"
@@ -83,6 +84,16 @@ void Node::beacon() {
   network_->note_neighbor_timeouts(
       table_.purge(now, network_->params().neighbor_timeout));
 
+  // Transmitting a Hello costs battery; the drain can empty it, in which
+  // case the depletion fault has already failed this node and the beacon
+  // never makes it to the air.
+  if (EnergyModel* energy = network_->energy(); energy != nullptr) {
+    energy->drain_hello_tx(id_, now);
+    if (!alive_) {
+      return;
+    }
+  }
+
   // The previous jittered broadcast still pending means the beacon period
   // has been pushed below the jitter window; fall back to a pooled one-off
   // packet so the in-flight one is not overwritten. Never taken at sane
@@ -94,6 +105,7 @@ void Node::beacon() {
     pkt->weight = 0.0;
     pkt->role = AdvertRole::kUndecided;
     pkt->cluster_head = kInvalidNode;
+    pkt->extra_weight_count = 0;
     table_.ids_into(pkt->neighbors);
     agent_->on_beacon(*this, *pkt);
     simulator().schedule_in(
@@ -114,6 +126,7 @@ void Node::beacon() {
   scratch_pkt_.weight = 0.0;
   scratch_pkt_.role = AdvertRole::kUndecided;
   scratch_pkt_.cluster_head = kInvalidNode;
+  scratch_pkt_.extra_weight_count = 0;
   table_.ids_into(scratch_pkt_.neighbors);
   agent_->on_beacon(*this, scratch_pkt_);
 
@@ -143,6 +156,15 @@ void Node::receive(const HelloPacket& pkt, double rx_power_w) {
   }
   util::ScopedSimNode failure_context(id_);
   const sim::Time now = simulator().now();
+  // Receiving costs battery whether or not the frame survives the collision
+  // check below (the radio listened either way). A battery emptied here
+  // fails the node before the packet is processed.
+  if (EnergyModel* energy = network_->energy(); energy != nullptr) {
+    energy->drain_hello_rx(id_, now);
+    if (!alive_) {
+      return;
+    }
+  }
   // Simplified MAC collision model: an arrival overlapping the previous
   // one (within the collision window) is destroyed. The first frame is
   // assumed captured; the newcomer is lost but still occupies the medium.
@@ -167,6 +189,12 @@ void Node::receive_message(const Message& msg) {
   // Messages share the medium with Hellos: the same collision window
   // applies to their arrivals.
   const sim::Time now = simulator().now();
+  if (EnergyModel* energy = network_->energy(); energy != nullptr) {
+    energy->drain_msg_rx(id_, now);
+    if (!alive_) {
+      return;
+    }
+  }
   const double window = network_->params().collision_window;
   if (window > 0.0 && seen_rx_ && now - last_rx_time_ < window) {
     last_rx_time_ = now;

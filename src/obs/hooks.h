@@ -58,6 +58,16 @@ struct AgentHooks {
   TraceSink* trace = nullptr;
 };
 
+/// Battery-model lifecycle (net::EnergyModel::set_hooks). Resolved only
+/// when the scenario enables the energy model, so energy-free runs keep
+/// their metrics snapshots unchanged.
+struct EnergyHooks {
+  Counter* depleted = nullptr;  // "energy.depleted" (batteries hitting zero)
+  Counter* drains = nullptr;    // "energy.drain" (discrete drain events)
+  /// Per-node residual-energy ratio at end of run (recorded by settle_all).
+  Histogram* residual_ratio = nullptr;  // "energy.residual_ratio"
+};
+
 /// Fault-injector lifecycle (fault::Injector::set_hooks).
 struct FaultHooks {
   Counter* activated = nullptr;       // "fault.activated" (had effect)

@@ -152,9 +152,10 @@ fault::FaultEvent decode_fault_event(const std::string& value) {
   const auto f = util::split(value, ' ');
   MANET_CHECK(f.size() == 11, "bad fault event '" << value << "'");
   const long kind = parse_long(f[0]);
-  MANET_CHECK(kind >= 0 &&
-                  kind <= static_cast<long>(fault::FaultKind::kPartition),
-              "bad fault kind " << kind);
+  MANET_CHECK(
+      kind >= 0 &&
+          kind <= static_cast<long>(fault::FaultKind::kBatteryDepleted),
+      "bad fault kind " << kind);
   fault::FaultEvent e;
   e.kind = static_cast<fault::FaultKind>(kind);
   e.at = parse_dbits(f[1]);
@@ -242,6 +243,18 @@ std::string canonical_scenario_text(const Scenario& s) {
       << ' ' << dbits(n.collision_window) << ' ' << dbits(n.delivery_delay)
       << ' ' << dbits(n.speed_bound) << ' ' << dbits(n.grid_refresh);
     put(os, "net", v.str());
+  }
+  // The energy line exists only when the battery model is on: a disabled
+  // model is physically identical to a pre-energy build, so its key (and
+  // the golden cache-key pin) must not move.
+  if (s.energy.enabled) {
+    const net::EnergyParams& e = s.energy;
+    std::ostringstream v;
+    v << dbits(e.capacity_j) << ' ' << dbits(e.capacity_jitter) << ' '
+      << dbits(e.idle_drain_w) << ' ' << dbits(e.hello_tx_cost_j) << ' '
+      << dbits(e.hello_rx_cost_j) << ' ' << dbits(e.msg_tx_cost_j) << ' '
+      << dbits(e.msg_rx_cost_j);
+    put(os, "energy", v.str());
   }
   {
     const fault::ScheduleSpec& f = s.faults;
@@ -344,6 +357,19 @@ Scenario decode_canonical_scenario(const std::string& text) {
     n.speed_bound = parse_dbits(f[6]);
     n.grid_refresh = parse_dbits(f[7]);
   }
+  if (auto v = body.take("energy")) {
+    const auto f = util::split(*v, ' ');
+    MANET_CHECK(f.size() == 7, "bad energy line");
+    net::EnergyParams& e = s.energy;
+    e.enabled = true;
+    e.capacity_j = parse_dbits(f[0]);
+    e.capacity_jitter = parse_dbits(f[1]);
+    e.idle_drain_w = parse_dbits(f[2]);
+    e.hello_tx_cost_j = parse_dbits(f[3]);
+    e.hello_rx_cost_j = parse_dbits(f[4]);
+    e.msg_tx_cost_j = parse_dbits(f[5]);
+    e.msg_rx_cost_j = parse_dbits(f[6]);
+  }
   {
     const auto f = util::split(body.expect("faults"), ' ');
     MANET_CHECK(f.size() == 15, "bad faults line");
@@ -441,6 +467,11 @@ std::string encode_cell(const RunResult& r) {
   put_u(os, "convergence_samples", r.convergence_samples);
   put_u(os, "violation_samples", r.violation_samples);
   put_u(os, "final_heads", r.final_heads);
+  put_d(os, "energy_initial_j", r.energy_initial_j);
+  put_d(os, "energy_residual_j", r.energy_residual_j);
+  put_d(os, "energy_drained_j", r.energy_drained_j);
+  put_u(os, "battery_deaths", r.battery_deaths);
+  put_d(os, "head_tenure_fairness", r.head_tenure_fairness);
   put_u(os, "fault_count", r.fault_timeline.size());
   for (const fault::FaultEvent& e : r.fault_timeline) {
     put(os, "fault", encode_fault_event(e));
@@ -524,6 +555,11 @@ RunResult decode_cell(const std::string& text) {
   res.convergence_samples = r.expect_u("convergence_samples");
   res.violation_samples = r.expect_u("violation_samples");
   res.final_heads = r.expect_u("final_heads");
+  res.energy_initial_j = r.expect_d("energy_initial_j");
+  res.energy_residual_j = r.expect_d("energy_residual_j");
+  res.energy_drained_j = r.expect_d("energy_drained_j");
+  res.battery_deaths = r.expect_u("battery_deaths");
+  res.head_tenure_fairness = r.expect_d("head_tenure_fairness");
   const std::uint64_t faults = r.expect_u("fault_count");
   res.fault_timeline.reserve(faults);
   for (std::uint64_t i = 0; i < faults; ++i) {

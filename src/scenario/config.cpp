@@ -108,6 +108,22 @@ Scenario read_config(std::istream& is) {
       s.pathloss_exponent = num();
     } else if (key == "shadowing_sigma_db") {
       s.shadowing_sigma_db = num();
+    } else if (key == "energy") {
+      s.energy.enabled = num() != 0.0;
+    } else if (key == "energy_capacity_j") {
+      s.energy.capacity_j = num();
+    } else if (key == "energy_capacity_jitter") {
+      s.energy.capacity_jitter = num();
+    } else if (key == "energy_idle_drain_w") {
+      s.energy.idle_drain_w = num();
+    } else if (key == "energy_hello_tx_cost_j") {
+      s.energy.hello_tx_cost_j = num();
+    } else if (key == "energy_hello_rx_cost_j") {
+      s.energy.hello_rx_cost_j = num();
+    } else if (key == "energy_msg_tx_cost_j") {
+      s.energy.msg_tx_cost_j = num();
+    } else if (key == "energy_msg_rx_cost_j") {
+      s.energy.msg_rx_cost_j = num();
     } else if (key == "seed") {
       s.seed = static_cast<std::uint64_t>(num());
     } else if (key == "warmup") {
@@ -162,6 +178,18 @@ void write_config(std::ostream& os, const Scenario& s) {
      << "seed = " << s.seed << '\n'
      << "warmup = " << s.warmup << '\n'
      << "sample_period = " << s.sample_period << '\n';
+  // Battery keys only appear on energy scenarios so pre-energy configs stay
+  // byte-identical (and round-trip through read_config unchanged).
+  if (s.energy.enabled) {
+    os << "energy = 1\n"
+       << "energy_capacity_j = " << s.energy.capacity_j << '\n'
+       << "energy_capacity_jitter = " << s.energy.capacity_jitter << '\n'
+       << "energy_idle_drain_w = " << s.energy.idle_drain_w << '\n'
+       << "energy_hello_tx_cost_j = " << s.energy.hello_tx_cost_j << '\n'
+       << "energy_hello_rx_cost_j = " << s.energy.hello_rx_cost_j << '\n'
+       << "energy_msg_tx_cost_j = " << s.energy.msg_tx_cost_j << '\n'
+       << "energy_msg_rx_cost_j = " << s.energy.msg_rx_cost_j << '\n';
+  }
 }
 
 }  // namespace manet::scenario

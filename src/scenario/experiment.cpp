@@ -43,6 +43,15 @@ double field_violation_fraction(const RunResult& r) {
              : static_cast<double>(r.violation_samples) /
                    static_cast<double>(r.convergence_samples);
 }
+double field_battery_deaths(const RunResult& r) {
+  return static_cast<double>(r.battery_deaths);
+}
+double field_energy_drained(const RunResult& r) {
+  return r.energy_drained_j;
+}
+double field_head_tenure_fairness(const RunResult& r) {
+  return r.head_tenure_fairness;
+}
 
 std::vector<AlgorithmSpec> paper_algorithms() {
   return {

@@ -39,6 +39,13 @@ double field_unrecovered(const RunResult& r);
 /// monitor never ran).
 double field_violation_fraction(const RunResult& r);
 
+/// Energy fields (meaningful only on battery-model runs, except fairness
+/// which is computed for every run).
+double field_battery_deaths(const RunResult& r);
+double field_energy_drained(const RunResult& r);
+/// Jain's fairness of per-node clusterhead tenure (RunResult doc).
+double field_head_tenure_fairness(const RunResult& r);
+
 /// One named clustering configuration in a comparison.
 struct AlgorithmSpec {
   std::string name;          // label in tables/CSV

@@ -27,12 +27,14 @@ struct ObsBundle {
   obs::NetHooks net_hooks;
   obs::AgentHooks agent_hooks;
   obs::FaultHooks fault_hooks;
+  obs::EnergyHooks energy_hooks;
   cluster::ObsClusterSink cluster_sink;
   /// Owns the kFull counter-sampler closure so the recurring event can
   /// reschedule itself without a shared_ptr cycle.
   std::function<void()> sampler_tick;
 
-  ObsBundle(const obs::ObsConfig& cfg, double warmup, double cascade_window)
+  ObsBundle(const obs::ObsConfig& cfg, double warmup, double cascade_window,
+            bool energy_enabled)
       : trace(cfg.trace == obs::TraceLevel::kOff && !cfg.trace_path.empty()
                   ? obs::TraceLevel::kSpans
                   : cfg.trace),
@@ -59,6 +61,15 @@ struct ObsBundle {
     fault_hooks.moot = registry.counter("fault.moot");
     fault_hooks.window_expired = registry.counter("fault.window_expired");
     fault_hooks.trace = t;
+    // Energy instruments exist only when the scenario enables the battery
+    // model, so energy-free snapshots stay byte-identical to older builds.
+    if (energy_enabled) {
+      energy_hooks.depleted = registry.counter("energy.depleted");
+      energy_hooks.drains = registry.counter("energy.drain");
+      energy_hooks.residual_ratio = registry.histogram(
+          "energy.residual_ratio",
+          {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0});
+    }
   }
 };
 
@@ -134,11 +145,20 @@ RunResult run_scenario(const Scenario& scenario,
     network.enable_sharding(planner.get());
   }
 
+  // Battery model — created only when enabled so energy-free runs draw no
+  // "energy" substream and stay bit-identical to pre-energy builds.
+  std::unique_ptr<net::EnergyModel> energy;
+  if (scenario.energy.enabled) {
+    energy = std::make_unique<net::EnergyModel>(
+        scenario.energy, scenario.n_nodes, root.substream("energy"));
+    network.set_energy(energy.get());
+  }
+
   std::unique_ptr<ObsBundle> bundle;
   if (scenario.obs.any()) {
     bundle = std::make_unique<ObsBundle>(
         scenario.obs, scenario.warmup,
-        net_params.broadcast_interval * 1.25);
+        net_params.broadcast_interval * 1.25, energy != nullptr);
     bundle->cluster_sink.reserve_nodes(scenario.n_nodes);
     bundle->trace.reserve(1024);
     sim.set_hooks(&bundle->sim_hooks);
@@ -146,6 +166,7 @@ RunResult run_scenario(const Scenario& scenario,
   }
 
   cluster::ClusterStats stats(scenario.warmup);
+  stats.reserve_nodes(scenario.n_nodes);
   cluster::FanoutClusterEventSink fanout(
       {&stats, extra_sink,
        bundle == nullptr ? nullptr : &bundle->cluster_sink});
@@ -160,6 +181,7 @@ RunResult run_scenario(const Scenario& scenario,
     if (bundle != nullptr) {
       opts.obs = &bundle->agent_hooks;
     }
+    opts.energy = energy.get();
     auto agent = std::make_unique<cluster::WeightedClusterAgent>(opts);
     agents.push_back(agent.get());
     node->set_agent(std::move(agent));
@@ -174,15 +196,19 @@ RunResult run_scenario(const Scenario& scenario,
   // are bit-identical to pre-fault-subsystem builds.
   std::unique_ptr<fault::Injector> injector;
   std::unique_ptr<cluster::ConvergenceMonitor> monitor;
-  if (!scenario.faults.empty()) {
-    fault::ScheduleSpec fault_spec = scenario.faults;
-    if (fault_spec.begin == 0.0 && fault_spec.end == 0.0) {
-      fault_spec.begin = scenario.warmup;
-      fault_spec.end = scenario.sim_time;
+  if (!scenario.faults.empty() || energy != nullptr) {
+    fault::Schedule schedule;  // stays empty on energy-only runs: no
+                               // "faults" substream is drawn for them
+    if (!scenario.faults.empty()) {
+      fault::ScheduleSpec fault_spec = scenario.faults;
+      if (fault_spec.begin == 0.0 && fault_spec.end == 0.0) {
+        fault_spec.begin = scenario.warmup;
+        fault_spec.end = scenario.sim_time;
+      }
+      schedule = fault::make_schedule(fault_spec, scenario.n_nodes, field,
+                                      root.substream("faults"));
     }
-    injector = std::make_unique<fault::Injector>(
-        network, fault::make_schedule(fault_spec, scenario.n_nodes, field,
-                                      root.substream("faults")));
+    injector = std::make_unique<fault::Injector>(network, std::move(schedule));
     monitor = std::make_unique<cluster::ConvergenceMonitor>(sim, network,
                                                             agents);
     injector->set_on_fault([mon = monitor.get()](const fault::FaultEvent& e) {
@@ -190,6 +216,23 @@ RunResult run_scenario(const Scenario& scenario,
     });
     if (bundle != nullptr) {
       injector->set_hooks(&bundle->fault_hooks);
+    }
+    if (energy != nullptr) {
+      // Battery deaths reach the injector mid-drain; reserving one timeline
+      // slot per node keeps inject_now() off the allocator.
+      injector->reserve_external(scenario.n_nodes);
+      energy->set_on_depleted(
+          [](void* ctx, net::NodeId node, sim::Time t) {
+            fault::FaultEvent e;
+            e.kind = fault::FaultKind::kBatteryDepleted;
+            e.at = t;
+            e.node = node;
+            static_cast<fault::Injector*>(ctx)->inject_now(e);
+          },
+          injector.get());
+      if (bundle != nullptr) {
+        energy->set_hooks(&bundle->energy_hooks);
+      }
     }
     injector->arm();
     monitor->start(scenario.warmup, scenario.sample_period,
@@ -275,6 +318,28 @@ RunResult run_scenario(const Scenario& scenario,
   }
   for (const auto* a : agents) {
     result.final_heads += a->role() == cluster::Role::kHead ? 1 : 0;
+  }
+  if (energy != nullptr) {
+    energy->settle_all(scenario.sim_time);
+    result.energy_initial_j = energy->total_initial_j();
+    result.energy_residual_j = energy->total_residual_j();
+    result.energy_drained_j = energy->total_drained_j();
+    result.battery_deaths = energy->deaths();
+  }
+  {
+    // Jain's fairness of per-node head tenure over all N nodes; nodes that
+    // never served count as zeros (they shrink the index), so a rotation
+    // protocol that shares the role scores higher than a single long reign.
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (const auto& [node, tenure] : stats.head_tenure()) {
+      sum += tenure;
+      sum_sq += tenure * tenure;
+    }
+    result.head_tenure_fairness =
+        sum_sq > 0.0
+            ? (sum * sum) / (static_cast<double>(scenario.n_nodes) * sum_sq)
+            : 0.0;
   }
   if (bundle != nullptr) {
     if (bundle->trace.enabled()) {

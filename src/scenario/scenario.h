@@ -12,6 +12,7 @@
 #include "cluster/validation.h"
 #include "fault/fault.h"
 #include "mobility/factory.h"
+#include "net/energy.h"
 #include "net/network.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
@@ -52,6 +53,14 @@ struct Scenario {
   /// a cluster::ConvergenceMonitor; a [begin, end) of [0, 0) defaults to
   /// [warmup, sim_time).
   fault::ScheduleSpec faults{};
+
+  /// Battery model (disabled by default — a disabled model is bit-identical
+  /// to a build without the energy subsystem and stays out of the
+  /// result-cache key). When enabled, run_scenario() draws per-node
+  /// capacities from the run seed's "energy" substream, wires a
+  /// net::EnergyModel into the network and the agents, and feeds battery
+  /// depletions to the fault injector as kBatteryDepleted point faults.
+  net::EnergyParams energy{};
 
   /// Observability: metrics (default on — consumes no RNG, schedules no
   /// events, so it cannot perturb the run) and tracing (default off; at
@@ -113,6 +122,18 @@ struct RunResult {
   /// Clusterheads standing at sim end (ground truth for the obs identity
   /// ch.elected - ch.resigned == final_heads).
   std::uint64_t final_heads = 0;
+
+  // Energy-model results (all zero when Scenario::energy is disabled).
+  double energy_initial_j = 0.0;   // summed initial capacity
+  double energy_residual_j = 0.0;  // summed residual at end of run
+  double energy_drained_j = 0.0;   // summed per-node drain accounting
+  std::uint64_t battery_deaths = 0;  // kBatteryDepleted faults injected
+
+  /// Jain's fairness index of per-node cumulative clusterhead tenure over
+  /// all N nodes: (sum x)^2 / (N * sum x^2), 1.0 = every node served
+  /// equally, 1/N = one node served alone, 0.0 = nobody ever served.
+  /// Computed on every run (it is derived bookkeeping, not a new RNG draw).
+  double head_tenure_fairness = 0.0;
   /// Observability snapshot; empty when Scenario::obs.metrics is off.
   obs::Snapshot metrics;
 

@@ -4,11 +4,13 @@
 // (implementation-defined) inline buffer and drags in RTTI/copyability
 // machinery the simulator never uses. Every hot-path callback in this
 // codebase is a small lambda ([this], [this, i], a couple of POD values),
-// so InplaceEvent stores the callable directly in a 48-byte inline buffer
-// and only falls back to the heap for oversized or alignment-exotic
-// captures. It is move-only with a noexcept move (required so the event
-// queue's slab can grow by relocation), which also removes the accidental
-// capture-copying that std::function permits.
+// so InplaceEvent stores the callable directly in a 48-byte inline buffer.
+// Oversized or alignment-exotic captures are a compile error, not a heap
+// fallback: every callback provably lives inline, so the queue's
+// steady-state zero-allocation contract holds by construction. It is
+// move-only with a noexcept move (required so the event queue's slab can
+// grow by relocation), which also removes the accidental capture-copying
+// that std::function permits.
 //
 // The per-type behavior lives in a static Ops table (invoke / relocate /
 // destroy) instead of a virtual base, keeping the object two pointers of
@@ -34,22 +36,22 @@ class InplaceEvent {
   InplaceEvent(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
 
   // Wraps any void() callable. Lvalues are copied in, rvalues moved in;
-  // the callable lands in the inline buffer when it fits and has a
-  // noexcept move, on the heap otherwise.
+  // the callable must fit the inline buffer and be nothrow-movable —
+  // enforced at compile time, so no caller can silently put an event
+  // callback on the heap. Captures over 48 bytes: shrink the capture or
+  // raise kCapacity deliberately.
   template <typename F,
             typename D = std::decay_t<F>,
             typename = std::enable_if_t<!std::is_same_v<D, InplaceEvent> &&
                                         !std::is_same_v<D, std::nullptr_t> &&
                                         std::is_invocable_r_v<void, D&>>>
   InplaceEvent(F&& f) {  // NOLINT(runtime/explicit)
-    if constexpr (fits_inline<D>()) {
-      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
-      ops_ = &kInlineOps<D>;
-    } else {
-      // manet-lint: allow(hot-path): heap fallback for oversized captures
-      ::new (static_cast<void*>(buffer_)) D*(new D(std::forward<F>(f)));
-      ops_ = &kHeapOps<D>;
-    }
+    static_assert(fits_inline<D>(),
+                  "event callback capture exceeds InplaceEvent's inline "
+                  "buffer (or lacks a noexcept move); shrink the capture "
+                  "or raise kCapacity");
+    ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
+    ops_ = &kInlineOps<D>;
   }
 
   InplaceEvent(InplaceEvent&& other) noexcept { move_from(other); }
@@ -124,16 +126,6 @@ class InplaceEvent {
         from->~D();
       },
       /*destroy=*/[](void* s) noexcept { static_cast<D*>(s)->~D(); },
-  };
-
-  template <typename D>
-  static constexpr Ops kHeapOps = {
-      /*invoke=*/[](void* s) { (**static_cast<D**>(s))(); },
-      /*relocate=*/
-      [](void* dst, void* src) noexcept {
-        ::new (dst) D*(*static_cast<D**>(src));
-      },
-      /*destroy=*/[](void* s) noexcept { delete *static_cast<D**>(s); },
   };
 
   void move_from(InplaceEvent& other) noexcept {

@@ -32,6 +32,10 @@ namespace {
 // unordered_set + per-receiver delivery events); see file comment.
 constexpr std::uint64_t kFig3GoldenHash = 0x84e98c714541ed06ULL;
 constexpr std::uint64_t kChurnGoldenHash = 0x2cbb627caae77921ULL;
+// Composite-weight protocols (CCI, SD_DWCA) under the battery model:
+// covers the utility-vector election path, energy drains/depletions and
+// the kBatteryDepleted injection path in one slice.
+constexpr std::uint64_t kCompositeEnergyGoldenHash = 0x072460f7e161b7c0ULL;
 
 std::string temp_log_path(const std::string& tag) {
   return testing::TempDir() + "golden_" + tag + ".jsonl";
@@ -110,6 +114,28 @@ scenario::SweepSpec churn_spec() {
   return spec;
 }
 
+scenario::SweepSpec composite_energy_spec() {
+  scenario::SweepSpec spec;
+  spec.base = scenario::paper_scenario();
+  spec.base.sim_time = 60.0;
+  // Tight batteries so depletions (and their injected faults) happen inside
+  // the 60 s slice at the dense point.
+  spec.base.energy.enabled = true;
+  spec.base.energy.capacity_j = 4.0;
+  spec.base.energy.capacity_jitter = 0.5;
+  spec.base.energy.idle_drain_w = 0.01;
+  spec.base.energy.hello_tx_cost_j = 0.02;
+  spec.base.energy.hello_rx_cost_j = 0.005;
+  spec.xs = {100.0, 250.0};
+  spec.configure = [](scenario::Scenario& s, double tx) { s.tx_range = tx; };
+  spec.algorithms = {{"cci", scenario::factory_by_name("cci")},
+                     {"sd_dwca", scenario::factory_by_name("sd_dwca")}};
+  spec.fields = {{"cs", scenario::field_ch_changes},
+                 {"deaths", scenario::field_battery_deaths}};
+  spec.replications = 2;
+  return spec;
+}
+
 // Runs `spec` with the given jobs count, logging to a JSONL file; returns
 // the canonical hash of the log.
 std::uint64_t run_and_hash(const scenario::SweepSpec& spec, int jobs,
@@ -139,6 +165,15 @@ TEST(GoldenDeterminism, ResilienceChurnRunLogStableAcrossJobsAndRefactors) {
       << "churn golden hash moved: actual 0x" << std::hex << h1;
 }
 
+TEST(GoldenDeterminism, CompositeEnergyRunLogStableAcrossJobsAndRefactors) {
+  const std::uint64_t h1 = run_and_hash(composite_energy_spec(), 1, "ce_j1");
+  const std::uint64_t h8 = run_and_hash(composite_energy_spec(), 8, "ce_j8");
+  EXPECT_EQ(h1, h8)
+      << "composite/energy run log differs between --jobs 1 and --jobs 8";
+  EXPECT_EQ(h1, kCompositeEnergyGoldenHash)
+      << "composite/energy golden hash moved: actual 0x" << std::hex << h1;
+}
+
 // Same-seed scenarios must also be bit-identical when run twice in one
 // process (no hidden global state in the core).
 TEST(GoldenDeterminism, RepeatedRunsShareOneHash) {
@@ -162,6 +197,25 @@ TEST(GoldenDeterminism, SeedSweepStaysJobsInvariant) {
     const std::uint64_t h1 = run_and_hash(spec, 1, tag + "_j1");
     const std::uint64_t h8 = run_and_hash(spec, 8, tag + "_j8");
     EXPECT_EQ(h1, h8) << "run log differs across jobs at base seed "
+                      << spec.base.seed;
+  }
+}
+
+// Same sweep over the energy-enabled composite spec: battery-depletion
+// timing and the Pareto-filtered elections must stay jobs-invariant at any
+// base seed, not just the golden one (nightly widens to 16 seeds).
+TEST(GoldenDeterminism, EnergyCompositeSeedSweepStaysJobsInvariant) {
+  const char* env = std::getenv("MANET_GOLDEN_SEEDS");
+  const int requested = env == nullptr ? 0 : std::atoi(env);
+  const int seeds = requested > 0 ? requested : 2;
+  for (int k = 0; k < seeds; ++k) {
+    scenario::SweepSpec spec = composite_energy_spec();
+    spec.base.seed = 4000 + 17 * static_cast<std::uint64_t>(k);
+    spec.base.sim_time = 30.0;
+    const std::string tag = "ce_sweep_s" + std::to_string(k);
+    const std::uint64_t h1 = run_and_hash(spec, 1, tag + "_j1");
+    const std::uint64_t h8 = run_and_hash(spec, 8, tag + "_j8");
+    EXPECT_EQ(h1, h8) << "energy run log differs across jobs at base seed "
                       << spec.base.seed;
   }
 }

@@ -136,6 +136,101 @@ TEST(ObsDifferential, QueueDepthHistogramCoversTheRun) {
             r.events_executed / obs::SimHooks::kQueueDepthSamplePeriod);
 }
 
+// Tight batteries on a fault-free substrate: deaths are guaranteed, and
+// every fault in the timeline can only come from the energy model.
+scenario::Scenario energy_scenario() {
+  scenario::Scenario s = lossy_scenario();
+  s.propagation = "free_space";
+  s.net.packet_loss = 0.0;
+  s.energy.enabled = true;
+  s.energy.capacity_j = 3.0;
+  s.energy.capacity_jitter = 0.5;
+  s.energy.idle_drain_w = 0.005;
+  s.energy.hello_tx_cost_j = 0.02;
+  s.energy.hello_rx_cost_j = 0.005;
+  return s;
+}
+
+// Per-node conservation (drain == initial - residual) is checked live,
+// mid-simulation, through the network's energy model; the totals identity
+// is re-checked on the RunResult after settle_all closed the books.
+TEST(ObsDifferential, EnergyDrainConservation) {
+  MANET_REQUIRE_OBS();
+  bool checked = false;
+  const auto r = scenario::run_scenario(
+      energy_scenario(), scenario::factory_by_name("sd_dwca"),
+      [&checked](scenario::LiveContext& ctx) {
+        ctx.sim.schedule_at(100.0, [&ctx, &checked] {
+          const net::EnergyModel* e = ctx.network.energy();
+          ASSERT_NE(e, nullptr);
+          for (std::size_t i = 0; i < e->size(); ++i) {
+            const auto node = static_cast<net::NodeId>(i);
+            EXPECT_NEAR(e->drained_j(node),
+                        e->initial_j(node) - e->residual_j(node), 1e-9)
+                << "node " << i;
+            EXPECT_GE(e->residual_j(node), 0.0) << "node " << i;
+          }
+          checked = true;
+        });
+      });
+  EXPECT_TRUE(checked);
+  EXPECT_GT(r.energy_initial_j, 0.0);
+  EXPECT_GT(r.energy_drained_j, 0.0);
+  EXPECT_NEAR(r.energy_drained_j, r.energy_initial_j - r.energy_residual_j,
+              1e-6);
+  EXPECT_GT(r.metrics.counter_or("energy.drain"), 0u);
+}
+
+TEST(ObsDifferential, BatteryDeathsLandExactlyOnceInTheTimeline) {
+  MANET_REQUIRE_OBS();
+  const auto r = scenario::run_scenario(energy_scenario(),
+                                        scenario::factory_by_name("mobic"));
+  std::vector<int> per_node(energy_scenario().n_nodes, 0);
+  std::uint64_t deaths = 0;
+  double last_at = 0.0;
+  for (const auto& e : r.fault_timeline) {
+    // Fault-free substrate: the energy model is the only fault source.
+    ASSERT_EQ(e.kind, fault::FaultKind::kBatteryDepleted);
+    ASSERT_LT(e.node, per_node.size());
+    ++per_node[e.node];
+    ++deaths;
+    // Depletions are injected at drain time, so the timeline is in
+    // simulation order.
+    EXPECT_GE(e.at, last_at);
+    last_at = e.at;
+  }
+  EXPECT_GT(deaths, 0u) << "no battery died: the checks above are vacuous";
+  EXPECT_EQ(deaths, r.battery_deaths);
+  for (std::size_t i = 0; i < per_node.size(); ++i) {
+    EXPECT_LE(per_node[i], 1) << "node " << i << " depleted twice";
+  }
+  // The obs replica and the convergence monitor both saw every death (a
+  // depletion always kills a live node, so none is moot).
+  EXPECT_EQ(r.metrics.counter_or("energy.depleted"), r.battery_deaths);
+  EXPECT_EQ(r.metrics.counter_or("fault.activated"), r.battery_deaths);
+  EXPECT_EQ(r.metrics.counter_or("fault.moot"), 0u);
+  EXPECT_EQ(r.faults_injected, r.battery_deaths);
+}
+
+TEST(ObsDifferential, EnergyRunsBitIdenticalAcrossJobs) {
+  MANET_REQUIRE_OBS();
+  scenario::RunnerOptions serial;
+  serial.jobs = 1;
+  scenario::RunnerOptions parallel;
+  parallel.jobs = 8;
+  const auto a = scenario::Runner(serial).replications(
+      energy_scenario(), scenario::factory_by_name("sd_dwca"), 3);
+  const auto b = scenario::Runner(parallel).replications(
+      energy_scenario(), scenario::factory_by_name("sd_dwca"), 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GT(a[i].battery_deaths, 0u) << "replicate " << i;
+    // Defaulted operator==: every field, energy accounting and fault
+    // timeline included, must match bit for bit.
+    EXPECT_TRUE(a[i] == b[i]) << "replicate " << i << " diverged";
+  }
+}
+
 // The MRIP reduction: identical snapshots and an identical metrics JSONL for
 // any worker count.
 scenario::SweepSpec diff_spec() {

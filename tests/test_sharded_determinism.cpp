@@ -112,6 +112,42 @@ TEST(ShardedDeterminism, RandomizedCrossShardStress) {
   }
 }
 
+// Battery drains are charged on the commit thread and depletions are
+// injected at drain time, so the energy model is sim_jobs-invariant by
+// construction; the composite (Pareto-filtered) elections ride along. The
+// tight batteries guarantee real mid-run deaths, so the equality below
+// covers the kBatteryDepleted injection path, not just quiet drains.
+TEST(ShardedDeterminism, EnergyCompositeBitIdenticalAcrossSimJobs) {
+  scenario::Scenario s = scenario::paper_scenario();
+  s.sim_time = 60.0;
+  s.energy.enabled = true;
+  s.energy.capacity_j = 4.0;
+  s.energy.capacity_jitter = 0.5;
+  s.energy.idle_drain_w = 0.01;
+  s.energy.hello_tx_cost_j = 0.02;
+  s.energy.hello_rx_cost_j = 0.005;
+  for (const char* alg : {"cci", "sd_dwca"}) {
+    const auto factory = scenario::factory_by_name(alg);
+    scenario::Scenario serial_s = s;
+    serial_s.sim_jobs = 1;
+    const scenario::RunResult serial =
+        scenario::run_scenario(serial_s, factory);
+    EXPECT_GT(serial.battery_deaths, 0u)
+        << alg << ": no battery died — the invariance check is vacuous";
+    for (const int jobs : {2, 8}) {
+      scenario::Scenario sharded_s = s;
+      sharded_s.sim_jobs = jobs;
+      const scenario::RunResult sharded =
+          scenario::run_scenario(sharded_s, factory);
+      EXPECT_TRUE(serial == sharded)
+          << alg << ": sim_jobs=" << jobs << " diverged from serial"
+          << " (deaths " << serial.battery_deaths << " vs "
+          << sharded.battery_deaths << ", drained " << serial.energy_drained_j
+          << " vs " << sharded.energy_drained_j << ")";
+    }
+  }
+}
+
 // Unsupported fleets (RPGM members are not leg-based) must silently fall
 // back to serial and stay bit-identical rather than crash or diverge.
 TEST(ShardedDeterminism, UnsupportedModelFallsBackToSerial) {

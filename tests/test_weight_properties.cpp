@@ -1,0 +1,268 @@
+// Property-test suite for the election core (cluster/weight.h,
+// cluster/composite.h).
+//
+// The whole distributed election rests on three algebraic facts:
+//   1. operator<=> on Weight is a strict total order over NaN-free vectors
+//      (antisymmetry, transitivity, trichotomy) — Theorem 1's premise;
+//   2. the Pareto frontier marked by pareto_frontier() equals the
+//      brute-force dominance definition, and filtering through it never
+//      changes the lexicographic winner;
+//   3. the tie-break chain is exercised level by level: equal prefixes fall
+//      through to the next component and finally to the node id.
+// Each property is fuzzed over thousands of seed-deterministic random
+// vectors rather than hand-picked examples.
+#include <algorithm>
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/composite.h"
+#include "cluster/weight.h"
+#include "util/rng.h"
+
+namespace manet::cluster {
+namespace {
+
+// Draws a random weight with up to kMaxComponents components. Components
+// are drawn from a small discrete set so equal prefixes (the interesting
+// tie-break cases) actually occur, in quantity, instead of never.
+Weight fuzz_weight(util::Rng& rng) {
+  Weight w;
+  w.id = static_cast<net::NodeId>(rng.index(8));
+  const auto n =
+      static_cast<std::size_t>(1 + rng.index(Weight::kMaxComponents));
+  w.v[0] = static_cast<double>(rng.index(4)) * 0.25;
+  for (std::size_t i = 1; i < n; ++i) {
+    w.push(static_cast<double>(rng.index(4)) * 0.25);
+  }
+  return w;
+}
+
+std::vector<Weight> fuzz_candidates(util::Rng& rng, std::size_t n) {
+  std::vector<Weight> c;
+  c.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.push_back(fuzz_weight(rng));
+  }
+  return c;
+}
+
+// Brute-force oracle for the frontier definition: i survives iff no other
+// candidate dominates it.
+std::vector<std::uint8_t> brute_force_frontier(
+    const std::vector<Weight>& candidates) {
+  std::vector<std::uint8_t> on(candidates.size(), 1);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (i != j && pareto_dominates(candidates[j], candidates[i])) {
+        on[i] = 0;
+        break;
+      }
+    }
+  }
+  return on;
+}
+
+TEST(WeightOrder, TrichotomyOverFuzzedPairs) {
+  util::Rng rng(2026);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const Weight a = fuzz_weight(rng);
+    const Weight b = fuzz_weight(rng);
+    const auto ab = a <=> b;
+    // NaN-free weights are always ordered...
+    ASSERT_TRUE(ab != std::partial_ordering::unordered);
+    // ...and exactly one of <, ==, > holds, with == agreeing with the
+    // comparison (padded slots are semantic, so equivalence means equal
+    // padded vector + equal id).
+    const int lt = ab < 0 ? 1 : 0;
+    const int eq = ab == 0 ? 1 : 0;
+    const int gt = ab > 0 ? 1 : 0;
+    ASSERT_EQ(lt + eq + gt, 1);
+    ASSERT_EQ(eq == 1, a.v == b.v && a.id == b.id);
+  }
+}
+
+TEST(WeightOrder, AntisymmetryOverFuzzedPairs) {
+  util::Rng rng(2027);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const Weight a = fuzz_weight(rng);
+    const Weight b = fuzz_weight(rng);
+    const auto ab = a <=> b;
+    const auto ba = b <=> a;
+    if (ab < 0) {
+      ASSERT_TRUE(ba > 0);
+    } else if (ab > 0) {
+      ASSERT_TRUE(ba < 0);
+    } else {
+      ASSERT_TRUE(ba == 0);
+    }
+  }
+}
+
+TEST(WeightOrder, TransitivityOverFuzzedTriples) {
+  util::Rng rng(2028);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const Weight a = fuzz_weight(rng);
+    const Weight b = fuzz_weight(rng);
+    const Weight c = fuzz_weight(rng);
+    if (a <=> b <= 0 && b <=> c <= 0) {
+      ASSERT_TRUE(a <=> c <= 0)
+          << "a<=b and b<=c but a>c at trial " << trial;
+    }
+  }
+}
+
+// std::sort over the order must agree with repeated lex_min_index
+// extraction — the sort-based and scan-based views of "the minimum" are the
+// same function.
+TEST(WeightOrder, SortAndScanAgreeOnTheMinimum) {
+  util::Rng rng(2029);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto candidates =
+        fuzz_candidates(rng, 1 + rng.index(24));
+    std::vector<Weight> sorted = candidates;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Weight& a, const Weight& b) { return a < b; });
+    const std::size_t min_index = lex_min_index(candidates);
+    ASSERT_TRUE(candidates[min_index] <=> sorted.front() == 0);
+  }
+}
+
+TEST(ParetoFrontier, MatchesBruteForceOracle) {
+  util::Rng rng(2030);
+  std::vector<std::uint8_t> frontier;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto candidates =
+        fuzz_candidates(rng, 1 + rng.index(24));
+    pareto_frontier(candidates, frontier);
+    const auto oracle = brute_force_frontier(candidates);
+    ASSERT_EQ(frontier.size(), oracle.size());
+    for (std::size_t i = 0; i < oracle.size(); ++i) {
+      ASSERT_EQ(frontier[i] != 0, oracle[i] != 0)
+          << "frontier mark " << i << " diverges at trial " << trial;
+    }
+    // The frontier is never empty: the lexicographic minimum cannot be
+    // dominated.
+    ASSERT_TRUE(std::any_of(frontier.begin(), frontier.end(),
+                            [](std::uint8_t f) { return f != 0; }));
+  }
+}
+
+// The load-bearing equivalence (see composite.h): filtering candidates to
+// the frontier never changes the elected minimum, so the agent's
+// frontier-then-scan election equals a plain full scan.
+TEST(ParetoFrontier, FilterNeverChangesTheWinner) {
+  util::Rng rng(2031);
+  std::vector<std::uint8_t> frontier;
+  std::vector<Weight> surviving;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto candidates =
+        fuzz_candidates(rng, 1 + rng.index(24));
+    const Weight& direct = candidates[lex_min_index(candidates)];
+    pareto_frontier(candidates, frontier);
+    surviving.clear();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (frontier[i] != 0) {
+        surviving.push_back(candidates[i]);
+      }
+    }
+    ASSERT_FALSE(surviving.empty());
+    const Weight& filtered = surviving[lex_min_index(surviving)];
+    ASSERT_TRUE(filtered <=> direct == 0)
+        << "frontier filter moved the winner at trial " << trial;
+    // And the winner itself is marked as frontier.
+    ASSERT_NE(frontier[lex_min_index(candidates)], 0);
+  }
+}
+
+// Dominance never points against the lexicographic order: if a dominates b
+// then a < b (same components everywhere except strictly better somewhere).
+TEST(ParetoFrontier, DominanceImpliesLexPrecedence) {
+  util::Rng rng(2032);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const Weight a = fuzz_weight(rng);
+    const Weight b = fuzz_weight(rng);
+    if (pareto_dominates(a, b)) {
+      ASSERT_TRUE(a <=> b < 0);
+      ASSERT_FALSE(pareto_dominates(b, a));
+    }
+  }
+}
+
+// Tie-break chain, level by level: weights equal through level k resolve at
+// level k+1; fully equal vectors resolve by node id.
+TEST(TieBreak, EqualPrefixesFallThroughToLaterLevels) {
+  util::Rng rng(2033);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Weight a = fuzz_weight(rng);
+    Weight b = a;  // identical vector and id: equivalent
+    ASSERT_TRUE(a <=> b == 0);
+
+    // Perturb one level; every earlier level is an equal prefix, so the
+    // comparison must resolve exactly at the perturbed level.
+    const auto level =
+        static_cast<std::size_t>(rng.index(Weight::kMaxComponents));
+    b.v[level] = a.v[level] + 1.0;
+    ASSERT_TRUE(a <=> b < 0);
+    b.v[level] = a.v[level] - 1.0;
+    ASSERT_TRUE(a <=> b > 0);
+  }
+}
+
+TEST(TieBreak, FullyEqualVectorsResolveByNodeId) {
+  util::Rng rng(2034);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Weight a = fuzz_weight(rng);
+    Weight b = a;
+    a.id = 3;
+    b.id = 7;
+    ASSERT_TRUE(a <=> b < 0);
+    ASSERT_TRUE(b <=> a > 0);
+    b.id = 3;
+    ASSERT_TRUE(a <=> b == 0);
+  }
+}
+
+// The padding contract behind "scalar protocols order bit-identically":
+// a scalar weight and the same metric with explicit zero extras are
+// equivalent, so the padded comparison is exactly the legacy {metric, id}.
+TEST(TieBreak, PaddedZerosEqualTheScalarWeight) {
+  util::Rng rng(2035);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const double metric = rng.uniform() * 10.0 - 5.0;
+    const auto id = static_cast<net::NodeId>(rng.index(50));
+    const Weight scalar{metric, id};
+    Weight padded{metric, id};
+    padded.push(0.0);
+    padded.push(0.0);
+    padded.push(0.0);
+    ASSERT_TRUE(scalar <=> padded == 0);
+    ASSERT_EQ(scalar, padded);
+    // A nonzero extra breaks the tie *after* the metric...
+    Weight heavier{metric, id};
+    heavier.push(0.5);
+    ASSERT_TRUE(scalar <=> heavier < 0);
+    // ...but never overrides an earlier level.
+    const Weight better{metric - 1.0, id + 1};
+    ASSERT_TRUE(better <=> heavier < 0);
+  }
+}
+
+// push() past capacity is a silent no-op, never memory corruption.
+TEST(TieBreak, PushPastCapacityIsIgnored) {
+  Weight w{1.0, 0};
+  w.push(2.0);
+  w.push(3.0);
+  w.push(4.0);
+  const Weight full = w;
+  w.push(99.0);
+  ASSERT_EQ(w, full);
+  ASSERT_EQ(w.n, Weight::kMaxComponents);
+}
+
+}  // namespace
+}  // namespace manet::cluster

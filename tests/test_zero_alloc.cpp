@@ -161,6 +161,59 @@ TEST(ZeroAlloc, ObsInstrumentedHelloDeliverySteadyState) {
 #endif
 }
 
+// The energy model sizes every per-node vector at construction and the
+// drain path is plain arithmetic plus counter bumps, so battery accounting
+// on the delivery loop — hello TX/RX drains with idle settlement, hooks
+// live — must be exactly allocation-free in steady state.
+TEST(ZeroAlloc, EnergyDrainSteadyState) {
+  sim::Simulator sim;
+  util::Rng root(77);
+  const geom::Rect field(670.0, 670.0);
+  radio::Medium medium(radio::make_propagation("free_space", 2.7, 4.0),
+                       radio::RadioParams{}, 250.0);
+  net::NetworkParams params;
+  net::Network network(sim, std::move(medium), field, params,
+                       root.substream("network"));
+
+  obs::Registry registry;
+  obs::EnergyHooks hooks;
+  hooks.depleted = registry.counter("energy.depleted");
+  hooks.drains = registry.counter("energy.drain");
+  hooks.residual_ratio =
+      registry.histogram("energy.residual_ratio", {0.25, 0.5, 0.75, 1.0});
+
+  net::EnergyParams eparams;
+  eparams.enabled = true;
+  // Batteries deep enough that nothing depletes: this pin measures the
+  // drain/settle path itself, not the crash machinery behind a death.
+  eparams.capacity_j = 1e6;
+  eparams.idle_drain_w = 0.01;
+  eparams.hello_tx_cost_j = 0.02;
+  eparams.hello_rx_cost_j = 0.005;
+  net::EnergyModel energy(eparams, 50, root.substream("energy"));
+  energy.set_hooks(&hooks);
+  network.set_energy(&energy);
+
+  mobility::FleetParams fleet;
+  fleet.duration = 300.0;
+  network.add_fleet(mobility::make_fleet(fleet, 50, root.substream("mob")));
+  for (auto& node : network.nodes()) {
+    node->set_agent(std::make_unique<NullAgent>());
+  }
+  network.start();
+  sim.run_until(40.0);
+
+  const util::AllocWindow window;
+  sim.run_until(120.0);
+  EXPECT_EQ(window.allocs(), 0u)
+      << "battery drains allocated on the steady-state path";
+#if MANET_OBS_ENABLED
+  EXPECT_GT(hooks.drains->value(), 10000u);
+#endif
+  EXPECT_GT(energy.total_drained_j(), 0.0);
+  EXPECT_EQ(energy.deaths(), 0u);
+}
+
 // The fault injector pre-sizes its timeline and active-window set at
 // construction (worst case: every window open at once), so executing the
 // schedule — window activations, expiries, and the per-delivery
@@ -279,6 +332,33 @@ TEST(ZeroAlloc, ResilienceScenarioAllocBudget) {
   EXPECT_LT(per_event, 0.25)
       << "resilience allocations per simulator event regressed: "
       << per_event;
+}
+
+// Composite-weight elections (Pareto scratches reserved at attach, extras
+// riding pre-sized Hello fields) plus live battery drain and mid-run
+// depletions must fit the same per-event budget as the scalar protocols.
+TEST(ZeroAlloc, CompositeEnergyScenarioAllocBudget) {
+  scenario::Scenario s = scenario::paper_scenario();
+  s.sim_time = 120.0;
+  s.energy.enabled = true;
+  s.energy.capacity_j = 6.0;
+  s.energy.capacity_jitter = 0.5;
+  s.energy.idle_drain_w = 0.01;
+  s.energy.hello_tx_cost_j = 0.02;
+  s.energy.hello_rx_cost_j = 0.005;
+  for (const char* alg : {"cci", "sd_dwca"}) {
+    const util::AllocWindow window;
+    const scenario::RunResult r =
+        scenario::run_scenario(s, scenario::factory_by_name(alg));
+    ASSERT_GT(r.events_executed, 0u) << alg;
+    ASSERT_GT(r.battery_deaths, 0u)
+        << alg << ": no battery died — the budget below skips the "
+                  "depletion path";
+    const double per_event = static_cast<double>(window.allocs()) /
+                             static_cast<double>(r.events_executed);
+    EXPECT_LT(per_event, 0.25)
+        << alg << " allocations per simulator event regressed: " << per_event;
+  }
 }
 
 TEST(ZeroAlloc, FullScenarioAllocBudget) {
