@@ -22,7 +22,10 @@ void ConvergenceMonitor::start(sim::Time first_at, sim::Time period,
               "sampling window [" << first_at << ", " << until << "]");
   period_ = period;
   until_ = until;
-  sim_.schedule_at(first_at, [this] { sample(); });
+  sim_.schedule_at(first_at, [this] {
+    MANET_ASSERT_COMMIT_ROLE();
+    sample();
+  });
 }
 
 void ConvergenceMonitor::note_fault(sim::Time t) {
@@ -59,7 +62,10 @@ void ConvergenceMonitor::sample() {
   }
 
   if (t + period_ <= until_) {
-    sim_.schedule_in(period_, [this] { sample(); });
+    sim_.schedule_in(period_, [this] {
+    MANET_ASSERT_COMMIT_ROLE();
+    sample();
+  });
   }
 }
 

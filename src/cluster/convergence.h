@@ -13,6 +13,7 @@
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
+#include "util/thread_role.h"
 
 namespace manet::cluster {
 
@@ -39,20 +40,21 @@ class ConvergenceMonitor {
                      std::vector<const WeightedClusterAgent*> agents);
 
   /// Schedules periodic validation samples over [first_at, until].
-  void start(sim::Time first_at, sim::Time period, sim::Time until);
+  void start(sim::Time first_at, sim::Time period, sim::Time until)
+      MANET_COMMIT_ONLY;
 
   /// Records a fault at time `t`. Opens a disruption window unless one is
   /// already open.
-  void note_fault(sim::Time t);
+  void note_fault(sim::Time t) MANET_COMMIT_ONLY;
 
   /// Closes the run at `t_end`: open disruptions are counted as
   /// unrecovered. Idempotent per run.
-  Summary finish(sim::Time t_end);
+  Summary finish(sim::Time t_end) MANET_COMMIT_ONLY;
 
   const Summary& summary() const { return summary_; }
 
  private:
-  void sample();
+  void sample() MANET_COMMIT_ONLY;
 
   sim::Simulator& sim_;
   net::Network& network_;

@@ -10,6 +10,7 @@
 
 #include "geom/rect.h"
 #include "geom/vec2.h"
+#include "util/thread_role.h"
 
 namespace manet::geom {
 
@@ -21,14 +22,17 @@ class GridIndex {
   /// Replaces the indexed point set. Points outside the field are clamped
   /// into it for binning purposes (their true coordinates are kept for the
   /// distance test).
-  void rebuild(std::span<const Vec2> points);
+  // Mutators run at commit-thread epoch barriers only; the const query
+  // surface below is read by shard-planner workers in between, so it is
+  // marked worker-safe.
+  void rebuild(std::span<const Vec2> points) MANET_COMMIT_ONLY;
 
   /// Fast path for a moved-but-not-rebinned point set: when every point
   /// still maps to the cell it is currently indexed under, updates the
   /// stored exact positions in place (the CSR layout stays valid) and
   /// returns true. Returns false — leaving the index untouched — when the
   /// point count or any cell assignment changed; callers then rebuild().
-  bool update_positions(std::span<const Vec2> points);
+  bool update_positions(std::span<const Vec2> points) MANET_COMMIT_ONLY;
 
   std::size_t size() const { return points_.size(); }
 
@@ -43,10 +47,11 @@ class GridIndex {
   /// (inclusive) to `out`. The queried set may include the querying point
   /// itself if it is in the index; callers filter by index.
   void query_radius(Vec2 center, double radius,
-                    std::vector<std::size_t>& out) const;
+                    std::vector<std::size_t>& out) const MANET_WORKER_SAFE;
 
   /// Convenience wrapper returning a fresh vector.
-  std::vector<std::size_t> query_radius(Vec2 center, double radius) const;
+  std::vector<std::size_t> query_radius(Vec2 center, double radius) const
+      MANET_WORKER_SAFE;
 
   /// Brute-force reference implementation, used by tests to validate the
   /// grid and by callers with tiny point sets.

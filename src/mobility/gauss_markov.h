@@ -10,6 +10,7 @@
 
 #include "mobility/mobility_model.h"
 #include "util/rng.h"
+#include "util/thread_role.h"
 
 namespace manet::mobility {
 
@@ -26,7 +27,7 @@ class GaussMarkov final : public LegBasedModel {
   GaussMarkov(const GaussMarkovParams& params, util::Rng rng);
 
  protected:
-  Leg next_leg(const Leg& prev) override;
+  Leg next_leg(const Leg& prev) MANET_COMMIT_ONLY override;
 
  private:
   Leg step_leg(sim::Time t_begin, geom::Vec2 from);

@@ -13,6 +13,7 @@
 
 #include "mobility/mobility_model.h"
 #include "util/rng.h"
+#include "util/thread_role.h"
 
 namespace manet::mobility {
 
@@ -39,7 +40,7 @@ class HighwayVehicle final : public LegBasedModel {
   double lane_y() const { return lane_y_; }
 
  protected:
-  Leg next_leg(const Leg& prev) override;
+  Leg next_leg(const Leg& prev) MANET_COMMIT_ONLY override;
 
  private:
   Leg step_leg(sim::Time t_begin, double x);

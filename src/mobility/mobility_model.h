@@ -21,6 +21,7 @@
 #include "geom/rect.h"
 #include "geom/vec2.h"
 #include "sim/event_queue.h"
+#include "util/thread_role.h"
 
 namespace manet::mobility {
 
@@ -39,11 +40,15 @@ class MobilityModel {
 
   /// Node position at time `t` (seconds). Query times must be
   /// non-decreasing across calls.
-  virtual geom::Vec2 position(sim::Time t) = 0;
+  // position()/velocity()/unroll_to() advance the model's leg window
+  // and RNG substream — commit-only (workers interpolate the planner's
+  // SoA copies instead; see file comment). copy_legs() is const and
+  // role-free.
+  virtual geom::Vec2 position(sim::Time t) MANET_COMMIT_ONLY = 0;
 
   /// Instantaneous velocity at time `t` (m/s). Same monotonicity contract;
   /// typically called right after position(t).
-  virtual geom::Vec2 velocity(sim::Time t) = 0;
+  virtual geom::Vec2 velocity(sim::Time t) MANET_COMMIT_ONLY = 0;
 
   /// True when the itinerary can be unrolled into MotionLegs for
   /// worker-side sampling (see file comment). Default: no.
@@ -53,7 +58,7 @@ class MobilityModel {
   /// Only called when supports_unroll(); advances any lazy generation (and
   /// its RNG substream) ahead of the sampled time — legal because leg
   /// generation draws only from the model's private stream.
-  virtual void unroll_to(sim::Time horizon);
+  virtual void unroll_to(sim::Time horizon) MANET_COMMIT_ONLY;
 
   /// Appends every leg overlapping [from, to] to `out`. Requires a prior
   /// unroll_to(to); does not advance generation.
@@ -66,11 +71,11 @@ class StaticModel final : public MobilityModel {
  public:
   explicit StaticModel(geom::Vec2 pos) : pos_(pos) {}
 
-  geom::Vec2 position(sim::Time) override { return pos_; }
-  geom::Vec2 velocity(sim::Time) override { return {}; }
+  geom::Vec2 position(sim::Time) MANET_COMMIT_ONLY override { return pos_; }
+  geom::Vec2 velocity(sim::Time) MANET_COMMIT_ONLY override { return {}; }
 
   bool supports_unroll() const override { return true; }
-  void unroll_to(sim::Time) override {}
+  void unroll_to(sim::Time) MANET_COMMIT_ONLY override {}
   void copy_legs(sim::Time from, sim::Time to,
                  std::vector<MotionLeg>& out) const override {
     out.push_back({from, to, pos_, pos_});
@@ -90,11 +95,11 @@ class StaticModel final : public MobilityModel {
 /// planners without disturbing the interpolation arithmetic.
 class LegBasedModel : public MobilityModel {
  public:
-  geom::Vec2 position(sim::Time t) final;
-  geom::Vec2 velocity(sim::Time t) final;
+  geom::Vec2 position(sim::Time t) MANET_COMMIT_ONLY final;
+  geom::Vec2 velocity(sim::Time t) MANET_COMMIT_ONLY final;
 
   bool supports_unroll() const final { return true; }
-  void unroll_to(sim::Time horizon) final;
+  void unroll_to(sim::Time horizon) MANET_COMMIT_ONLY final;
   void copy_legs(sim::Time from, sim::Time to,
                  std::vector<MotionLeg>& out) const final;
 
@@ -104,16 +109,16 @@ class LegBasedModel : public MobilityModel {
 
   /// Produces the leg that starts where `prev` ended, at time prev.t_end.
   /// Must return a leg with t_end > t_begin (use a tiny pause if needed).
-  virtual Leg next_leg(const Leg& prev) = 0;
+  virtual Leg next_leg(const Leg& prev) MANET_COMMIT_ONLY = 0;
 
   /// Subclass constructors seed the itinerary with the initial leg.
-  void set_initial_leg(Leg leg);
+  void set_initial_leg(Leg leg) MANET_COMMIT_ONLY;
 
  private:
   /// Advances to (and returns) the leg containing `t`, generating and
   /// trimming as needed.
-  const Leg& locate(sim::Time t);
-  void generate_next();
+  const Leg& locate(sim::Time t) MANET_COMMIT_ONLY;
+  void generate_next() MANET_COMMIT_ONLY;
 
   std::vector<Leg> window_;  // legs [cur_ ..] are current-or-future
   std::size_t cur_ = 0;

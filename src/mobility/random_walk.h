@@ -9,6 +9,7 @@
 
 #include "mobility/mobility_model.h"
 #include "util/rng.h"
+#include "util/thread_role.h"
 
 namespace manet::mobility {
 
@@ -24,7 +25,7 @@ class RandomWalk final : public LegBasedModel {
   RandomWalk(const RandomWalkParams& params, util::Rng rng);
 
  protected:
-  Leg next_leg(const Leg& prev) override;
+  Leg next_leg(const Leg& prev) MANET_COMMIT_ONLY override;
 
  private:
   /// Builds one straight leg from `from` lasting up to the epoch remainder,
@@ -50,7 +51,7 @@ class RandomDirection final : public LegBasedModel {
   RandomDirection(const RandomDirectionParams& params, util::Rng rng);
 
  protected:
-  Leg next_leg(const Leg& prev) override;
+  Leg next_leg(const Leg& prev) MANET_COMMIT_ONLY override;
 
  private:
   Leg travel_to_boundary(sim::Time t_begin, geom::Vec2 from);

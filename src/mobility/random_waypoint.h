@@ -6,6 +6,7 @@
 
 #include "mobility/mobility_model.h"
 #include "util/rng.h"
+#include "util/thread_role.h"
 
 namespace manet::mobility {
 
@@ -27,7 +28,7 @@ class RandomWaypoint final : public LegBasedModel {
   geom::Vec2 initial_position() const { return initial_; }
 
  protected:
-  Leg next_leg(const Leg& prev) override;
+  Leg next_leg(const Leg& prev) MANET_COMMIT_ONLY override;
 
  private:
   Leg travel_leg(sim::Time t_begin, geom::Vec2 from);

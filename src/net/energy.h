@@ -28,6 +28,7 @@
 #include "obs/hooks.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
+#include "util/thread_role.h"
 
 namespace manet::net {
 
@@ -60,7 +61,8 @@ class EnergyModel {
 
   /// Draws per-node capacities from `rng` (pass a dedicated substream; the
   /// draw order is node id ascending, so capacities are seed-deterministic).
-  EnergyModel(const EnergyParams& params, std::size_t n_nodes, util::Rng rng);
+  EnergyModel(const EnergyParams& params, std::size_t n_nodes, util::Rng rng)
+      MANET_COMMIT_ONLY;
 
   void set_hooks(const obs::EnergyHooks* hooks) { hooks_ = hooks; }
   /// Invoked exactly once per node, at the drain that empties its battery.
@@ -69,23 +71,26 @@ class EnergyModel {
     on_depleted_ctx_ = ctx;
   }
 
-  void drain_hello_tx(NodeId node, sim::Time t) {
+  // The drain surface mutates battery state that the golden hashes
+  // observe, so it is commit-only end to end (including the depletion
+  // callback it may fire).
+  void drain_hello_tx(NodeId node, sim::Time t) MANET_COMMIT_ONLY {
     drain(node, t, params_.hello_tx_cost_j);
   }
-  void drain_hello_rx(NodeId node, sim::Time t) {
+  void drain_hello_rx(NodeId node, sim::Time t) MANET_COMMIT_ONLY {
     drain(node, t, params_.hello_rx_cost_j);
   }
-  void drain_msg_tx(NodeId node, sim::Time t) {
+  void drain_msg_tx(NodeId node, sim::Time t) MANET_COMMIT_ONLY {
     drain(node, t, params_.msg_tx_cost_j);
   }
-  void drain_msg_rx(NodeId node, sim::Time t) {
+  void drain_msg_rx(NodeId node, sim::Time t) MANET_COMMIT_ONLY {
     drain(node, t, params_.msg_rx_cost_j);
   }
 
   /// Settles idle draw for every node up to `t` (end of run) and records
   /// the residual-ratio histogram. Pure accounting: batteries may clamp to
   /// zero here but no depletion callbacks fire outside the simulation.
-  void settle_all(sim::Time t);
+  void settle_all(sim::Time t) MANET_COMMIT_ONLY;
 
   bool depleted(NodeId node) const { return dead_[node] != 0; }
   double initial_j(NodeId node) const { return initial_[node]; }
@@ -108,12 +113,12 @@ class EnergyModel {
   const EnergyParams& params() const { return params_; }
 
  private:
-  void drain(NodeId node, sim::Time t, double cost);
+  void drain(NodeId node, sim::Time t, double cost) MANET_COMMIT_ONLY;
   /// Integrates idle draw since the node's last settlement. Depletion
   /// callbacks fire only when `notify` (false from settle_all).
-  void settle(NodeId node, sim::Time t, bool notify);
-  void take(NodeId node, double amount);
-  void deplete(NodeId node, sim::Time t);
+  void settle(NodeId node, sim::Time t, bool notify) MANET_COMMIT_ONLY;
+  void take(NodeId node, double amount) MANET_COMMIT_ONLY;
+  void deplete(NodeId node, sim::Time t) MANET_COMMIT_ONLY;
 
   EnergyParams params_;
   std::vector<double> initial_;

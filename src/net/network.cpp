@@ -299,7 +299,10 @@ void Network::broadcast(Node& sender, const HelloPacket& pkt) {
       planner_->release(job);
       if (batch != nullptr) {
         sim_.schedule_in(params_.delivery_delay,
-                         [this, batch] { deliver_batch(batch); });
+                         [this, batch] {
+                         MANET_ASSERT_COMMIT_ROLE();
+                         deliver_batch(batch);
+                       });
       }
       for (std::size_t i = 0; i < immediate_buf_.size(); ++i) {
         const DeliveryBatch::Rx rx = immediate_buf_[i];
@@ -380,7 +383,10 @@ void Network::broadcast(Node& sender, const HelloPacket& pkt) {
   // event in the queue.
   if (batch != nullptr) {
     sim_.schedule_in(params_.delivery_delay,
-                     [this, batch] { deliver_batch(batch); });
+                     [this, batch] {
+                         MANET_ASSERT_COMMIT_ROLE();
+                         deliver_batch(batch);
+                       });
   }
   // Zero-delay deliveries run after the scan: a receiving agent that
   // transmits in its handler may refresh the grid and reuse query_buf_,
@@ -458,7 +464,10 @@ std::size_t Network::send(Node& sender, Message msg) {
   const auto flush = [&]() {
     if (batch != nullptr) {
       sim_.schedule_in(params_.delivery_delay,
-                       [this, batch] { deliver_message_batch(batch); });
+                       [this, batch] {
+                         MANET_ASSERT_COMMIT_ROLE();
+                         deliver_message_batch(batch);
+                       });
     }
   };
 

@@ -111,6 +111,7 @@ void Node::beacon() {
     simulator().schedule_in(
         rng_.uniform(0.0, network_->params().per_beacon_jitter),
         [this, pkt]() {
+          MANET_ASSERT_COMMIT_ROLE();
           if (alive_) {
             network_->broadcast(*this, *pkt);
           }
@@ -140,6 +141,7 @@ void Node::beacon() {
     // the candidate scan for that fire time while other events execute.
     network_->note_pending_broadcast(id_, now + delay);
     simulator().schedule_in(delay, [this]() {
+      MANET_ASSERT_COMMIT_ROLE();
       beacon_in_flight_ = false;
       if (alive_) {
         network_->broadcast(*this, scratch_pkt_);

@@ -42,6 +42,7 @@
 #include "net/types.h"
 #include "sim/event_queue.h"
 #include "util/thread_pool.h"
+#include "util/thread_role.h"
 
 namespace manet::net {
 
@@ -90,7 +91,7 @@ class ShardPlanner {
   };
 
   ShardPlanner(Network& network, util::ThreadPool& pool);
-  ~ShardPlanner();
+  ~ShardPlanner() MANET_ROLE_AGNOSTIC;  // post-run serial teardown
 
   ShardPlanner(const ShardPlanner&) = delete;
   ShardPlanner& operator=(const ShardPlanner&) = delete;
@@ -105,29 +106,30 @@ class ShardPlanner {
 
   /// Called at the end of Network::start(): unrolls mobility, builds the
   /// SoA leg tables and alive flags, pre-sizes one job slot per node.
-  void on_start();
+  void on_start() MANET_COMMIT_ONLY;
 
   /// A jittered broadcast by `sender` was scheduled for `fire_at`:
   /// speculate its candidate scan on the pool.
-  void note_pending_broadcast(NodeId sender, sim::Time fire_at);
+  void note_pending_broadcast(NodeId sender, sim::Time fire_at)
+      MANET_COMMIT_ONLY;
 
   /// Commit side: the completed (or claimed-and-run-inline) job for
   /// (sender, now), or nullptr when no valid speculation exists and the
   /// caller must run the serial scan. Pair every success with release().
-  const ScanJob* try_consume(NodeId sender, sim::Time now);
-  void release(const ScanJob* job);
+  const ScanJob* try_consume(NodeId sender, sim::Time now) MANET_COMMIT_ONLY;
+  void release(const ScanJob* job) MANET_COMMIT_ONLY;
 
   /// Epoch barrier: drains the pool and invalidates every outstanding
   /// speculation. The network calls it before mutating anything a worker
   /// may read (grid snapshot refresh or rebuild).
-  void pre_topology_change();
+  void pre_topology_change() MANET_COMMIT_ONLY;
 
   /// Liveness barrier: drain, bump the epoch, update the alive flag.
-  void note_liveness(NodeId id, bool alive);
+  void note_liveness(NodeId id, bool alive) MANET_COMMIT_ONLY;
 
   /// End of run: drain the pool and detach from the network (validators
   /// and destructors run strictly serially after this).
-  void shutdown();
+  void shutdown() MANET_COMMIT_ONLY;
 
   std::uint64_t speculated() const { return speculated_; }
   std::uint64_t committed() const { return committed_; }
@@ -148,12 +150,17 @@ class ShardPlanner {
   static constexpr std::size_t kBatchSize = 8;
   static constexpr sim::Time kHorizonSpan = 1.0;  // unrolled lookahead, sim-s
 
-  void run_scan(ScanJob* job) const;
-  geom::Vec2 sample_position(std::size_t node, sim::Time t) const;
-  void refresh_motion(sim::Time now, sim::Time need);
-  void flush_shard(std::size_t shard);
-  void flush_all();
-  void reclaim(ScanJob& job);
+  // Worker entry points: run on pool threads against the epoch-immutable
+  // SoA tables and grid snapshot. MANET_WORKER_SAFE is the root set the
+  // manet-lint thread-role rule proves commit-only-free (the commit
+  // thread may also call them — the inline-claim path in try_consume).
+  void run_scan(ScanJob* job) const MANET_WORKER_SAFE;
+  geom::Vec2 sample_position(std::size_t node, sim::Time t) const
+      MANET_WORKER_SAFE;
+  void refresh_motion(sim::Time now, sim::Time need) MANET_COMMIT_ONLY;
+  void flush_shard(std::size_t shard) MANET_COMMIT_ONLY;
+  void flush_all() MANET_COMMIT_ONLY;
+  void reclaim(ScanJob& job) MANET_COMMIT_ONLY;
 
   Network& network_;
   util::ThreadPool& pool_;

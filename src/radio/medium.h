@@ -10,6 +10,7 @@
 #include "radio/propagation.h"
 #include "radio/radio_params.h"
 #include "util/rng.h"
+#include "util/thread_role.h"
 
 namespace manet::radio {
 
@@ -27,7 +28,8 @@ class Medium {
   double rx_threshold_w() const { return rx_threshold_w_; }
 
   /// Deterministic (median) received power at a distance.
-  double median_rx_power_w(double distance_m) const {
+  // Pure query; shard-planner workers call it for deterministic media.
+  double median_rx_power_w(double distance_m) const MANET_WORKER_SAFE {
     return propagation_->rx_power_w(radio_, distance_m, nullptr);
   }
 
@@ -37,7 +39,10 @@ class Medium {
     bool delivered = false;
     double rx_power_w = 0.0;
   };
-  Reception try_receive(double distance_m, util::Rng& fading) const;
+  // Draws from `fading` — a commit-only effect even though the medium
+  // itself is const.
+  Reception try_receive(double distance_m, util::Rng& fading) const
+      MANET_COMMIT_ONLY;
 
   /// Upper bound on any successful reception distance; channels use it to
   /// bound spatial queries.

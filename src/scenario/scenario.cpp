@@ -12,6 +12,7 @@
 #include "sim/simulator.h"
 #include "util/assert.h"
 #include "util/thread_pool.h"
+#include "util/thread_role.h"
 
 namespace manet::scenario {
 
@@ -104,6 +105,11 @@ RunResult run_scenario(const Scenario& scenario,
   MANET_CHECK(scenario.tx_range > 0.0);
   MANET_CHECK(scenario.sim_time > scenario.warmup,
               "sim_time must exceed warmup");
+
+  // This thread owns the simulator for the whole run: it is the run's
+  // commit thread (see util/thread_role.h). Everything below — setup
+  // draws, the event loop, post-run validators — runs under the role.
+  util::CommitRoleScope commit_scope;
 
   sim::Simulator sim;
   util::Rng root(scenario.seed);
@@ -212,6 +218,7 @@ RunResult run_scenario(const Scenario& scenario,
     monitor = std::make_unique<cluster::ConvergenceMonitor>(sim, network,
                                                             agents);
     injector->set_on_fault([mon = monitor.get()](const fault::FaultEvent& e) {
+      MANET_ASSERT_COMMIT_ROLE();  // fired from fault activations (events)
       mon->note_fault(e.at);
     });
     if (bundle != nullptr) {
@@ -223,6 +230,7 @@ RunResult run_scenario(const Scenario& scenario,
       injector->reserve_external(scenario.n_nodes);
       energy->set_on_depleted(
           [](void* ctx, net::NodeId node, sim::Time t) {
+            MANET_ASSERT_COMMIT_ROLE();
             fault::FaultEvent e;
             e.kind = fault::FaultKind::kBatteryDepleted;
             e.at = t;
@@ -247,6 +255,7 @@ RunResult run_scenario(const Scenario& scenario,
     const double period = std::max(scenario.obs.counter_sample_period, 1e-3);
     bundle->sampler_tick = [&sim, &network, &agents, b = bundle.get(),
                             period, end = scenario.sim_time] {
+      MANET_ASSERT_COMMIT_ROLE();
       const sim::Time now = sim.now();
       b->trace.counter("event_queue.depth", now,
                        static_cast<double>(sim.pending_events()));

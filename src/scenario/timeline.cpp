@@ -40,7 +40,10 @@ void TimelineRecorder::schedule_snapshots(LiveContext& ctx, double period,
                                           double until) {
   MANET_CHECK(period > 0.0, "snapshot period=" << period);
   for (double t = 0.0; t <= until + 1e-9; t += period) {
-    ctx.sim.schedule_at(t, [this, &ctx] { snapshot(ctx); });
+    ctx.sim.schedule_at(t, [this, &ctx] {
+      MANET_ASSERT_COMMIT_ROLE();
+      snapshot(ctx);
+    });
   }
 }
 

@@ -1,0 +1,11 @@
+// Fixture: the unannotated middle hop of a cross-TU chain — worker code in
+// net/ reaches this helper, which draws from the commit-only stream.
+#include "util/mini_rng.h"
+
+namespace manet::geom {
+
+double jitter_offset(util::Rng& rng) {
+  return rng.uniform() - 0.5;
+}
+
+}  // namespace manet::geom

@@ -1,0 +1,18 @@
+// Fixture: the seeded violation the thread-role rule must catch — a
+// worker-safe root reaching a commit-only RNG draw through an unannotated
+// helper defined in ANOTHER translation unit (geom/jitter_helper.cpp).
+// The finding must print the full call chain.
+#include "util/mini_rng.h"
+
+namespace manet::geom {
+double jitter_offset(util::Rng& rng);
+}
+
+namespace manet::net {
+
+double scan_density(util::Rng& rng) MANET_WORKER_SAFE {
+  const double jitter = geom::jitter_offset(rng);
+  return jitter * 2.0;
+}
+
+}  // namespace manet::net

@@ -1,0 +1,17 @@
+// Fixture: a justified suppression on the worker-root's call site silences
+// the thread-role finding — the chain anchors where it starts, so the
+// suppression lives next to the decision it documents.
+#include "util/mini_rng.h"
+
+namespace manet::net {
+
+double probe_once(util::Rng& rng) MANET_COMMIT_ONLY {
+  return rng.uniform();
+}
+
+double calibration_scan(util::Rng& rng) MANET_WORKER_SAFE {
+  // manet-lint: allow(thread-role): boot-time calibration, runs before the pool spawns
+  return probe_once(rng);
+}
+
+}  // namespace manet::net

@@ -1,0 +1,26 @@
+// Fixture: false-positive guard — the role-agnostic barrier. The serial
+// fallback calls a commit-only effect, but the dispatcher is annotated
+// MANET_ROLE_AGNOSTIC (manually audited: the branch is only taken on the
+// commit thread, when no planner exists), so the walk from the worker-safe
+// root must stop at it and the file must stay silent.
+#include "util/mini_rng.h"
+
+namespace manet::sim {
+
+void commit_side_effect(util::Rng& rng) MANET_COMMIT_ONLY;
+
+// Audited: the commit-only branch is only reachable when `serial` is true,
+// and every caller passing true is the commit thread (planner == nullptr
+// fallback).
+void maybe_commit(util::Rng& rng, bool serial) MANET_ROLE_AGNOSTIC {
+  if (serial) {
+    commit_side_effect(rng);
+  }
+}
+
+double worker_probe(util::Rng& rng) MANET_WORKER_SAFE {
+  maybe_commit(rng, false);
+  return 0.0;
+}
+
+}  // namespace manet::sim

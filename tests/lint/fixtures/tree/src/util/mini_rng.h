@@ -1,0 +1,16 @@
+// Fixture: miniature of util/rng.h — a draw that advances the
+// deterministic replay-ordered stream, so it is commit-thread-only.
+#pragma once
+
+#define MANET_COMMIT_ONLY
+#define MANET_WORKER_SAFE
+#define MANET_ROLE_AGNOSTIC
+
+namespace manet::util {
+
+class Rng {
+ public:
+  double uniform() MANET_COMMIT_ONLY;
+};
+
+}  // namespace manet::util

@@ -10,6 +10,9 @@ no pytest dependency. Three layers:
      The bad_agent_prefix fixture replicates the pre-fix
      src/cluster/agent.cpp contention loops, proving the tree as it stood
      before the determinism fixes would have failed the unordered-iter rule.
+     The thread-role fixtures seed an indirect cross-TU worker->RNG chain
+     (must be detected with the full call chain), a justified suppression,
+     and a role-agnostic barrier (must stay silent).
   2. The real repository: `manet_lint.py --werror src` must pass clean.
   3. Suppression budget: the number of `manet-lint: allow(...)` comments
      under src/ is pinned to the current count so it can only shrink (raise
@@ -125,6 +128,40 @@ class FixtureTreeTest(unittest.TestCase):
         self.assertEqual(self.by_file.get("src/sim/suppressed_ok.cpp", []),
                          [])
 
+    def test_thread_role_detects_indirect_cross_tu_chain(self):
+        # Worker-safe root (net/) -> unannotated helper defined in another
+        # TU (geom/) -> commit-only RNG draw (util/). Anchored at the
+        # root's call site.
+        hits = self.by_file.get("src/net/bad_worker_scan.cpp", [])
+        self.assertEqual(hits, [(14, "thread-role")],
+                         f"expected the seeded violation, got {hits}")
+        # The helper and the sink TUs themselves are not blamed.
+        self.assertEqual(self.by_file.get("src/geom/jitter_helper.cpp", []),
+                         [])
+        self.assertEqual(self.by_file.get("src/util/mini_rng.h", []), [])
+
+    def test_thread_role_prints_full_call_chain(self):
+        _, lines, _ = run_lint("--root", FIXTURE_ROOT, "--rule",
+                               "thread-role", "src")
+        chain = [l for l in lines if "bad_worker_scan.cpp" in l]
+        self.assertEqual(len(chain), 1, lines)
+        # Every hop appears, in order, with its call site.
+        self.assertIn("worker-safe 'net::scan_density'", chain[0])
+        self.assertIn("net::scan_density -> geom::jitter_offset "
+                      "(called at src/net/bad_worker_scan.cpp:14) "
+                      "-> Rng::uniform "
+                      "(called at src/geom/jitter_helper.cpp:8)", chain[0])
+
+    def test_thread_role_justified_suppression_silences(self):
+        self.assertEqual(
+            self.by_file.get("src/net/suppressed_worker.cpp", []), [])
+
+    def test_thread_role_agnostic_barrier_stops_the_walk(self):
+        # The serial fallback behind a MANET_ROLE_AGNOSTIC dispatcher calls
+        # commit-only code, but the audited barrier must not be traversed.
+        self.assertEqual(
+            self.by_file.get("src/sim/agnostic_fallback.cpp", []), [])
+
     def test_unjustified_suppressions_are_findings_and_do_not_silence(self):
         rules = sorted(self.rules_in("src/sim/suppressed_nojust.cpp"))
         self.assertEqual(rules,
@@ -178,8 +215,13 @@ class RealTreeTest(unittest.TestCase):
         self.assertEqual(code, 0)
         text = "\n".join(lines)
         for rule in ("wall-clock", "global-rng", "unordered-iter",
-                     "hot-path", "io-discipline"):
+                     "hot-path", "io-discipline", "thread-role"):
             self.assertIn(rule, text)
+
+    def test_unknown_rule_name_is_a_hard_error(self):
+        code, _, err = run_lint("--rule", "no-such-rule", "src")
+        self.assertEqual(code, 2)
+        self.assertIn("unknown rule", err)
 
 
 if __name__ == "__main__":
